@@ -1,0 +1,303 @@
+// Benchmarks regenerating the paper's evaluation (§6): one testing.B per
+// table and figure, plus micro-benchmarks of the substrate. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the experiment's headline observable as a custom
+// metric alongside the usual timing. cmd/chimera-bench prints the full
+// rows/series.
+package chimera_test
+
+import (
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/asm"
+	"github.com/eurosys26p57/chimera/internal/bench"
+	"github.com/eurosys26p57/chimera/internal/chbp"
+	"github.com/eurosys26p57/chimera/internal/emu"
+	"github.com/eurosys26p57/chimera/internal/heterosys"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/workload"
+)
+
+// fig11Cfg is the benchmark-scale Fig. 11 configuration.
+func fig11Cfg() bench.Fig11Config {
+	return bench.Fig11Config{
+		BaseCores: 4, ExtCores: 4,
+		Tasks:   32,
+		MatmulN: 16,
+		Shares:  []int{0, 20, 40, 60, 80, 100},
+	}
+}
+
+// BenchmarkFig11Downgrade regenerates Fig. 11(a,b): CPU time and end-to-end
+// latency of the four systems over the extension-version workload. The
+// reported metric is Chimera's latency overhead vs MELF (paper: 3.2%).
+func BenchmarkFig11Downgrade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig11(fig11Cfg(), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.OverheadVsMELF(), "%overhead-vs-melf")
+	}
+}
+
+// BenchmarkFig11Upgrade regenerates Fig. 11(c,d): the base-version
+// (upgrading) half. Paper: 5.3% overhead vs MELF.
+func BenchmarkFig11Upgrade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig11(fig11Cfg(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.OverheadVsMELF(), "%overhead-vs-melf")
+	}
+}
+
+// BenchmarkFig12 regenerates Fig. 12: the share of extension tasks that ran
+// vector-accelerated at 100% extension share (paper: 60-70% under Chimera,
+// the rest offloaded to base cores).
+func BenchmarkFig12(b *testing.B) {
+	cfg := fig11Cfg()
+	cfg.Shares = []int{100}
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig11(cfg, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Cells[heterosys.Chimera][0].AcceleratedPct, "%accelerated")
+	}
+}
+
+// fig13Cases is the benchmark-scale §6.2 suite.
+func fig13Cases() []workload.SpecCase {
+	return workload.SpecSuite()[:6]
+}
+
+// BenchmarkFig13 regenerates Fig. 13: per-benchmark performance degradation
+// of strawman/Safer/ARMore/CHBP under empty patching. The metric is CHBP's
+// average degradation (paper: 5.3%; ordering CHBP < Safer < ARMore).
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig13(fig13Cases(), 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var chbpSum, saferSum float64
+		for _, r := range rows {
+			chbpSum += r.Degradation["chbp"]
+			saferSum += r.Degradation["safer"]
+		}
+		b.ReportMetric(100*chbpSum/float64(len(rows)), "%chbp-degradation")
+		b.ReportMetric(100*saferSum/float64(len(rows)), "%safer-degradation")
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: fault-handling trigger counts. The
+// metric is CHBP's trigger count as a fraction of Safer's (paper: ~0.005%).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig13(fig13Cases(), 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var chbpT, saferT uint64
+		for _, r := range rows {
+			chbpT += r.Triggers["chbp"]
+			saferT += r.Triggers["safer"]
+		}
+		if saferT > 0 {
+			b.ReportMetric(100*float64(chbpT)/float64(saferT), "%chbp/safer-triggers")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: CHBP's rewrite statistics under real
+// downgrading. The metric is the dead-register failure rate with exit
+// shifting (paper: ~1.1% of sites, vs ~35.9% for plain liveness).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table3(fig13Cases(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var fails, trad, sites int
+		for _, r := range rows {
+			fails += r.DeadRegFailOurs
+			trad += r.DeadRegFailTraditional
+			sites += r.Sites
+		}
+		if sites > 0 {
+			b.ReportMetric(100*float64(fails)/float64(sites), "%deadreg-fail-ours")
+			b.ReportMetric(100*float64(trad)/float64(sites), "%deadreg-fail-traditional")
+		}
+	}
+}
+
+// BenchmarkFig14 regenerates Fig. 14(a-d): the BLAS kernels' acceleration
+// ratios. The metric is Chimera's ratio at 8 threads for each kernel.
+func BenchmarkFig14(b *testing.B) {
+	cfg := bench.Fig14Config{
+		N: 48, Threads: []int{2, 8},
+		BaseCores: 4, ExtCores: 4,
+		SyncCyclesPerThread: 2_000,
+	}
+	for _, kind := range workload.BLASKinds {
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				row, err := bench.Fig14Kernel(cfg, kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(row.Ratio["chimera"][len(cfg.Threads)-1], "accel-ratio@8t")
+			}
+		})
+	}
+}
+
+// BenchmarkFig14Scalability regenerates Fig. 14(e): sgemm on the 64-core
+// machine. The metric is the speedup retained going from 16 to 64 threads
+// (the paper reports a 60.2% drop).
+func BenchmarkFig14Scalability(b *testing.B) {
+	cfg := bench.ScalabilityFig14()
+	cfg.Threads = []int{16, 64}
+	cfg.N = 64
+	for i := 0; i < b.N; i++ {
+		row, err := bench.Fig14Kernel(cfg, workload.SGEMM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		retained := float64(row.Latency["chimera"][0]) / float64(row.Latency["chimera"][1])
+		b.ReportMetric(retained, "speedup-16to64t")
+	}
+}
+
+// Ablation benches (DESIGN.md A1-A3): the design choices CHBP layers on.
+
+func ablationCase() workload.SpecCase {
+	c := workload.SpecSuite()[0]
+	c.Params.Rounds = 20
+	return c
+}
+
+// BenchmarkAblationTrampoline compares SMILE vs trap-based entries (A1).
+func BenchmarkAblationTrampoline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Ablations(ablationCase(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Variant {
+			case "chbp (full)":
+				b.ReportMetric(100*r.Overhead, "%smile")
+			case "A1 trap trampolines":
+				b.ReportMetric(100*r.Overhead, "%trap")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationExitShift measures exit-position shifting off (A2).
+func BenchmarkAblationExitShift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Ablations(ablationCase(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Variant == "A2 no exit shifting" {
+				b.ReportMetric(100*r.Overhead, "%no-exit-shift")
+				b.ReportMetric(float64(r.DeadFails), "deadreg-fails")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBatching measures basic-block batching off (A3).
+func BenchmarkAblationBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Ablations(ablationCase(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Variant == "A3 no batching" {
+				b.ReportMetric(100*r.Overhead, "%no-batching")
+			}
+		}
+	}
+}
+
+// ---- substrate micro-benchmarks ----------------------------------------
+
+// BenchmarkEmulator measures the simulated hart's throughput.
+func BenchmarkEmulator(b *testing.B) {
+	img, err := workload.Fibonacci(1000, riscv.RV64GC, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := emu.NewMemory()
+	mem.MapImage(img)
+	cpu := emu.NewCPU(mem, riscv.RV64GC)
+	cpu.Reset(img)
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		cpu.Reset(img)
+		start := cpu.Instret
+		if stop := cpu.Run(2_000_000); stop.Kind == emu.StopFault {
+			b.Fatalf("fault: %+v", stop)
+		}
+		insts += cpu.Instret - start
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkRewriteCHBP measures CHBP rewriting throughput on a >1MB binary.
+func BenchmarkRewriteCHBP(b *testing.B) {
+	c := workload.SpecSuite()[0]
+	img, err := workload.BuildSpec(c.Params, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chbp.Rewrite(img, chbp.Options{TargetISA: riscv.RV64GC}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(img.CodeSize()))
+}
+
+// BenchmarkAssemble measures the assembler.
+func BenchmarkAssemble(b *testing.B) {
+	src := `
+.option isa rv64gcv
+.text
+.global main
+main:
+    li a0, 1
+    li a1, 2
+    add a0, a0, a1
+    ecall
+`
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Assemble(src, "b", "main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSmileEncode measures the trampoline encoder (both modes).
+func BenchmarkSmileEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := chbp.EncodeSmile(0x10000, 0x2345678, false); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := chbp.EncodeSmile(0x10000, 0x10000+chbp.SmileJalrImm+0x1F0000, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// chimera-asm assembles RISC-V assembler text into a Chimera image.
+//
+// Usage:
+//
+//	chimera-asm -o prog.chim -entry main prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/eurosys26p57/chimera/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "output image path (default: input with .chim)")
+	entry := flag.String("entry", "main", "entry symbol")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: chimera-asm [-o out.chim] [-entry main] input.s")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	name := strings.TrimSuffix(filepath.Base(in), filepath.Ext(in))
+	img, err := asm.Assemble(string(src), name, *entry)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = strings.TrimSuffix(in, filepath.Ext(in)) + ".chim"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if _, err := img.WriteTo(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %s, %d bytes of code, entry %#x\n", path, img.ISA, img.CodeSize(), img.Entry)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chimera-asm:", err)
+	os.Exit(1)
+}

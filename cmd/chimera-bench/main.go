@@ -1,0 +1,174 @@
+// chimera-bench regenerates the paper's evaluation (§6): every figure and
+// table of the evaluation section has a subcommand that prints the
+// corresponding rows/series.
+//
+// Usage:
+//
+//	chimera-bench [-quick] fig11 | fig12 | fig13 | table2 | table3 | fig14 | fig14-scale | ablate | all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/eurosys26p57/chimera/internal/bench"
+	"github.com/eurosys26p57/chimera/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scaled-down configurations (seconds instead of minutes)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+	}
+	cmd := flag.Arg(0)
+	start := time.Now()
+	var err error
+	switch cmd {
+	case "fig11", "fig12":
+		err = runFig11(*quick)
+	case "fig13":
+		err = runFig13(*quick, true, false)
+	case "table2":
+		err = runFig13(*quick, false, true)
+	case "table3":
+		err = runTable3(*quick)
+	case "fig14":
+		err = runFig14(*quick, false)
+	case "fig14-scale":
+		err = runFig14(*quick, true)
+	case "ablate":
+		err = runAblate(*quick)
+	case "all":
+		for _, f := range []func() error{
+			func() error { return runFig11(*quick) },
+			func() error { return runFig13(*quick, true, true) },
+			func() error { return runTable3(*quick) },
+			func() error { return runFig14(*quick, false) },
+			func() error { return runFig14(*quick, true) },
+			func() error { return runAblate(*quick) },
+		} {
+			if err = f(); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chimera-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: chimera-bench [-quick] fig11|fig12|fig13|table2|table3|fig14|fig14-scale|ablate|all")
+	os.Exit(2)
+}
+
+func runFig11(quick bool) error {
+	cfg := bench.DefaultFig11()
+	if quick {
+		cfg.Tasks = 24
+		cfg.MatmulN = 16
+		cfg.Shares = []int{0, 20, 40, 60, 80, 100}
+	}
+	for _, inputExt := range []bool{true, false} {
+		res, err := bench.Fig11(cfg, inputExt)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		fmt.Printf("Chimera latency overhead vs MELF: %.1f%% (paper: 3.2%% downgrading / 5.3%% upgrading)\n\n",
+			100*res.OverheadVsMELF())
+	}
+	return nil
+}
+
+func specCases(quick bool) ([]workload.SpecCase, int64) {
+	cases := workload.SpecSuite()
+	rounds := int64(0) // suite default
+	if quick {
+		cases = cases[:6]
+		rounds = 20
+	}
+	return cases, rounds
+}
+
+func runFig13(quick, wantFig, wantTable bool) error {
+	cases, rounds := specCases(quick)
+	rows, err := bench.Fig13(cases, rounds)
+	if err != nil {
+		return err
+	}
+	if wantFig {
+		bench.PrintFig13(os.Stdout, rows)
+		fmt.Println()
+	}
+	if wantTable {
+		// Table 2 also covers the real-world application set.
+		rw := workload.RealWorldSuite()
+		if quick {
+			rw = rw[:3]
+		}
+		rwRows, err := bench.Fig13(rw, rounds)
+		if err != nil {
+			return err
+		}
+		bench.PrintTable2(os.Stdout, append(rwRows, rows...))
+	}
+	return nil
+}
+
+func runTable3(quick bool) error {
+	cases, rounds := specCases(quick)
+	all := append(append([]workload.SpecCase{}, workload.RealWorldSuite()...), cases...)
+	if quick {
+		all = all[:6]
+	}
+	rows, err := bench.Table3(all, rounds)
+	if err != nil {
+		return err
+	}
+	bench.PrintTable3(os.Stdout, rows)
+	return nil
+}
+
+func runFig14(quick, scale bool) error {
+	cfg := bench.DefaultFig14()
+	kinds := workload.BLASKinds
+	if scale {
+		cfg = bench.ScalabilityFig14()
+		kinds = []workload.BLASKind{workload.SGEMM}
+		fmt.Println("(scalability run: sgemm on the 64-core machine, Fig. 14e)")
+	}
+	if quick {
+		cfg.N = 24
+		if scale {
+			cfg.Threads = []int{16, 32, 64}
+		}
+	}
+	for _, kind := range kinds {
+		row, err := bench.Fig14Kernel(cfg, kind)
+		if err != nil {
+			return err
+		}
+		row.Print(os.Stdout)
+		fmt.Println()
+	}
+	return nil
+}
+
+func runAblate(quick bool) error {
+	cases, rounds := specCases(quick)
+	rows, err := bench.Ablations(cases[0], rounds)
+	if err != nil {
+		return err
+	}
+	bench.PrintAblations(os.Stdout, rows)
+	return nil
+}

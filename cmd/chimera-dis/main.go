@@ -1,0 +1,78 @@
+// chimera-dis disassembles a Chimera image recursively and prints the
+// recognized instructions, coverage, and indirect-jump sites.
+//
+// Usage:
+//
+//	chimera-dis prog.chim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/eurosys26p57/chimera/internal/dis"
+	"github.com/eurosys26p57/chimera/internal/obj"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: chimera-dis prog.chim")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	img, err := obj.ReadImage(f)
+	if err != nil {
+		fatal(err)
+	}
+	res := dis.Disassemble(img)
+
+	// Symbol index for annotation.
+	symAt := map[uint64]string{}
+	for _, s := range img.Symbols {
+		if s.Kind == obj.SymFunc {
+			symAt[s.Addr] = s.Name
+		}
+	}
+	indirect := map[uint64]bool{}
+	for _, a := range res.IndirectJumps {
+		indirect[a] = true
+	}
+
+	for _, a := range res.Order {
+		if name, ok := symAt[a]; ok {
+			fmt.Printf("\n%s:\n", name)
+		}
+		in := res.Insns[a]
+		note := ""
+		if indirect[a] {
+			note = "\t; indirect"
+		}
+		fmt.Printf("  %#08x:  %s%s\n", a, in, note)
+	}
+
+	fmt.Printf("\n%d instructions, %.1f%% of executable bytes covered, %d indirect jumps, %d calls\n",
+		len(res.Order), 100*res.Coverage(img), len(res.IndirectJumps), len(res.Calls))
+	if len(res.Undecodable) > 0 {
+		var addrs []uint64
+		for a := range res.Undecodable {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		fmt.Printf("undecodable on recursive paths:\n")
+		for _, a := range addrs {
+			fmt.Printf("  %#08x: %v\n", a, res.Undecodable[a])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chimera-dis:", err)
+	os.Exit(1)
+}

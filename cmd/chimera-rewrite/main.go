@@ -1,0 +1,124 @@
+// chimera-rewrite rewrites an image for a target core's ISA with CHBP or
+// one of the evaluated baselines, embedding the runtime tables in the
+// output image.
+//
+// Usage:
+//
+//	chimera-rewrite -target rv64gc -method chbp -o prog.gc.chim prog.chim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/eurosys26p57/chimera/internal/chbp"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/rewriters"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+func main() {
+	target := flag.String("target", "rv64gc", "target ISA: rv64g, rv64gc, rv64gcv, rv64gcb")
+	method := flag.String("method", "chbp", "rewriter: chbp, strawman, safer, armore")
+	empty := flag.Bool("empty", false, "empty patching (replicate sources; §6.2 methodology)")
+	noShift := flag.Bool("no-exit-shift", false, "disable exit-position shifting (ablation)")
+	noBatch := flag.Bool("no-batching", false, "disable basic-block batching (ablation)")
+	out := flag.String("o", "", "output image path")
+	flag.Parse()
+	if flag.NArg() != 1 || *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: chimera-rewrite -target ISA -method M -o out.chim in.chim")
+		os.Exit(2)
+	}
+	isa, err := parseISA(*target)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	img, err := obj.ReadImage(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var result *obj.Image
+	switch *method {
+	case "chbp", "strawman":
+		opts := chbp.Options{
+			TargetISA:        isa,
+			EmptyPatch:       *empty,
+			DisableExitShift: *noShift,
+			DisableBatching:  *noBatch,
+		}
+		if *method == "strawman" {
+			opts.Trampoline = chbp.TrapEntry
+		}
+		res, err := chbp.Rewrite(img, opts)
+		if err != nil {
+			fatal(err)
+		}
+		result = res.Image
+		s := res.Stats
+		fmt.Printf("%s: %d instructions, %d sources (%.2f%%)\n",
+			img.Name, s.TotalInsts, s.SourceInsts, s.ExtPct)
+		fmt.Printf("sites: %d (%d SMILE, %d trap entries, %d trap exits), %d upgrade sites\n",
+			s.Sites, s.SmileEntries, s.TrapEntries, s.TrapExits, s.UpgradeSites)
+		fmt.Printf("dead register not found: %d (traditional liveness: %d)\n",
+			s.DeadRegFailShifted, s.DeadRegFailTraditional)
+		fmt.Printf("target section: %d bytes (%d block instructions, %d padding)\n",
+			s.TargetBytes, s.BlockInsts, s.PaddingBytes)
+	case "safer":
+		res, err := rewriters.Safer(img, isa, *empty)
+		if err != nil {
+			fatal(err)
+		}
+		result = res.Image
+		fmt.Printf("%s: regenerated %d instructions into %d bytes\n",
+			img.Name, res.Stats.Insts, res.Stats.NewCodeBytes)
+		fmt.Println("note: Safer's address map is runtime state; use the in-process API for execution")
+	case "armore":
+		res, err := rewriters.ARMore(img, isa, *empty)
+		if err != nil {
+			fatal(err)
+		}
+		result = res.Image
+		fmt.Printf("%s: %d trampolines (%d trap-based, %.1f%%)\n",
+			img.Name, res.Stats.Trampolines, res.Stats.TrapTrampolines,
+			100*float64(res.Stats.TrapTrampolines)/float64(max(1, res.Stats.Trampolines)))
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	of, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer of.Close()
+	if _, err := result.WriteTo(of); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func parseISA(s string) (riscv.Ext, error) {
+	switch strings.ToLower(s) {
+	case "rv64g":
+		return riscv.RV64G, nil
+	case "rv64gc":
+		return riscv.RV64GC, nil
+	case "rv64gcv":
+		return riscv.RV64GCV, nil
+	case "rv64gcb":
+		return riscv.RV64GC | riscv.ExtB, nil
+	}
+	return 0, fmt.Errorf("unknown ISA %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chimera-rewrite:", err)
+	os.Exit(1)
+}

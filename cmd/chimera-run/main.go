@@ -1,0 +1,120 @@
+// chimera-run loads one or more image variants as a process and executes
+// it on a simulated core, servicing CHBP's runtime mechanisms (fault
+// recovery, trap trampolines, runtime rewriting).
+//
+// Usage:
+//
+//	chimera-run prog.chim                      # run on a core matching the image
+//	chimera-run -isa rv64gc prog.gc.chim       # run on a base core
+//	chimera-run -isa rv64gc -with prog.chim prog.gc.chim
+//	                                           # load both variants as MMViews
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/eurosys26p57/chimera/internal/kernel"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+func main() {
+	isaFlag := flag.String("isa", "", "core ISA to run on (default: the image's)")
+	with := flag.String("with", "", "additional variant image to load as a sibling MMView")
+	verbose := flag.Bool("v", false, "print kernel counters")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: chimera-run [-isa rv64gc] [-with other.chim] prog.chim")
+		os.Exit(2)
+	}
+	img, err := readImage(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	variants := []kernel.Variant{}
+	v, err := kernel.VariantFromImage(img)
+	if err != nil {
+		fatal(err)
+	}
+	variants = append(variants, v)
+	if *with != "" {
+		other, err := readImage(*with)
+		if err != nil {
+			fatal(err)
+		}
+		ov, err := kernel.VariantFromImage(other)
+		if err != nil {
+			fatal(err)
+		}
+		variants = append(variants, ov)
+	}
+	isa := img.ISA
+	if *isaFlag != "" {
+		isa, err = parseISA(*isaFlag)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	p, err := kernel.NewProcess(img.Name, variants)
+	if err != nil {
+		fatal(err)
+	}
+	if err := p.MigrateTo(isa); err != nil {
+		fatal(err)
+	}
+	p.CPU.ISA = isa
+
+	var total uint64
+	for !p.Exited {
+		cycles, st, err := p.Run(10_000_000)
+		total += cycles
+		if err != nil {
+			fatal(err)
+		}
+		if st == kernel.StatusNeedMigration {
+			fatal(fmt.Errorf("image needs a core with more extensions than %v", isa))
+		}
+	}
+	os.Stdout.Write(p.Output)
+	fmt.Printf("[%s on %v: exit %d, %d cycles (%.3fms at 1.6GHz), %d instructions]\n",
+		img.Name, isa, p.ExitCode, total, float64(total)/1.6e6, p.CPU.Instret)
+	if *verbose {
+		c := p.Counters
+		fmt.Printf("[faults recovered: %d, traps: %d, checks: %d, runtime rewrites: %d, syscalls: %d]\n",
+			c.FaultRecoveries, c.Traps, c.Checks, c.RuntimeRewrites, c.Syscalls)
+	}
+	if p.ExitCode >= 128 {
+		os.Exit(int(p.ExitCode - 128))
+	}
+}
+
+func readImage(path string) (*obj.Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obj.ReadImage(f)
+}
+
+func parseISA(s string) (riscv.Ext, error) {
+	switch strings.ToLower(s) {
+	case "rv64g":
+		return riscv.RV64G, nil
+	case "rv64gc":
+		return riscv.RV64GC, nil
+	case "rv64gcv":
+		return riscv.RV64GCV, nil
+	case "rv64gcb":
+		return riscv.RV64GC | riscv.ExtB, nil
+	}
+	return 0, fmt.Errorf("unknown ISA %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chimera-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+// Package chimera is the root of the Chimera reproduction: a transparent,
+// high-performance ISAX heterogeneous computing system via binary rewriting
+// (EuroSys '26), built on a simulated RISC-V substrate.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for paper-vs-
+// measured results. The benchmark harness in bench_test.go regenerates
+// every table and figure of the paper's evaluation; cmd/chimera-bench is
+// the CLI equivalent.
+package chimera

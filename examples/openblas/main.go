@@ -1,0 +1,32 @@
+// Openblas reproduces §6.4 interactively: the four BLAS kernels split into
+// per-thread row slices, scheduled on the heterogeneous machine, reporting
+// acceleration ratios against FAM-Ext (the paper's Fig. 14 y-axis).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/eurosys26p57/chimera/internal/bench"
+	"github.com/eurosys26p57/chimera/internal/workload"
+)
+
+func main() {
+	cfg := bench.Fig14Config{
+		N: 48, Threads: []int{2, 4, 8},
+		BaseCores: 4, ExtCores: 4,
+		SyncCyclesPerThread: 2_000,
+	}
+	for _, kind := range workload.BLASKinds {
+		row, err := bench.Fig14Kernel(cfg, kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row.Print(os.Stdout)
+		fmt.Println()
+	}
+	fmt.Println("Expected shape (paper Fig. 14): Chimera tracks MELF closely; both beat")
+	fmt.Println("FAM-Base, while FAM-Ext loses ground as threads contend for the")
+	fmt.Println("extension cores.")
+}

@@ -1,0 +1,3 @@
+module github.com/eurosys26p57/chimera
+
+go 1.22

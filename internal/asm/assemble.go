@@ -1,0 +1,535 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// Assemble parses assembler text into an image. The dialect is a practical
+// subset of GNU as for RISC-V:
+//
+//	.text / .data                    section switches
+//	.global name                     mark a function symbol
+//	.option isa rv64gcv              target ISA (default rv64gc)
+//	.option compress on|off          compressed emission
+//	.dword v, v, ...                 64-bit data values
+//	.double v, v, ...                float64 data values
+//	.zero n                          n zeroed data bytes
+//	.space n                         n zeroed text bytes (cold region)
+//	label:                           labels (in .text) / symbols (in .data)
+//	mnemonic operands                one instruction per line; # comments
+//
+// Supported pseudo-instructions: li, la, mv, nop, j, call, ret, jr, beqz,
+// bnez. Loads/stores use "rd, imm(rs1)" syntax; branches "rs1, rs2, label".
+func Assemble(src, name, entry string) (*obj.Image, error) {
+	a := &assembler{
+		isa:     riscv.RV64GC,
+		globals: map[string]bool{},
+	}
+	a.b = NewBuilder(a.isa)
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := a.line(line); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %q: %w", ln+1, strings.TrimSpace(raw), err)
+		}
+	}
+	a.flushData()
+	return a.b.Build(name, entry)
+}
+
+type assembler struct {
+	b        *Builder
+	isa      riscv.Ext
+	inData   bool
+	dataName string
+	dataBuf  []byte
+	globals  map[string]bool
+}
+
+func (a *assembler) flushData() {
+	if a.dataName != "" {
+		a.b.Data(a.dataName, a.dataBuf)
+		a.dataName, a.dataBuf = "", nil
+	}
+}
+
+func (a *assembler) line(line string) error {
+	// Label?
+	if strings.HasSuffix(line, ":") {
+		label := strings.TrimSuffix(line, ":")
+		if !validIdent(label) {
+			return fmt.Errorf("bad label %q", label)
+		}
+		if a.inData {
+			a.flushData()
+			a.dataName = label
+			return nil
+		}
+		if a.globals[label] {
+			a.b.Func(label)
+		} else {
+			a.b.Label(label)
+		}
+		return nil
+	}
+	fields := strings.SplitN(line, " ", 2)
+	mnem := strings.ToLower(fields[0])
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	if strings.HasPrefix(mnem, ".") {
+		return a.directive(mnem, rest)
+	}
+	if a.inData {
+		return fmt.Errorf("instruction %q in .data", mnem)
+	}
+	return a.inst(mnem, splitOperands(rest))
+}
+
+func splitOperands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !(r == '_' || r == '.' || r >= '0' && r <= '9' ||
+			r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z') {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) directive(d, rest string) error {
+	switch d {
+	case ".text":
+		a.inData = false
+	case ".data":
+		a.inData = true
+	case ".global", ".globl":
+		// Marks the named label as a function symbol (defined by the label
+		// itself, as in GNU as).
+		if !validIdent(rest) {
+			return fmt.Errorf("bad symbol %q", rest)
+		}
+		a.globals[rest] = true
+	case ".option":
+		parts := strings.Fields(rest)
+		if len(parts) != 2 {
+			return fmt.Errorf("usage: .option isa|compress value")
+		}
+		switch parts[0] {
+		case "isa":
+			isa, err := parseISA(parts[1])
+			if err != nil {
+				return err
+			}
+			a.isa = isa
+			a.b.ISA = isa
+		case "compress":
+			a.b.Compress = parts[1] == "on"
+		default:
+			return fmt.Errorf("unknown option %q", parts[0])
+		}
+	case ".dword":
+		if !a.inData || a.dataName == "" {
+			return fmt.Errorf(".dword needs a preceding data label")
+		}
+		for _, op := range splitOperands(rest) {
+			v, err := parseImm(op)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 8; i++ {
+				a.dataBuf = append(a.dataBuf, byte(uint64(v)>>(8*i)))
+			}
+		}
+	case ".double":
+		if !a.inData || a.dataName == "" {
+			return fmt.Errorf(".double needs a preceding data label")
+		}
+		for _, op := range splitOperands(rest) {
+			f, err := strconv.ParseFloat(op, 64)
+			if err != nil {
+				return err
+			}
+			bits := math.Float64bits(f)
+			for i := 0; i < 8; i++ {
+				a.dataBuf = append(a.dataBuf, byte(bits>>(8*i)))
+			}
+		}
+	case ".zero":
+		if !a.inData || a.dataName == "" {
+			return fmt.Errorf(".zero needs a preceding data label")
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad .zero size %q", rest)
+		}
+		a.dataBuf = append(a.dataBuf, make([]byte, n)...)
+	case ".space":
+		if a.inData {
+			return fmt.Errorf(".space belongs in .text")
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad .space size %q", rest)
+		}
+		a.b.Space(n)
+	default:
+		return fmt.Errorf("unknown directive %q", d)
+	}
+	return nil
+}
+
+func parseISA(s string) (riscv.Ext, error) {
+	switch strings.ToLower(s) {
+	case "rv64g":
+		return riscv.RV64G, nil
+	case "rv64gc":
+		return riscv.RV64GC, nil
+	case "rv64gcv":
+		return riscv.RV64GCV, nil
+	case "rv64gcb":
+		return riscv.RV64GC | riscv.ExtB, nil
+	case "rv64gcvb", "rv64gcbv":
+		return riscv.RV64GCV | riscv.ExtB, nil
+	}
+	return 0, fmt.Errorf("unknown isa %q", s)
+}
+
+var regByName = func() map[string]riscv.Reg {
+	m := map[string]riscv.Reg{}
+	for r := riscv.Reg(0); r < 32; r++ {
+		m[r.Name()] = r
+		m[fmt.Sprintf("x%d", r)] = r
+		m[fmt.Sprintf("f%d", r)] = r
+		m[fmt.Sprintf("v%d", r)] = r
+	}
+	m["fp"] = riscv.S0
+	// fp register ABI names
+	fnames := []string{"ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+		"fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+		"fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+		"fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11"}
+	for i, n := range fnames {
+		m[n] = riscv.Reg(i)
+	}
+	return m
+}()
+
+func parseReg(s string) (riscv.Reg, error) {
+	if r, ok := regByName[strings.ToLower(s)]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("unknown register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "imm(rs)" memory operands.
+func parseMem(s string) (int64, riscv.Reg, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off := int64(0)
+	if open > 0 {
+		v, err := parseImm(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	r, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, r, nil
+}
+
+// mnemonic tables for regular encodings.
+var rOps = map[string]riscv.Op{
+	"add": riscv.ADD, "sub": riscv.SUB, "sll": riscv.SLL, "slt": riscv.SLT,
+	"sltu": riscv.SLTU, "xor": riscv.XOR, "srl": riscv.SRL, "sra": riscv.SRA,
+	"or": riscv.OR, "and": riscv.AND, "addw": riscv.ADDW, "subw": riscv.SUBW,
+	"sllw": riscv.SLLW, "srlw": riscv.SRLW, "sraw": riscv.SRAW,
+	"mul": riscv.MUL, "mulh": riscv.MULH, "mulhsu": riscv.MULHSU, "mulhu": riscv.MULHU,
+	"div": riscv.DIV, "divu": riscv.DIVU, "rem": riscv.REM, "remu": riscv.REMU,
+	"mulw": riscv.MULW, "divw": riscv.DIVW, "divuw": riscv.DIVUW,
+	"remw": riscv.REMW, "remuw": riscv.REMUW,
+	"sh1add": riscv.SH1ADD, "sh2add": riscv.SH2ADD, "sh3add": riscv.SH3ADD,
+	"andn": riscv.ANDN, "orn": riscv.ORN, "xnor": riscv.XNOR,
+	"fadd.s": riscv.FADDS, "fsub.s": riscv.FSUBS, "fmul.s": riscv.FMULS, "fdiv.s": riscv.FDIVS,
+	"fadd.d": riscv.FADDD, "fsub.d": riscv.FSUBD, "fmul.d": riscv.FMULD, "fdiv.d": riscv.FDIVD,
+	"fsgnj.s": riscv.FSGNJS, "fsgnj.d": riscv.FSGNJD,
+	"feq.d": riscv.FEQD, "flt.d": riscv.FLTD, "fle.d": riscv.FLED,
+}
+
+var iOps = map[string]riscv.Op{
+	"addi": riscv.ADDI, "slti": riscv.SLTI, "sltiu": riscv.SLTIU,
+	"xori": riscv.XORI, "ori": riscv.ORI, "andi": riscv.ANDI,
+	"slli": riscv.SLLI, "srli": riscv.SRLI, "srai": riscv.SRAI,
+	"addiw": riscv.ADDIW, "slliw": riscv.SLLIW, "srliw": riscv.SRLIW, "sraiw": riscv.SRAIW,
+}
+
+var loadOps = map[string]riscv.Op{
+	"lb": riscv.LB, "lh": riscv.LH, "lw": riscv.LW, "ld": riscv.LD,
+	"lbu": riscv.LBU, "lhu": riscv.LHU, "lwu": riscv.LWU,
+	"flw": riscv.FLW, "fld": riscv.FLD,
+}
+
+var storeOps = map[string]riscv.Op{
+	"sb": riscv.SB, "sh": riscv.SH, "sw": riscv.SW, "sd": riscv.SD,
+	"fsw": riscv.FSW, "fsd": riscv.FSD,
+}
+
+var branchOps = map[string]riscv.Op{
+	"beq": riscv.BEQ, "bne": riscv.BNE, "blt": riscv.BLT,
+	"bge": riscv.BGE, "bltu": riscv.BLTU, "bgeu": riscv.BGEU,
+}
+
+var cvtOps = map[string]riscv.Op{
+	"fcvt.s.l": riscv.FCVTSL, "fcvt.d.l": riscv.FCVTDL, "fcvt.l.d": riscv.FCVTLD,
+	"fmv.x.d": riscv.FMVXD, "fmv.d.x": riscv.FMVDX,
+	"fmv.x.w": riscv.FMVXW, "fmv.w.x": riscv.FMVWX,
+}
+
+var vArith = map[string]riscv.Op{
+	"vadd.vv": riscv.VADDVV, "vmul.vv": riscv.VMULVV,
+	"vfadd.vv": riscv.VFADDVV, "vfmul.vv": riscv.VFMULVV, "vfmacc.vv": riscv.VFMACCVV,
+	"vfredusum.vs": riscv.VFREDUSUMVS,
+}
+
+func (a *assembler) inst(mnem string, ops []string) (retErr error) {
+	b := a.b
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+	r := func(i int) riscv.Reg {
+		reg, err := parseReg(ops[i])
+		if err != nil {
+			panic(err)
+		}
+		return reg
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			if e, ok := p.(error); ok {
+				retErr = e
+				return
+			}
+			panic(p)
+		}
+	}()
+
+	switch {
+	case mnem == "nop" && len(ops) == 0:
+		b.Nop()
+	case mnem == "ret" && len(ops) == 0:
+		b.Ret()
+	case mnem == "ecall" && len(ops) == 0:
+		b.Ecall()
+	case mnem == "ebreak" && len(ops) == 0:
+		b.Ebreak()
+	case mnem == "li":
+		if err := need(2); err != nil {
+			return err
+		}
+		v, err := parseImm(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Li(r(0), v)
+	case mnem == "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		b.La(r(0), ops[1])
+	case mnem == "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		b.Mv(r(0), r(1))
+	case mnem == "j":
+		if err := need(1); err != nil {
+			return err
+		}
+		b.J(ops[0])
+	case mnem == "jr":
+		if err := need(1); err != nil {
+			return err
+		}
+		b.Jr(r(0))
+	case mnem == "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		b.Call(ops[0])
+	case mnem == "beqz":
+		if err := need(2); err != nil {
+			return err
+		}
+		b.Beq(r(0), riscv.Zero, ops[1])
+	case mnem == "bnez":
+		if err := need(2); err != nil {
+			return err
+		}
+		b.Bne(r(0), riscv.Zero, ops[1])
+	case mnem == "jalr":
+		if err := need(2); err != nil {
+			return err
+		}
+		off, base, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		b.I(riscv.Inst{Op: riscv.JALR, Rd: r(0), Rs1: base, Imm: off})
+	case rOps[mnem] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		b.Op(rOps[mnem], r(0), r(1), r(2))
+	case iOps[mnem] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		v, err := parseImm(ops[2])
+		if err != nil {
+			return err
+		}
+		b.Imm(iOps[mnem], r(0), r(1), v)
+	case loadOps[mnem] != 0:
+		if err := need(2); err != nil {
+			return err
+		}
+		off, base, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Load(loadOps[mnem], r(0), base, off)
+	case storeOps[mnem] != 0:
+		if err := need(2); err != nil {
+			return err
+		}
+		off, base, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Store(storeOps[mnem], r(0), base, off)
+	case branchOps[mnem] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		b.Branch(branchOps[mnem], r(0), r(1), ops[2])
+	case cvtOps[mnem] != 0:
+		if err := need(2); err != nil {
+			return err
+		}
+		b.I(riscv.Inst{Op: cvtOps[mnem], Rd: r(0), Rs1: r(1)})
+	case mnem == "fmadd.d" || mnem == "fmadd.s":
+		if err := need(4); err != nil {
+			return err
+		}
+		op := riscv.FMADDD
+		if mnem == "fmadd.s" {
+			op = riscv.FMADDS
+		}
+		b.I(riscv.Inst{Op: op, Rd: r(0), Rs1: r(1), Rs2: r(2), Rs3: r(3)})
+	case mnem == "vsetvli":
+		// vsetvli rd, rs1, e{32,64}
+		if err := need(3); err != nil {
+			return err
+		}
+		var sew riscv.SEW
+		switch strings.ToLower(ops[2]) {
+		case "e32", "e32,m1":
+			sew = riscv.E32
+		case "e64", "e64,m1":
+			sew = riscv.E64
+		default:
+			return fmt.Errorf("unsupported vtype %q", ops[2])
+		}
+		b.I(riscv.Inst{Op: riscv.VSETVLI, Rd: r(0), Rs1: r(1), Imm: riscv.VType(sew)})
+	case mnem == "vle32.v" || mnem == "vle64.v" || mnem == "vse32.v" || mnem == "vse64.v":
+		if err := need(2); err != nil {
+			return err
+		}
+		off, base, err := parseMem(ops[1])
+		if err != nil || off != 0 {
+			return fmt.Errorf("vector memory ops take (rs1) with no offset")
+		}
+		op := map[string]riscv.Op{
+			"vle32.v": riscv.VLE32V, "vle64.v": riscv.VLE64V,
+			"vse32.v": riscv.VSE32V, "vse64.v": riscv.VSE64V,
+		}[mnem]
+		b.I(riscv.Inst{Op: op, Rd: r(0), Rs1: base})
+	case vArith[mnem] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		// vop vd, vs2, vs1 (standard RVV operand order)
+		b.I(riscv.Inst{Op: vArith[mnem], Rd: r(0), Rs2: r(1), Rs1: r(2)})
+	case mnem == "vmv.v.i":
+		if err := need(2); err != nil {
+			return err
+		}
+		v, err := parseImm(ops[1])
+		if err != nil {
+			return err
+		}
+		b.I(riscv.Inst{Op: riscv.VMVVI, Rd: r(0), Imm: v})
+	case mnem == "vfmacc.vf":
+		if err := need(3); err != nil {
+			return err
+		}
+		// vfmacc.vf vd, rs1(f), vs2
+		b.I(riscv.Inst{Op: riscv.VFMACCVF, Rd: r(0), Rs1: r(1), Rs2: r(2)})
+	case mnem == "vfmv.f.s":
+		if err := need(2); err != nil {
+			return err
+		}
+		b.I(riscv.Inst{Op: riscv.VFMVFS, Rd: r(0), Rs2: r(1)})
+	case mnem == "vfmv.v.f":
+		if err := need(2); err != nil {
+			return err
+		}
+		b.I(riscv.Inst{Op: riscv.VFMVVF, Rd: r(0), Rs1: r(1)})
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	return retErr
+}

@@ -1,0 +1,138 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/emu"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+const dotSource = `
+# dot product of two arrays, result (as int) in a0
+.option isa rv64gcv
+.option compress on
+
+.data
+vecA:
+    .double 1.0, 2.0, 3.0, 4.0
+vecB:
+    .double 2.0, 2.0, 2.0, 2.0
+scratch:
+    .zero 64
+
+.text
+.global main
+main:
+    la   a0, vecA
+    la   a1, vecB
+    li   a2, 4
+    fcvt.d.l fa0, zero
+    call dot
+    fcvt.l.d a0, fa0
+    ecall
+
+.global dot
+dot:
+    fld  ft0, 0(a0)
+    fld  ft1, 0(a1)
+    fmadd.d fa0, ft0, ft1, fa0
+    addi a0, a0, 8
+    addi a1, a1, 8
+    addi a2, a2, -1
+    bnez a2, dot
+    ret
+`
+
+func TestAssembleDot(t *testing.T) {
+	img, err := Assemble(dotSource, "dot", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := emu.NewMemory()
+	mem.MapImage(img)
+	cpu := emu.NewCPU(mem, img.ISA)
+	cpu.Reset(img)
+	stop := cpu.Run(100000)
+	if stop.Kind != emu.StopEcall {
+		t.Fatalf("stop %+v", stop)
+	}
+	if got := int64(cpu.X[riscv.A0]); got != 20 {
+		t.Errorf("dot = %d, want 20", got)
+	}
+}
+
+func TestAssembleVector(t *testing.T) {
+	src := `
+.option isa rv64gcv
+.data
+vals:
+    .dword 1, 2, 3, 4
+out:
+    .zero 32
+.text
+.global main
+main:
+    la a1, vals
+    la a2, out
+    li a3, 4
+    vsetvli t0, a3, e64
+    vle64.v v1, (a1)
+    vadd.vv v2, v1, v1
+    vse64.v v2, (a2)
+    ld a0, 24(a2)
+    ecall
+`
+	img, err := Assemble(src, "v", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := emu.NewMemory()
+	mem.MapImage(img)
+	cpu := emu.NewCPU(mem, img.ISA)
+	cpu.Reset(img)
+	if stop := cpu.Run(1000); stop.Kind != emu.StopEcall {
+		t.Fatalf("stop %+v", stop)
+	}
+	if cpu.X[riscv.A0] != 8 {
+		t.Errorf("a0 = %d, want 8", cpu.X[riscv.A0])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown mnemonic", ".text\n.global main\nmain:\n frobnicate a0\n"},
+		{"bad register", ".text\n.global main\nmain:\n addi q7, a0, 1\n"},
+		{"bad directive", ".frob 12\n"},
+		{"inst in data", ".data\n addi a0, a0, 1\n"},
+		{"dword without label", ".data\n.dword 5\n"},
+		{"vector in rv64gc", ".text\n.global main\nmain:\n vadd.vv v1, v2, v3\n ecall\n"},
+		{"bad label", "1bad!label:\n"},
+		{"bad imm", ".text\n.global main\nmain:\n addi a0, a0, zzz\n"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src, "t", "main"); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestAssembleSpace(t *testing.T) {
+	src := ".text\n.global main\nmain:\n li a0, 1\n ecall\n.space 8192\n"
+	img, err := Assemble(src, "t", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.CodeSize() < 8192 {
+		t.Errorf("code size %d, want >= 8192", img.CodeSize())
+	}
+}
+
+func TestAssembleErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble(".text\n.global main\nmain:\n nop\n bogus a0\n", "t", "main")
+	if err == nil || !strings.Contains(err.Error(), "line 5") {
+		t.Errorf("error should name line 5: %v", err)
+	}
+}

@@ -1,0 +1,393 @@
+// Package asm builds executable images programmatically (Builder) and from
+// assembler text (Assemble). It is the stand-in for the paper's compiler
+// toolchain: workload generators use it to produce the original binaries
+// that Chimera then rewrites.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+type fixupKind uint8
+
+const (
+	fixBranch fixupKind = iota // conditional branch to label
+	fixJal                     // jal to label
+	fixCall                    // auipc+jalr pair to label
+	fixLa                      // auipc+addi pair to any symbol
+)
+
+type fixup struct {
+	off   uint64 // text offset of the (first) instruction
+	label string
+	kind  fixupKind
+	inst  riscv.Inst
+}
+
+type dataItem struct {
+	name string
+	data []byte
+	// align is the required alignment of the item start.
+	align uint64
+}
+
+// Builder assembles one image. Methods record the first error encountered;
+// Build reports it. This keeps straight-line emission code readable.
+type Builder struct {
+	// ISA declares the extension set instructions may come from. Emitting an
+	// instruction outside the set is an error: it catches workload bugs where
+	// a "base version" binary accidentally contains vector instructions.
+	ISA riscv.Ext
+	// Compress, when the ISA includes C, emits 2-byte encodings for eligible
+	// non-control instructions.
+	Compress bool
+
+	text   []byte
+	labels map[string]uint64
+	fixups []fixup
+	syms   []obj.Symbol // function symbols, addr = text offset until Build
+
+	rodata []dataItem
+	data   []dataItem
+	err    error
+}
+
+// NewBuilder returns a Builder targeting the given extension set.
+func NewBuilder(isa riscv.Ext) *Builder {
+	return &Builder{ISA: isa, labels: make(map[string]uint64)}
+}
+
+func (b *Builder) setErr(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// PC returns the current text offset (not yet relocated to TextBase).
+func (b *Builder) PC() uint64 { return uint64(len(b.text)) }
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.setErr(fmt.Errorf("asm: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = b.PC()
+}
+
+// Func defines a label and records a function symbol, seeding recursive
+// disassembly.
+func (b *Builder) Func(name string) {
+	b.Label(name)
+	b.syms = append(b.syms, obj.Symbol{Name: name, Addr: b.PC(), Kind: obj.SymFunc})
+}
+
+// I emits one instruction.
+func (b *Builder) I(inst riscv.Inst) {
+	if ext := inst.Extension(); !b.ISA.Has(ext) {
+		b.setErr(fmt.Errorf("asm: %s requires extension %v not in target ISA %v",
+			inst, ext, b.ISA))
+		return
+	}
+	if b.Compress && b.ISA.Has(riscv.ExtC) && !inst.IsControl() {
+		if p, err := riscv.EncodeCompressed(inst); err == nil {
+			b.text = binary.LittleEndian.AppendUint16(b.text, p)
+			return
+		}
+	}
+	w, err := riscv.Encode(inst)
+	if err != nil {
+		b.setErr(err)
+		return
+	}
+	b.text = binary.LittleEndian.AppendUint32(b.text, w)
+}
+
+// Raw emits a raw 32-bit word (used by tests to plant specific encodings).
+func (b *Builder) Raw(w uint32) { b.text = binary.LittleEndian.AppendUint32(b.text, w) }
+
+// Op is shorthand for I with an R-type register instruction.
+func (b *Builder) Op(op riscv.Op, rd, rs1, rs2 riscv.Reg) {
+	b.I(riscv.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Imm is shorthand for I with an immediate instruction.
+func (b *Builder) Imm(op riscv.Op, rd, rs1 riscv.Reg, imm int64) {
+	b.I(riscv.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Load emits a load of the given width.
+func (b *Builder) Load(op riscv.Op, rd, base riscv.Reg, off int64) {
+	b.I(riscv.Inst{Op: op, Rd: rd, Rs1: base, Imm: off})
+}
+
+// Store emits a store of the given width.
+func (b *Builder) Store(op riscv.Op, src, base riscv.Reg, off int64) {
+	b.I(riscv.Inst{Op: op, Rs1: base, Rs2: src, Imm: off})
+}
+
+// Nop emits a canonical 4-byte nop (addi x0, x0, 0), never compressed. Use
+// CNop for the 2-byte form.
+func (b *Builder) Nop() {
+	w := riscv.MustEncode(riscv.Inst{Op: riscv.ADDI})
+	b.text = binary.LittleEndian.AppendUint32(b.text, w)
+}
+
+// CNop emits a 2-byte compressed nop.
+func (b *Builder) CNop() {
+	if !b.ISA.Has(riscv.ExtC) {
+		b.setErr(fmt.Errorf("asm: c.nop requires the C extension"))
+		return
+	}
+	b.text = binary.LittleEndian.AppendUint16(b.text, riscv.CNop)
+}
+
+// Space reserves n bytes of zero-filled text. Real binaries carry such
+// regions (cold code, literal pools, padding); recursive disassembly never
+// enters them, and they make code sections as large as the paper's >1MB
+// benchmark binaries without inflating the hot instruction count.
+func (b *Builder) Space(n int) {
+	b.text = append(b.text, make([]byte, n)...)
+}
+
+// Align pads the text with nops to the given power-of-two alignment.
+func (b *Builder) Align(n uint64) {
+	for b.PC()%n != 0 {
+		if b.PC()%4 != 0 && b.ISA.Has(riscv.ExtC) {
+			b.CNop()
+		} else {
+			b.Nop()
+		}
+	}
+}
+
+// Li loads an arbitrary 64-bit constant into rd using lui/addi/slli
+// sequences, choosing the shortest form for small values.
+func (b *Builder) Li(rd riscv.Reg, v int64) {
+	switch {
+	case v >= -2048 && v < 2048:
+		b.Imm(riscv.ADDI, rd, riscv.Zero, v)
+	case v >= -(1<<31) && v < 1<<31-1<<11:
+		hi := (v + 0x800) >> 12
+		lo := v - hi<<12
+		b.I(riscv.Inst{Op: riscv.LUI, Rd: rd, Imm: hi})
+		b.Imm(riscv.ADDIW, rd, rd, lo)
+	default:
+		// Standard RV64 materialization: peel the low 12 bits, build the rest
+		// recursively, shift it up, then add the low part back.
+		lo := v << 52 >> 52
+		hi := (v - lo) >> 12
+		b.Li(rd, hi)
+		b.Imm(riscv.SLLI, rd, rd, 12)
+		if lo != 0 {
+			b.Imm(riscv.ADDI, rd, rd, lo)
+		}
+	}
+}
+
+// Mv copies rs into rd.
+func (b *Builder) Mv(rd, rs riscv.Reg) { b.Op(riscv.ADD, rd, riscv.Zero, rs) }
+
+// Branch emits a conditional branch to a label.
+func (b *Builder) Branch(op riscv.Op, rs1, rs2 riscv.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{off: b.PC(), label: label, kind: fixBranch,
+		inst: riscv.Inst{Op: op, Rs1: rs1, Rs2: rs2}})
+	b.Raw(0)
+}
+
+// Beq and friends emit conditional branches to labels.
+func (b *Builder) Beq(rs1, rs2 riscv.Reg, label string)  { b.Branch(riscv.BEQ, rs1, rs2, label) }
+func (b *Builder) Bne(rs1, rs2 riscv.Reg, label string)  { b.Branch(riscv.BNE, rs1, rs2, label) }
+func (b *Builder) Blt(rs1, rs2 riscv.Reg, label string)  { b.Branch(riscv.BLT, rs1, rs2, label) }
+func (b *Builder) Bge(rs1, rs2 riscv.Reg, label string)  { b.Branch(riscv.BGE, rs1, rs2, label) }
+func (b *Builder) Bltu(rs1, rs2 riscv.Reg, label string) { b.Branch(riscv.BLTU, rs1, rs2, label) }
+func (b *Builder) Bgeu(rs1, rs2 riscv.Reg, label string) { b.Branch(riscv.BGEU, rs1, rs2, label) }
+
+// J emits an unconditional jump to a label.
+func (b *Builder) J(label string) {
+	b.fixups = append(b.fixups, fixup{off: b.PC(), label: label, kind: fixJal,
+		inst: riscv.Inst{Op: riscv.JAL, Rd: riscv.Zero}})
+	b.Raw(0)
+}
+
+// Call emits a range-independent call (auipc ra / jalr ra) to a label.
+func (b *Builder) Call(label string) {
+	b.fixups = append(b.fixups, fixup{off: b.PC(), label: label, kind: fixCall})
+	b.Raw(0)
+	b.Raw(0)
+}
+
+// Ret returns via ra.
+func (b *Builder) Ret() { b.I(riscv.Inst{Op: riscv.JALR, Rd: riscv.Zero, Rs1: riscv.RA}) }
+
+// Jr jumps indirectly through rs.
+func (b *Builder) Jr(rs riscv.Reg) { b.I(riscv.Inst{Op: riscv.JALR, Rd: riscv.Zero, Rs1: rs}) }
+
+// Ecall emits an environment call.
+func (b *Builder) Ecall() { b.I(riscv.Inst{Op: riscv.ECALL}) }
+
+// Ebreak emits a breakpoint.
+func (b *Builder) Ebreak() { b.I(riscv.Inst{Op: riscv.EBREAK}) }
+
+// La loads the absolute address of a symbol or label using a pc-relative
+// auipc/addi pair.
+func (b *Builder) La(rd riscv.Reg, symbol string) {
+	b.fixups = append(b.fixups, fixup{off: b.PC(), label: symbol, kind: fixLa,
+		inst: riscv.Inst{Rd: rd}})
+	b.Raw(0)
+	b.Raw(0)
+}
+
+// Rodata places bytes in .rodata under the given symbol name.
+func (b *Builder) Rodata(name string, data []byte) {
+	b.rodata = append(b.rodata, dataItem{name: name, data: data, align: 8})
+}
+
+// Data places bytes in .data under the given symbol name.
+func (b *Builder) Data(name string, data []byte) {
+	b.data = append(b.data, dataItem{name: name, data: data, align: 8})
+}
+
+// Zero reserves n zeroed bytes in .data.
+func (b *Builder) Zero(name string, n int) {
+	b.data = append(b.data, dataItem{name: name, data: make([]byte, n), align: 16})
+}
+
+// DataF64 places float64 values in .data.
+func (b *Builder) DataF64(name string, vals []float64) {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	b.Data(name, buf)
+}
+
+// DataI64 places int64 values in .data.
+func (b *Builder) DataI64(name string, vals []int64) {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+	}
+	b.Data(name, buf)
+}
+
+// Build lays out the image, resolves fixups and returns the final binary.
+func (b *Builder) Build(name, entry string) (*obj.Image, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	textAddr := obj.TextBase
+	rodataAddr := obj.AlignUp(textAddr+uint64(len(b.text)), obj.PageSize)
+	layout := func(items []dataItem, base uint64) (map[string]uint64, []byte) {
+		addrs := make(map[string]uint64, len(items))
+		var blob []byte
+		for _, it := range items {
+			pad := int(obj.AlignUp(base+uint64(len(blob)), it.align) - (base + uint64(len(blob))))
+			blob = append(blob, make([]byte, pad)...)
+			addrs[it.name] = base + uint64(len(blob))
+			blob = append(blob, it.data...)
+		}
+		return addrs, blob
+	}
+	roAddrs, roBlob := layout(b.rodata, rodataAddr)
+	dataAddr := obj.AlignUp(rodataAddr+uint64(len(roBlob))+1, obj.PageSize)
+	dAddrs, dBlob := layout(b.data, dataAddr)
+	sdataAddr := obj.AlignUp(dataAddr+uint64(len(dBlob))+1, obj.PageSize)
+
+	resolve := func(sym string) (uint64, bool) {
+		if off, ok := b.labels[sym]; ok {
+			return textAddr + off, true
+		}
+		if a, ok := roAddrs[sym]; ok {
+			return a, true
+		}
+		if a, ok := dAddrs[sym]; ok {
+			return a, true
+		}
+		return 0, false
+	}
+
+	for _, f := range b.fixups {
+		target, ok := resolve(f.label)
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined symbol %q", f.label)
+		}
+		pc := textAddr + f.off
+		delta := int64(target) - int64(pc)
+		switch f.kind {
+		case fixBranch:
+			inst := f.inst
+			inst.Imm = delta
+			w, err := riscv.Encode(inst)
+			if err != nil {
+				return nil, fmt.Errorf("asm: branch to %q at %#x: %w", f.label, pc, err)
+			}
+			binary.LittleEndian.PutUint32(b.text[f.off:], w)
+		case fixJal:
+			inst := f.inst
+			inst.Imm = delta
+			w, err := riscv.Encode(inst)
+			if err != nil {
+				return nil, fmt.Errorf("asm: jump to %q at %#x: %w", f.label, pc, err)
+			}
+			binary.LittleEndian.PutUint32(b.text[f.off:], w)
+		case fixCall, fixLa:
+			rd := riscv.RA
+			second := riscv.JALR
+			if f.kind == fixLa {
+				rd = f.inst.Rd
+				second = riscv.ADDI
+			}
+			hi := (delta + 0x800) >> 12
+			lo := delta - hi<<12
+			if hi < -(1<<19) || hi >= 1<<19 {
+				return nil, fmt.Errorf("asm: %q out of ±2GB range from %#x", f.label, pc)
+			}
+			w1 := riscv.MustEncode(riscv.Inst{Op: riscv.AUIPC, Rd: rd, Imm: hi})
+			w2 := riscv.MustEncode(riscv.Inst{Op: second, Rd: rd, Rs1: rd, Imm: lo})
+			binary.LittleEndian.PutUint32(b.text[f.off:], w1)
+			binary.LittleEndian.PutUint32(b.text[f.off+4:], w2)
+		}
+	}
+
+	entryOff, ok := b.labels[entry]
+	if !ok {
+		return nil, fmt.Errorf("asm: undefined entry symbol %q", entry)
+	}
+
+	img := &obj.Image{
+		Name:  name,
+		Entry: textAddr + entryOff,
+		GP:    sdataAddr + obj.GPOffset,
+		ISA:   b.ISA,
+	}
+	img.AddSection(&obj.Section{Name: obj.SecText, Addr: textAddr, Data: b.text, Perm: obj.PermRX})
+	if len(roBlob) > 0 {
+		img.AddSection(&obj.Section{Name: obj.SecRodata, Addr: rodataAddr, Data: roBlob, Perm: obj.PermR})
+	}
+	if len(dBlob) > 0 {
+		img.AddSection(&obj.Section{Name: obj.SecData, Addr: dataAddr, Data: dBlob, Perm: obj.PermRW})
+	}
+	// .sdata always exists: it anchors gp.
+	img.AddSection(&obj.Section{Name: obj.SecSData, Addr: sdataAddr, Data: make([]byte, obj.PageSize), Perm: obj.PermRW})
+
+	for _, sym := range b.syms {
+		sym.Addr += textAddr
+		img.Symbols = append(img.Symbols, sym)
+	}
+	for name, addr := range roAddrs {
+		img.Symbols = append(img.Symbols, obj.Symbol{Name: name, Addr: addr, Kind: obj.SymObject})
+	}
+	for name, addr := range dAddrs {
+		img.Symbols = append(img.Symbols, obj.Symbol{Name: name, Addr: addr, Kind: obj.SymObject})
+	}
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}

@@ -1,0 +1,191 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/emu"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// runToEcall builds the image, loads it on a hart and runs until the first
+// ecall, returning the CPU for register inspection.
+func runToEcall(t *testing.T, b *Builder, entry string) *emu.CPU {
+	t.Helper()
+	img, err := b.Build("test", entry)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	mem := emu.NewMemory()
+	mem.MapImage(img)
+	cpu := emu.NewCPU(mem, img.ISA)
+	cpu.Reset(img)
+	stop := cpu.Run(2_000_000)
+	if stop.Kind != emu.StopEcall {
+		t.Fatalf("program did not reach ecall: stop=%+v last=%v pc=%#x", stop, cpu.LastInst, cpu.PC)
+	}
+	return cpu
+}
+
+func TestBuilderFib(t *testing.T) {
+	b := NewBuilder(riscv.RV64GC)
+	b.Func("main")
+	b.Li(riscv.A0, 15)
+	b.Call("fib")
+	b.Ecall() // result in a0
+
+	// Iterative Fibonacci.
+	b.Func("fib")
+	b.Li(riscv.T0, 0) // f(0)
+	b.Li(riscv.T1, 1) // f(1)
+	b.Label("loop")
+	b.Beq(riscv.A0, riscv.Zero, "done")
+	b.Op(riscv.ADD, riscv.T2, riscv.T0, riscv.T1)
+	b.Mv(riscv.T0, riscv.T1)
+	b.Mv(riscv.T1, riscv.T2)
+	b.Imm(riscv.ADDI, riscv.A0, riscv.A0, -1)
+	b.J("loop")
+	b.Label("done")
+	b.Mv(riscv.A0, riscv.T0)
+	b.Ret()
+
+	cpu := runToEcall(t, b, "main")
+	if got := cpu.X[riscv.A0]; got != 610 {
+		t.Errorf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestBuilderLiExhaustive(t *testing.T) {
+	vals := []int64{0, 1, -1, 2047, -2048, 2048, -2049, 1 << 20, -(1 << 20),
+		0x7FFFF7FF, 0x7FFFF800, 0x7FFFFFFF, -0x80000000, 1 << 40, -(1 << 40),
+		0x123456789ABCDEF0, -0x123456789ABCDEF0, int64(^uint64(0) >> 1), -1 << 63}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		vals = append(vals, rng.Int63()-rng.Int63())
+	}
+	for _, v := range vals {
+		b := NewBuilder(riscv.RV64GC)
+		b.Func("main")
+		b.Li(riscv.A0, v)
+		b.Ecall()
+		cpu := runToEcall(t, b, "main")
+		if got := int64(cpu.X[riscv.A0]); got != v {
+			t.Fatalf("Li(%#x) materialized %#x", v, got)
+		}
+	}
+}
+
+func TestBuilderLaAndData(t *testing.T) {
+	b := NewBuilder(riscv.RV64GC)
+	b.DataI64("nums", []int64{11, 22, 33})
+	b.Func("main")
+	b.La(riscv.A1, "nums")
+	b.Load(riscv.LD, riscv.A0, riscv.A1, 16)
+	b.Ecall()
+	cpu := runToEcall(t, b, "main")
+	if got := cpu.X[riscv.A0]; got != 33 {
+		t.Errorf("loaded %d, want 33", got)
+	}
+}
+
+func TestBuilderCompressedEmission(t *testing.T) {
+	plain := NewBuilder(riscv.RV64GC)
+	comp := NewBuilder(riscv.RV64GC)
+	comp.Compress = true
+	emit := func(b *Builder) {
+		b.Func("main")
+		for i := 0; i < 20; i++ {
+			b.Imm(riscv.ADDI, riscv.A0, riscv.A0, 1)
+		}
+		b.Ecall()
+	}
+	emit(plain)
+	emit(comp)
+	pi, err := plain.Build("p", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := comp.Build("c", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ci.Text().Data) >= len(pi.Text().Data) {
+		t.Errorf("compressed text (%d bytes) not smaller than plain (%d bytes)",
+			len(ci.Text().Data), len(pi.Text().Data))
+	}
+	// Both must compute the same result.
+	for _, img := range []*obj.Image{pi, ci} {
+		mem := emu.NewMemory()
+		mem.MapImage(img)
+		cpu := emu.NewCPU(mem, img.ISA)
+		cpu.Reset(img)
+		if stop := cpu.Run(1000); stop.Kind != emu.StopEcall {
+			t.Fatalf("%s: %+v", img.Name, stop)
+		} else if cpu.X[riscv.A0] != 20 {
+			t.Errorf("%s: a0 = %d, want 20", img.Name, cpu.X[riscv.A0])
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(riscv.RV64GC) // no V extension
+	b.Func("main")
+	b.I(riscv.Inst{Op: riscv.VADDVV, Rd: 1, Rs1: 2, Rs2: 3})
+	if _, err := b.Build("t", "main"); err == nil {
+		t.Error("vector instruction accepted into an rv64gc binary")
+	}
+
+	b2 := NewBuilder(riscv.RV64GC)
+	b2.Func("main")
+	b2.J("nowhere")
+	if _, err := b2.Build("t", "main"); err == nil {
+		t.Error("undefined label accepted")
+	}
+
+	b3 := NewBuilder(riscv.RV64GC)
+	b3.Label("dup")
+	b3.Label("dup")
+	b3.Func("main")
+	if _, err := b3.Build("t", "main"); err == nil {
+		t.Error("duplicate label accepted")
+	}
+
+	b4 := NewBuilder(riscv.RV64GC)
+	b4.Func("main")
+	if _, err := b4.Build("t", "missing"); err == nil {
+		t.Error("missing entry accepted")
+	}
+}
+
+func TestBuilderCallFar(t *testing.T) {
+	// Call must work across a large text section (beyond jal's ±1MB).
+	b := NewBuilder(riscv.RV64GC)
+	b.Func("main")
+	b.Call("far")
+	b.Ecall()
+	for i := 0; i < 300_000; i++ { // ~1.2MB of nops
+		b.Nop()
+	}
+	b.Func("far")
+	b.Li(riscv.A0, 77)
+	b.Ret()
+	cpu := runToEcall(t, b, "main")
+	if cpu.X[riscv.A0] != 77 {
+		t.Errorf("far call result %d, want 77", cpu.X[riscv.A0])
+	}
+}
+
+func TestAlign(t *testing.T) {
+	b := NewBuilder(riscv.RV64GC)
+	b.Func("main")
+	b.Nop()
+	b.Align(16)
+	if b.PC()%16 != 0 {
+		t.Errorf("PC %% 16 = %d after Align(16)", b.PC()%16)
+	}
+	b.Ecall()
+	if _, err := b.Build("t", "main"); err != nil {
+		t.Fatal(err)
+	}
+}

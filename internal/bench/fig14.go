@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/eurosys26p57/chimera/internal/heterosys"
+	"github.com/eurosys26p57/chimera/internal/kernel"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/workload"
+)
+
+// Fig14Config sizes the §6.4 real-world (OpenBLAS) experiment.
+type Fig14Config struct {
+	// N is the square problem size of the kernels.
+	N int64
+	// Threads axis (each thread is one row-slice task).
+	Threads []int
+	// BaseCores/ExtCores of the machine; threads are confined to
+	// threads/2 cores of each class, like the paper's setup.
+	BaseCores, ExtCores int
+	// SyncCyclesPerThread models the thread synchronization overhead that
+	// dominates at high thread counts (§6.4's scalability drop).
+	SyncCyclesPerThread uint64
+}
+
+// DefaultFig14 mirrors the Banana Pi setup.
+func DefaultFig14() Fig14Config {
+	return Fig14Config{
+		N: 48, Threads: []int{2, 4, 6, 8},
+		BaseCores: 4, ExtCores: 4,
+		SyncCyclesPerThread: 2_000,
+	}
+}
+
+// ScalabilityFig14 mirrors the SOPHGO SG2042 (64-core) sgemm run.
+func ScalabilityFig14() Fig14Config {
+	return Fig14Config{
+		N: 96, Threads: []int{16, 24, 32, 40, 48, 56, 64},
+		BaseCores: 32, ExtCores: 32,
+		SyncCyclesPerThread: 30_000,
+	}
+}
+
+// Fig14Systems are the compared configurations: FAM running the extension
+// binary (ext cores only), FAM running the base binary, MELF, and Chimera.
+var Fig14Systems = []string{"fam-ext", "fam-base", "melf", "chimera"}
+
+// Fig14Row is one kernel's acceleration-ratio series.
+type Fig14Row struct {
+	Kernel  workload.BLASKind
+	Threads []int
+	// Latency[system][i] is the makespan for Threads[i].
+	Latency map[string][]uint64
+	// Ratio[system][i] is the acceleration ratio relative to fam-ext at the
+	// same thread count (the paper's y axis).
+	Ratio map[string][]float64
+}
+
+// Fig14Kernel measures one BLAS kernel across systems and thread counts.
+func Fig14Kernel(cfg Fig14Config, kind workload.BLASKind) (*Fig14Row, error) {
+	row := &Fig14Row{
+		Kernel:  kind,
+		Threads: cfg.Threads,
+		Latency: make(map[string][]uint64),
+		Ratio:   make(map[string][]float64),
+	}
+	for _, threads := range cfg.Threads {
+		// Split the rows into 3 slices per thread: OpenBLAS-style dynamic
+		// load balancing, letting fast cores take more work.
+		type slicePair struct{ base, ext *obj.Image }
+		rows := int64(cfg.N)
+		chunk := rows / int64(3*threads)
+		if chunk == 0 {
+			chunk = 1
+		}
+		var pairs []slicePair
+		for r0 := int64(0); r0 < rows; r0 += chunk {
+			r1 := r0 + chunk
+			if r1 > rows {
+				r1 = rows
+			}
+			base, ext, err := workload.BLASPair(kind, cfg.N, r0, r1)
+			if err != nil {
+				return nil, err
+			}
+			pairs = append(pairs, slicePair{base, ext})
+		}
+
+		for _, sys := range Fig14Systems {
+			// The paper confines a T-thread workload to T/2 base plus T/2
+			// extension cores (§6.4).
+			half := (threads + 1) / 2
+			if half > cfg.BaseCores {
+				half = cfg.BaseCores
+			}
+			m := kernel.NewMachine(half, half)
+			s := kernel.NewScheduler(m)
+			for _, p := range pairs {
+				var pr *heterosys.Prepared
+				var err error
+				var needsExt bool
+				switch sys {
+				case "fam-ext":
+					pr, err = heterosys.Prepare(heterosys.FAM, p.base, p.ext, true)
+					needsExt = true
+				case "fam-base":
+					pr, err = heterosys.Prepare(heterosys.FAM, p.base, p.ext, false)
+					needsExt = false
+				case "melf":
+					pr, err = heterosys.Prepare(heterosys.MELF, p.base, p.ext, true)
+					needsExt = true
+				case "chimera":
+					pr, err = heterosys.Prepare(heterosys.Chimera, p.base, p.ext, true)
+					needsExt = true
+				}
+				if err != nil {
+					return nil, fmt.Errorf("fig14 %s %s: %w", kind, sys, err)
+				}
+				task, err := pr.NewTask(string(kind), needsExt)
+				if err != nil {
+					return nil, err
+				}
+				if sys == "fam-ext" {
+					// §6.4: FAM Ext uses only the extension cores and leaves
+					// the base cores idle.
+					task.Pinned = true
+				}
+				s.Submit(task)
+			}
+			out, err := s.Run()
+			if err != nil {
+				return nil, fmt.Errorf("fig14 %s %s t=%d: %w", kind, sys, threads, err)
+			}
+			lat := out.Latency + uint64(threads)*cfg.SyncCyclesPerThread
+			row.Latency[sys] = append(row.Latency[sys], lat)
+		}
+	}
+	for _, sys := range Fig14Systems {
+		for i := range cfg.Threads {
+			ref := float64(row.Latency["fam-ext"][i])
+			row.Ratio[sys] = append(row.Ratio[sys], ref/float64(row.Latency[sys][i]))
+		}
+	}
+	return row, nil
+}
+
+// Print renders the acceleration-ratio series.
+func (r *Fig14Row) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 14 — OpenBLAS %s acceleration ratio (vs FAM Ext)\n", r.Kernel)
+	fmt.Fprintf(w, "%-10s", "threads")
+	for _, t := range r.Threads {
+		fmt.Fprintf(w, "%8d", t)
+	}
+	fmt.Fprintln(w)
+	hr(w, 10+8*len(r.Threads))
+	for _, sys := range Fig14Systems {
+		fmt.Fprintf(w, "%-10s", sys)
+		for i := range r.Threads {
+			fmt.Fprintf(w, "%8.2f", r.Ratio[sys][i])
+		}
+		fmt.Fprintln(w)
+	}
+	// Strong-scaling speedup relative to the first thread count — the Fig.
+	// 14e observable: synchronization overhead erodes the speedup as
+	// threads grow.
+	fmt.Fprintf(w, "%-10s", "scaling")
+	for i := range r.Threads {
+		fmt.Fprintf(w, "%8.2f", float64(r.Latency["chimera"][0])/float64(r.Latency["chimera"][i]))
+	}
+	fmt.Fprintf(w, "   (chimera latency speedup vs %d threads)\n", r.Threads[0])
+}

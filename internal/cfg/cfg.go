@@ -1,0 +1,161 @@
+// Package cfg recovers basic blocks and a control-flow graph from a
+// disassembly. The graph is deliberately conservative about indirect
+// control flow: a block ending in an unresolved jalr has HasIndirect set
+// and no static successors, which downstream analyses (liveness, exit
+// register selection) must treat as "anything may be live" (§4.2).
+package cfg
+
+import (
+	"sort"
+
+	"github.com/eurosys26p57/chimera/internal/dis"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// Block is a maximal straight-line run of instructions.
+type Block struct {
+	Start uint64
+	// Addrs lists the instruction addresses in order.
+	Addrs []uint64
+	// Succs are the statically-known successor block start addresses.
+	Succs []uint64
+	// HasIndirect marks a block whose terminator is an unresolved indirect
+	// jump (jalr): its successor set is incomplete.
+	HasIndirect bool
+	// IsCallSite marks a block ending in a call (jal/jalr rd=ra); the
+	// fallthrough successor models the return.
+	IsCallSite bool
+	// IsRet marks a block ending in the canonical return (jalr x0, 0(ra)).
+	// Liveness treats returns with ABI knowledge instead of all-live.
+	IsRet bool
+}
+
+// End returns the address one past the final instruction.
+func (b *Block) End(d *dis.Result) uint64 {
+	last := b.Addrs[len(b.Addrs)-1]
+	in, _ := d.At(last)
+	return last + uint64(in.Len)
+}
+
+// Graph is the control-flow graph of an image.
+type Graph struct {
+	Blocks map[uint64]*Block // keyed by start address
+	// BlockOf maps every instruction address to its block start.
+	BlockOf map[uint64]uint64
+	// Order lists block starts ascending.
+	Order []uint64
+	Dis   *dis.Result
+}
+
+// Build constructs the CFG from a disassembly.
+func Build(d *dis.Result) *Graph {
+	leaders := make(map[uint64]bool)
+	for _, addr := range d.Order {
+		in := d.Insns[addr]
+		switch {
+		case in.Op == riscv.JAL:
+			leaders[addr+uint64(in.Imm)] = true
+			leaders[addr+uint64(in.Len)] = true
+		case in.IsBranch():
+			leaders[addr+uint64(in.Imm)] = true
+			leaders[addr+uint64(in.Len)] = true
+		case in.Op == riscv.JALR:
+			leaders[addr+uint64(in.Len)] = true
+		}
+	}
+	if len(d.Order) > 0 {
+		leaders[d.Order[0]] = true
+	}
+	for _, root := range d.Roots {
+		leaders[root] = true
+	}
+
+	g := &Graph{
+		Blocks:  make(map[uint64]*Block),
+		BlockOf: make(map[uint64]uint64),
+		Dis:     d,
+	}
+
+	var cur *Block
+	for i, addr := range d.Order {
+		// A gap in recognized addresses also starts a new block.
+		gap := i > 0 && d.Order[i-1]+uint64(d.Insns[d.Order[i-1]].Len) != addr
+		if cur == nil || leaders[addr] || gap {
+			cur = &Block{Start: addr}
+			g.Blocks[addr] = cur
+			g.Order = append(g.Order, addr)
+		}
+		cur.Addrs = append(cur.Addrs, addr)
+		g.BlockOf[addr] = cur.Start
+
+		in := d.Insns[addr]
+		endsBlock := false
+		switch {
+		case in.Op == riscv.JAL:
+			if in.Rd == riscv.RA {
+				cur.IsCallSite = true
+				cur.Succs = append(cur.Succs, addr+uint64(in.Len))
+			} else {
+				cur.Succs = append(cur.Succs, addr+uint64(in.Imm))
+			}
+			endsBlock = true
+		case in.Op == riscv.JALR:
+			if in.Rd == riscv.RA {
+				cur.IsCallSite = true
+				cur.Succs = append(cur.Succs, addr+uint64(in.Len))
+			} else if in.Rd == riscv.Zero && in.Rs1 == riscv.RA && in.Imm == 0 {
+				cur.IsRet = true
+			}
+			cur.HasIndirect = true
+			endsBlock = true
+		case in.IsBranch():
+			cur.Succs = append(cur.Succs, addr+uint64(in.Imm), addr+uint64(in.Len))
+			endsBlock = true
+		default:
+			// Fallthrough into a leader ends the block with one successor.
+			next := addr + uint64(in.Len)
+			if leaders[next] {
+				cur.Succs = append(cur.Succs, next)
+				endsBlock = true
+			}
+		}
+		if endsBlock {
+			cur = nil
+		}
+	}
+
+	// Prune successors that point outside recognized code.
+	for _, b := range g.Blocks {
+		kept := b.Succs[:0]
+		for _, s := range b.Succs {
+			if _, ok := g.Blocks[s]; ok {
+				kept = append(kept, s)
+			} else if _, ok := g.BlockOf[s]; ok {
+				kept = append(kept, g.BlockOf[s])
+			}
+		}
+		b.Succs = kept
+	}
+	sort.Slice(g.Order, func(i, j int) bool { return g.Order[i] < g.Order[j] })
+	return g
+}
+
+// BlockContaining returns the block holding the instruction at addr.
+func (g *Graph) BlockContaining(addr uint64) (*Block, bool) {
+	start, ok := g.BlockOf[addr]
+	if !ok {
+		return nil, false
+	}
+	return g.Blocks[start], true
+}
+
+// Preds computes the predecessor map (lazy, for analyses that need it).
+func (g *Graph) Preds() map[uint64][]uint64 {
+	preds := make(map[uint64][]uint64, len(g.Blocks))
+	for start, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], start)
+		}
+	}
+	return preds
+}

@@ -1,0 +1,114 @@
+package chbp
+
+import (
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/asm"
+	"github.com/eurosys26p57/chimera/internal/emu"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// buildGeneralRegProgram emits a vector block preceded by the Fig. 5
+// "lui rX, hi ; load rY, lo(rX)" memory-access pair, where rX holds a
+// data-segment (stack) address — the precondition the general-register
+// SMILE variant relies on. The "target" label marks the legal mid-pair
+// entry (P1).
+func buildGeneralRegProgram(t *testing.T) *obj.Image {
+	t.Helper()
+	b := asm.NewBuilder(riscv.RV64G | riscv.ExtV) // no compression: Fig. 5 mode
+	b.DataF64("vecA", []float64{2, 4, 6, 8})
+	b.Zero("out", 64)
+	b.Func("main")
+	b.Li(riscv.S2, 0) // pass counter
+	b.La(riscv.A0, "vecA")
+	b.La(riscv.A1, "out")
+	b.Li(riscv.A3, 4)
+	b.Label("work")
+	// The Fig. 5 pair: a5 gets a data (stack-region) address, then a load
+	// through it. 0x7FFFE000 lies inside the mapped stack.
+	b.I(riscv.Inst{Op: riscv.LUI, Rd: riscv.A5, Imm: 0x7FFFE})
+	b.Label("target") // P1: the load the trampoline's jalr overwrites
+	b.Load(riscv.LD, riscv.A6, riscv.A5, 0)
+	b.I(riscv.Inst{Op: riscv.VSETVLI, Rd: riscv.T0, Rs1: riscv.A3, Imm: riscv.VType(riscv.E64)})
+	b.I(riscv.Inst{Op: riscv.VLE64V, Rd: 1, Rs1: riscv.A0})
+	b.I(riscv.Inst{Op: riscv.VFADDVV, Rd: 2, Rs1: 1, Rs2: 1})
+	b.I(riscv.Inst{Op: riscv.VSE64V, Rd: 2, Rs1: riscv.A1})
+	b.Imm(riscv.ADDI, riscv.S2, riscv.S2, 1)
+	b.Li(riscv.T1, 2)
+	b.Blt(riscv.S2, riscv.T1, "again")
+	b.Load(riscv.LD, riscv.T2, riscv.A1, 8)
+	b.I(riscv.Inst{Op: riscv.FMVDX, Rd: 1, Rs1: riscv.T2})
+	b.I(riscv.Inst{Op: riscv.FCVTLD, Rd: riscv.A0, Rs1: 1})
+	b.Op(riscv.ADD, riscv.A0, riscv.A0, riscv.A6) // fold the pair's load too
+	b.Ecall()
+	b.Label("again")
+	// Legal indirect entry at P1: a5 already holds the data address, as any
+	// execution reaching this point would have it.
+	b.I(riscv.Inst{Op: riscv.LUI, Rd: riscv.A5, Imm: 0x7FFFE})
+	b.La(riscv.T3, "target")
+	b.Jr(riscv.T3)
+	img, err := b.Build("genreg", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestGeneralRegSmile(t *testing.T) {
+	img := buildGeneralRegProgram(t)
+	ref, _ := runImage(t, img, nil, riscv.RV64GCV)
+	want := int64(ref.X[riscv.A0])
+	if want != 8 { // out[1] = 2*4.0 = 8.0, plus a6 = 0 from the zeroed stack
+		t.Fatalf("reference = %d, want 8", want)
+	}
+
+	res, err := Rewrite(img, Options{TargetISA: riscv.RV64G, Trampoline: GeneralReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SmileEntries == 0 {
+		t.Fatalf("no general-register trampolines placed: %+v", res.Stats)
+	}
+	got, rc := runImage(t, res.Image, res.Tables, riscv.RV64G)
+	if g := int64(got.X[riscv.A0]); g != want {
+		t.Fatalf("rewritten result %d, want %d", g, want)
+	}
+	// The second pass enters at P1 (overwritten by the trampoline's jalr):
+	// a deterministic segmentation fault recovered via the register scan.
+	if rc.segv == 0 {
+		t.Error("erroneous entry through the general-register trampoline did not fault")
+	}
+}
+
+// TestGeneralRegPartialExecutionFaults checks the Fig. 5 fault guarantee
+// directly: entering at the trampoline's second instruction jumps through
+// the stale data pointer and faults without side effects.
+func TestGeneralRegPartialExecutionFaults(t *testing.T) {
+	img := buildGeneralRegProgram(t)
+	res, err := Rewrite(img, Options{TargetISA: riscv.RV64G, Trampoline: GeneralReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed := 0
+	for start := range res.Tables.Spaces {
+		mem := emu.NewMemory()
+		mem.MapImage(res.Image)
+		cpu := emu.NewCPU(mem, riscv.RV64G)
+		cpu.Reset(res.Image)
+		cpu.PC = start + 4
+		cpu.X[riscv.A5] = 0x7FFFE000 // the precondition: rX holds a data address
+		var stop emu.Stop
+		halted := false
+		for i := 0; i < 2 && !halted; i++ {
+			stop, halted = cpu.Step()
+		}
+		if !halted || stop.Kind != emu.StopFault || stop.Fault.Kind != emu.FaultAccess {
+			t.Fatalf("partial execution at %#x: %+v, want SIGSEGV", start+4, stop)
+		}
+		probed++
+	}
+	if probed == 0 {
+		t.Fatal("no trampoline spaces to probe")
+	}
+}

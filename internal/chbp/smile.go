@@ -1,0 +1,147 @@
+package chbp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// SmileJalrImm is the fixed 12-bit immediate of the compressed-mode SMILE
+// jalr. It is chosen so the instruction's upper 16-bit parcel (with rs1=gp)
+// decodes as the reserved compressed encoding "c.lui x1, 0": a jump into the
+// middle of the trampoline (the paper's P3) raises a deterministic
+// illegal-instruction fault (§4.2, Fig. 7b).
+const SmileJalrImm = 1544
+
+// smileAuipcMask forces bits 4-8 of the auipc's 20-bit immediate to 11111 in
+// compressed mode, making the upper parcel a reserved >=48-bit instruction
+// prefix (the paper's P2; Fig. 7a).
+const smileAuipcBits = 0x1F << 4
+
+// TrampolineKind selects the entry-trampoline strategy.
+type TrampolineKind uint8
+
+// Trampoline kinds.
+const (
+	// SMILE is Chimera's secure multiple-instruction long-distance
+	// trampoline (the default), built on the ABI gp register.
+	SMILE TrampolineKind = iota
+	// TrapEntry is the strawman: every patch enters through an ebreak trap.
+	TrapEntry
+	// GeneralReg is the Fig. 5 variant for ISAs without a gp-like register:
+	// the trampoline overwrites a preceding "lui rX, hi ; load rY, lo(rX)"
+	// memory-access pair, reusing rX — whose unmodified value points into
+	// the data segment — as the jump register. Sites with no such preceding
+	// sequence fall back to traps, which is the added cost the paper notes
+	// for gp-less ISAs (§3.3).
+	GeneralReg
+)
+
+// EncodeGeneralSmile encodes the Fig. 5 trampoline at s jumping to t
+// through register rd.
+func EncodeGeneralSmile(s, t uint64, rd riscv.Reg) ([8]byte, error) {
+	var out [8]byte
+	delta := int64(t) - int64(s)
+	hi := (delta + 0x800) >> 12
+	lo := delta - hi<<12
+	if hi < -(1<<19) || hi >= 1<<19 {
+		return out, fmt.Errorf("chbp: target %#x out of ±2GB range from %#x", t, s)
+	}
+	binary.LittleEndian.PutUint32(out[:4],
+		riscv.MustEncode(riscv.Inst{Op: riscv.AUIPC, Rd: rd, Imm: hi}))
+	binary.LittleEndian.PutUint32(out[4:],
+		riscv.MustEncode(riscv.Inst{Op: riscv.JALR, Rd: rd, Rs1: rd, Imm: lo}))
+	return out, nil
+}
+
+// EncodeSmile encodes the 8-byte SMILE trampoline at source address s
+// jumping to target t. compressed selects the encoding that is also safe
+// against mid-trampoline jump targets (P2/P3).
+func EncodeSmile(s, t uint64, compressed bool) ([8]byte, error) {
+	var out [8]byte
+	delta := int64(t) - int64(s)
+	var hi, lo int64
+	if compressed {
+		lo = SmileJalrImm
+		hi = (delta - lo) >> 12
+		if (delta-lo)&0xFFF != 0 {
+			return out, fmt.Errorf("chbp: target %#x not reachable from %#x with fixed jalr imm", t, s)
+		}
+		if hi>>4&0x1F != 0x1F {
+			return out, fmt.Errorf("chbp: auipc imm %#x lacks the P2 illegal-prefix bits", hi)
+		}
+	} else {
+		hi = (delta + 0x800) >> 12
+		lo = delta - hi<<12
+	}
+	if hi < -(1<<19) || hi >= 1<<19 {
+		return out, fmt.Errorf("chbp: target %#x out of ±2GB range from %#x", t, s)
+	}
+	auipc := riscv.MustEncode(riscv.Inst{Op: riscv.AUIPC, Rd: riscv.GP, Imm: hi})
+	jalr := riscv.MustEncode(riscv.Inst{Op: riscv.JALR, Rd: riscv.GP, Rs1: riscv.GP, Imm: lo})
+	binary.LittleEndian.PutUint32(out[:4], auipc)
+	binary.LittleEndian.PutUint32(out[4:], jalr)
+	return out, nil
+}
+
+// layoutAlloc places target blocks in the target section, honoring the
+// compressed-mode address-residue constraints: for a trampoline at s, the
+// block address t must satisfy t ≡ s + SmileJalrImm (mod 4096) with the
+// page delta's bits 4-8 all ones. The allocator tracks the padding these
+// constraints cost (reported in Stats).
+type layoutAlloc struct {
+	cursor     uint64
+	compressed bool
+	padding    uint64
+}
+
+// place returns the address for a block of size bytes whose trampoline sits
+// at s. constrained selects the compressed-mode residue windows (gp-SMILE
+// in a compressed binary); other entries place freely.
+func (a *layoutAlloc) place(s uint64, size uint64, constrained bool) uint64 {
+	if !a.compressed || !constrained {
+		t := (a.cursor + 3) &^ 3
+		a.padding += t - a.cursor
+		a.cursor = t + size
+		return t
+	}
+	// Find the smallest pd >= some minimum with pd mod 512 in [496, 511]
+	// such that t = s + SmileJalrImm + pd<<12 >= cursor.
+	base := s + SmileJalrImm
+	var pd uint64
+	if a.cursor > base {
+		pd = (a.cursor - base) >> 12
+	}
+	for {
+		if pd%512 >= 496 {
+			t := base + pd<<12
+			if t >= a.cursor {
+				a.padding += t - a.cursor
+				a.cursor = t + size
+				return t
+			}
+		}
+		// Jump straight to the next valid residue window when outside it.
+		if pd%512 < 496 {
+			pd += 496 - pd%512
+		} else {
+			pd++
+		}
+	}
+}
+
+// encodeVanilla encodes a vanilla auipc/jalr pair at address a jumping to
+// target using register rd (an exit register known to be dead).
+func encodeVanilla(a, target uint64, rd riscv.Reg) ([2]riscv.Inst, error) {
+	delta := int64(target) - int64(a)
+	hi := (delta + 0x800) >> 12
+	lo := delta - hi<<12
+	if hi < -(1<<19) || hi >= 1<<19 {
+		return [2]riscv.Inst{}, fmt.Errorf("chbp: exit target %#x out of range from %#x", target, a)
+	}
+	return [2]riscv.Inst{
+		{Op: riscv.AUIPC, Rd: rd, Imm: hi},
+		{Op: riscv.JALR, Rd: riscv.Zero, Rs1: rd, Imm: lo},
+	}, nil
+}

@@ -1,0 +1,147 @@
+// Package chbp implements CHBP, the Correct and High-performance Binary
+// Patching method at the core of Chimera (§4). It rewrites an image for a
+// target core's ISA by translating source instructions (downgrade/upgrade)
+// and patching SMILE trampolines over them, building the fault-handling
+// table the runtime uses to recover the deterministic faults that erroneous
+// executions trigger.
+package chbp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"github.com/eurosys26p57/chimera/internal/obj"
+)
+
+// Tables is the runtime metadata of a rewritten binary (§4.3). The kernel
+// consults it to recover deterministic faults and to route trap-based
+// trampolines. It is embedded in the rewritten image as a section so the
+// binary stays self-contained.
+type Tables struct {
+	// GP is the ABI global-pointer value of the binary; the fault handler
+	// restores it after a partially-executed SMILE trampoline clobbered it.
+	GP uint64
+	// Redirect maps an overwritten original-instruction address (the paper's
+	// P1/P2/P3) to the address of its relocated copy in the target section.
+	Redirect map[uint64]uint64
+	// Trap maps the address of a trap-based trampoline (ebreak) to its
+	// target-block entry.
+	Trap map[uint64]uint64
+	// ExitTrap maps the address of a trap-based *exit* (ebreak at the end of
+	// a target block whose exit register could not be found) to the original
+	// resume address.
+	ExitTrap map[uint64]uint64
+	// Spaces maps each SMILE trampoline's start address to the end of its
+	// overwritten space (Fig. 4).
+	Spaces map[uint64]uint64
+	// TargetStart/TargetEnd bound the target-instruction section; the
+	// scheduler delays migration while the pc is inside it (§4.3).
+	TargetStart, TargetEnd uint64
+	// ExitOf maps a target-block entry to the original resume address of its
+	// normal exit — the probe point used to delay migrations (§4.3).
+	ExitOf map[uint64]uint64
+}
+
+// NewTables returns an empty table set.
+func NewTables(gp uint64) *Tables {
+	return &Tables{
+		GP:       gp,
+		Redirect: make(map[uint64]uint64),
+		Trap:     make(map[uint64]uint64),
+		ExitTrap: make(map[uint64]uint64),
+		ExitOf:   make(map[uint64]uint64),
+		Spaces:   make(map[uint64]uint64),
+	}
+}
+
+// InTargetSection reports whether addr lies in generated target code.
+func (t *Tables) InTargetSection(addr uint64) bool {
+	return addr >= t.TargetStart && addr < t.TargetEnd
+}
+
+func writeMap(buf *bytes.Buffer, m map[uint64]uint64) {
+	binary.Write(buf, binary.LittleEndian, uint64(len(m)))
+	for k, v := range m {
+		binary.Write(buf, binary.LittleEndian, k)
+		binary.Write(buf, binary.LittleEndian, v)
+	}
+}
+
+func readMap(r *bytes.Reader) (map[uint64]uint64, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("chbp: unreasonable table size %d", n)
+	}
+	m := make(map[uint64]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		var k, v uint64
+		if err := binary.Read(r, binary.LittleEndian, &k); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+			return nil, err
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+// Marshal serializes the tables for embedding in SecFaultTab.
+func (t *Tables) Marshal() []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, t.GP)
+	binary.Write(&buf, binary.LittleEndian, t.TargetStart)
+	binary.Write(&buf, binary.LittleEndian, t.TargetEnd)
+	writeMap(&buf, t.Redirect)
+	writeMap(&buf, t.Trap)
+	writeMap(&buf, t.ExitTrap)
+	writeMap(&buf, t.ExitOf)
+	writeMap(&buf, t.Spaces)
+	return buf.Bytes()
+}
+
+// UnmarshalTables parses a SecFaultTab payload.
+func UnmarshalTables(data []byte) (*Tables, error) {
+	r := bytes.NewReader(data)
+	t := &Tables{}
+	if err := binary.Read(r, binary.LittleEndian, &t.GP); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &t.TargetStart); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &t.TargetEnd); err != nil {
+		return nil, err
+	}
+	var err error
+	if t.Redirect, err = readMap(r); err != nil {
+		return nil, err
+	}
+	if t.Trap, err = readMap(r); err != nil {
+		return nil, err
+	}
+	if t.ExitTrap, err = readMap(r); err != nil {
+		return nil, err
+	}
+	if t.ExitOf, err = readMap(r); err != nil {
+		return nil, err
+	}
+	if t.Spaces, err = readMap(r); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// TablesOf extracts the tables embedded in a rewritten image, or nil if the
+// image has none (it was not rewritten).
+func TablesOf(img *obj.Image) (*Tables, error) {
+	sec := img.Section(obj.SecFaultTab)
+	if sec == nil {
+		return nil, nil
+	}
+	return UnmarshalTables(sec.Data)
+}

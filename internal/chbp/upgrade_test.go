@@ -1,0 +1,143 @@
+package chbp
+
+import (
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/workload"
+)
+
+// TestUpgradeRewriteEndToEnd rewrites the scalar matmul for an extension
+// core: the canonical dot loop must be replaced by vector code, the result
+// must match, and cycles must drop.
+func TestUpgradeRewriteEndToEnd(t *testing.T) {
+	base, err := workload.Matmul(12, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := runImage(t, base, nil, riscv.RV64GC)
+	want := ref.X[riscv.A0]
+
+	res, err := Rewrite(base, Options{TargetISA: riscv.RV64GCV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.UpgradeSites == 0 {
+		t.Fatal("no upgrade sites matched in the scalar matmul")
+	}
+	got, rc := runImage(t, res.Image, res.Tables, riscv.RV64GCV)
+	if got.X[riscv.A0] != want {
+		t.Fatalf("upgraded result %d, want %d", got.X[riscv.A0], want)
+	}
+	if got.Cycles >= ref.Cycles {
+		t.Errorf("upgraded not faster: %d vs %d cycles", got.Cycles, ref.Cycles)
+	}
+	if rc.segv+rc.sigill != 0 {
+		t.Errorf("normal upgraded execution took faults: %+v", rc)
+	}
+}
+
+// TestUpgradeDisabled checks the DisableUpgrade ablation knob.
+func TestUpgradeDisabled(t *testing.T) {
+	base, err := workload.Matmul(8, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Rewrite(base, Options{TargetISA: riscv.RV64GCV, DisableUpgrade: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.UpgradeSites != 0 {
+		t.Errorf("upgrade sites placed despite DisableUpgrade: %d", res.Stats.UpgradeSites)
+	}
+	// Nothing to do at all: the base binary runs on the extension core as-is.
+	cpu, _ := runImage(t, res.Image, res.Tables, riscv.RV64GCV)
+	ref, _ := runImage(t, base, nil, riscv.RV64GC)
+	if cpu.X[riscv.A0] != ref.X[riscv.A0] {
+		t.Error("results diverge with upgrades disabled")
+	}
+}
+
+// TestDowngradeIdiomUsed checks that the block-level vector-loop template
+// fires on the vector matmul and keeps downgraded speed near the scalar
+// version's.
+func TestDowngradeIdiomUsed(t *testing.T) {
+	scalar, err := workload.Matmul(12, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vector, err := workload.Matmul(12, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refScalar, _ := runImage(t, scalar, nil, riscv.RV64GC)
+
+	res, err := Rewrite(vector, Options{TargetISA: riscv.RV64GC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, _ := runImage(t, res.Image, res.Tables, riscv.RV64GC)
+	if down.X[riscv.A0] != refScalar.X[riscv.A0] {
+		t.Fatalf("downgraded result %d, want %d", down.X[riscv.A0], refScalar.X[riscv.A0])
+	}
+	// The idiom template must keep the downgraded binary within ~40% of the
+	// natively scalar version (per-instruction translation would be several
+	// times slower).
+	ratio := float64(down.Cycles) / float64(refScalar.Cycles)
+	if ratio > 1.4 {
+		t.Errorf("downgraded/scalar cycle ratio %.2f too high; idiom template not effective", ratio)
+	}
+}
+
+// TestDeadRegisterFallbacks drives the three-exit strategy ladder on a
+// binary with register pressure (Fig. 8): shifting handles most pressure
+// sites, and the rare hard sites fall back to trap exits without breaking
+// correctness.
+func TestDeadRegisterFallbacks(t *testing.T) {
+	p := workload.SpecParams{
+		Name: "pressure", CodeKB: 1100, Funcs: 4, VecFuncs: 4,
+		BodyInsts: 10, PressureFuncs: 2, HardPressureFuncs: 1,
+		Rounds: 3, Seed: 9,
+	}
+	img, err := workload.BuildSpec(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := runImage(t, img, nil, riscv.RV64GCV)
+
+	res, err := Rewrite(img, Options{TargetISA: riscv.RV64GC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DeadRegFailTraditional == 0 {
+		t.Error("pressure functions did not defeat plain liveness")
+	}
+	if res.Stats.DeadRegFailShifted == 0 {
+		t.Error("hard-pressure function did not defeat exit shifting")
+	}
+	if res.Stats.DeadRegFailShifted >= res.Stats.DeadRegFailTraditional {
+		t.Errorf("shifting (%d fails) should beat traditional (%d fails)",
+			res.Stats.DeadRegFailShifted, res.Stats.DeadRegFailTraditional)
+	}
+	got, rc := runImage(t, res.Image, res.Tables, riscv.RV64GC)
+	if got.X[riscv.A0] != ref.X[riscv.A0] {
+		t.Fatalf("result %d, want %d", got.X[riscv.A0], ref.X[riscv.A0])
+	}
+	if rc.traps == 0 {
+		t.Error("trap-exit fallback never executed")
+	}
+
+	// Ablation: with shifting disabled, every pressure site must fail.
+	noShift, err := Rewrite(img, Options{TargetISA: riscv.RV64GC, DisableExitShift: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noShift.Stats.DeadRegFailShifted < res.Stats.DeadRegFailTraditional {
+		t.Errorf("without shifting, fails (%d) should match traditional fails (%d)",
+			noShift.Stats.DeadRegFailShifted, res.Stats.DeadRegFailTraditional)
+	}
+	got2, _ := runImage(t, noShift.Image, noShift.Tables, riscv.RV64GC)
+	if got2.X[riscv.A0] != ref.X[riscv.A0] {
+		t.Fatalf("no-shift result %d, want %d", got2.X[riscv.A0], ref.X[riscv.A0])
+	}
+}

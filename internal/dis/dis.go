@@ -1,0 +1,161 @@
+// Package dis recursively disassembles executable images. It plays the role
+// of IDA Pro in the paper's pipeline (§4.1): recursion from the entry point
+// and function symbols guarantees every *recognized* instruction is real,
+// but completeness is explicitly not guaranteed — code reachable only
+// through indirect jumps may stay unrecognized, and Chimera's runtime
+// rewrites such instructions when they fault at run time (§4.3).
+package dis
+
+import (
+	"errors"
+	"sort"
+
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// Insn is one recognized instruction.
+type Insn struct {
+	Addr uint64
+	Inst riscv.Inst
+}
+
+// Result is the disassembly of an image.
+type Result struct {
+	// Insns maps address to the decoded instruction.
+	Insns map[uint64]riscv.Inst
+	// Order is the sorted list of recognized instruction addresses.
+	Order []uint64
+	// IndirectJumps lists the addresses of register-indirect jumps (jalr)
+	// whose targets cannot be resolved statically.
+	IndirectJumps []uint64
+	// Calls lists the addresses of direct calls (jal/jalr with rd=ra).
+	Calls []uint64
+	// Undecodable maps addresses where decoding failed on a recursive path
+	// to the error (reserved encodings, truncation).
+	Undecodable map[uint64]error
+	// Roots are the recursion roots: the entry point and every function
+	// symbol. CFG recovery treats them as block leaders.
+	Roots []uint64
+}
+
+// At returns the instruction at addr.
+func (r *Result) At(addr uint64) (riscv.Inst, bool) {
+	in, ok := r.Insns[addr]
+	return in, ok
+}
+
+// Next returns the address of the recognized instruction following addr.
+func (r *Result) Next(addr uint64) (uint64, bool) {
+	in, ok := r.Insns[addr]
+	if !ok {
+		return 0, false
+	}
+	next := addr + uint64(in.Len)
+	if _, ok := r.Insns[next]; ok {
+		return next, true
+	}
+	return next, false
+}
+
+// Disassemble recursively disassembles the image starting from the entry
+// point and every function symbol.
+func Disassemble(img *obj.Image) *Result {
+	res := &Result{
+		Insns:       make(map[uint64]riscv.Inst),
+		Undecodable: make(map[uint64]error),
+	}
+	work := []uint64{img.Entry}
+	for _, sym := range img.FuncSymbols() {
+		work = append(work, sym.Addr)
+	}
+	res.Roots = append([]uint64(nil), work...)
+
+	var buf [4]byte
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		for {
+			if _, seen := res.Insns[pc]; seen {
+				break
+			}
+			if _, bad := res.Undecodable[pc]; bad {
+				break
+			}
+			sec := img.SectionAt(pc)
+			if sec == nil || sec.Perm&obj.PermX == 0 {
+				break
+			}
+			n := copy(buf[:], sec.Data[pc-sec.Addr:])
+			inst, err := riscv.Decode(buf[:n])
+			if err != nil {
+				// Reserved/illegal encodings terminate the path; they are
+				// recorded so rewriters can report coverage.
+				if !errors.Is(err, riscv.ErrTruncated) {
+					res.Undecodable[pc] = err
+				}
+				break
+			}
+			res.Insns[pc] = inst
+
+			switch {
+			case inst.Op == riscv.JAL:
+				target := pc + uint64(inst.Imm)
+				work = append(work, target)
+				if inst.Rd == riscv.RA {
+					res.Calls = append(res.Calls, pc)
+					// A call returns: continue at the fallthrough.
+					pc += uint64(inst.Len)
+					continue
+				}
+				pc = target
+				continue
+			case inst.Op == riscv.JALR:
+				if inst.Rd == riscv.RA {
+					res.Calls = append(res.Calls, pc)
+					// Indirect call; assume it returns.
+					res.IndirectJumps = append(res.IndirectJumps, pc)
+					pc += uint64(inst.Len)
+					continue
+				}
+				// Indirect jump (including ret): path ends here.
+				res.IndirectJumps = append(res.IndirectJumps, pc)
+			case inst.IsBranch():
+				work = append(work, pc+uint64(inst.Imm))
+				pc += uint64(inst.Len)
+				continue
+			case inst.Op == riscv.ECALL, inst.Op == riscv.EBREAK:
+				// Environment calls return; ebreak may too (debugger).
+				pc += uint64(inst.Len)
+				continue
+			default:
+				pc += uint64(inst.Len)
+				continue
+			}
+			break
+		}
+	}
+
+	res.Order = make([]uint64, 0, len(res.Insns))
+	for a := range res.Insns {
+		res.Order = append(res.Order, a)
+	}
+	sort.Slice(res.Order, func(i, j int) bool { return res.Order[i] < res.Order[j] })
+	sort.Slice(res.IndirectJumps, func(i, j int) bool { return res.IndirectJumps[i] < res.IndirectJumps[j] })
+	sort.Slice(res.Calls, func(i, j int) bool { return res.Calls[i] < res.Calls[j] })
+	return res
+}
+
+// Coverage returns the fraction of executable bytes covered by recognized
+// instructions.
+func (r *Result) Coverage(img *obj.Image) float64 {
+	covered := 0
+	for _, in := range r.Insns {
+		covered += in.Len
+	}
+	total := img.CodeSize()
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}

@@ -1,0 +1,493 @@
+package emu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// FaultKind classifies a deterministic fault, mirroring the signals the
+// paper's modified kernel routes (§4.3).
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	FaultNone    FaultKind = iota
+	FaultIllegal           // SIGILL: illegal/reserved encoding or unsupported extension
+	FaultAccess            // SIGSEGV: unmapped address or permission violation
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultIllegal:
+		return "SIGILL"
+	case FaultAccess:
+		return "SIGSEGV"
+	}
+	return "none"
+}
+
+// Fault is a precise fault: PC is the instruction that faulted (for an
+// execute-permission fault, the fetch address itself), Addr the offending
+// memory address.
+type Fault struct {
+	Kind FaultKind
+	PC   uint64
+	Addr uint64
+	Err  error
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%v at pc=%#x addr=%#x (%v)", f.Kind, f.PC, f.Addr, f.Err)
+}
+
+// StopKind says why CPU.Run returned.
+type StopKind uint8
+
+// Stop kinds.
+const (
+	StopLimit StopKind = iota // instruction budget exhausted
+	StopEcall                 // ecall: the kernel must service a syscall
+	StopBreak                 // ebreak: trap-based trampoline or breakpoint
+	StopFault                 // deterministic fault raised
+)
+
+// Stop reports why execution paused.
+type Stop struct {
+	Kind  StopKind
+	Fault Fault // valid when Kind == StopFault
+}
+
+// Vec is one vector register (VLEN bits).
+type Vec [riscv.VLenBytes]byte
+
+// CPU is one simulated hart. ISA is the set of extensions the core
+// implements; executing an instruction outside the set raises FaultIllegal,
+// which is exactly the fault-and-migrate / runtime-rewriting trigger the
+// paper builds on.
+type CPU struct {
+	X  [32]uint64
+	F  [32]uint64
+	V  [32]Vec
+	VL uint64 // active vector length (elements)
+	VT int64  // vtype
+
+	PC  uint64
+	Mem *Memory
+	ISA riscv.Ext
+
+	Cost    *CostModel
+	Cycles  uint64
+	Instret uint64
+
+	// IndirectHook, when set, intercepts every indirect jump (jalr) before
+	// it retires. It may rewrite the target and charge extra cycles; it is
+	// how regeneration baselines' inline target checks (Safer's encoded
+	// pointer checks, Multiverse's tables) are modeled on the simulated
+	// hardware. HookCount tallies invocations (the Table 2 metric).
+	IndirectHook func(pc, target uint64) (newTarget, extraCycles uint64)
+	HookCount    uint64
+
+	// LastInst is the most recently retired instruction (diagnostics).
+	LastInst riscv.Inst
+
+	// icache is a direct-mapped decoded-instruction cache, invalidated by
+	// the memory generation counter (code patching bumps it).
+	icache [4096]icacheEntry
+}
+
+type icacheEntry struct {
+	pc   uint64
+	gen  uint64
+	mem  *Memory
+	inst riscv.Inst
+	ok   bool
+}
+
+// NewCPU returns a hart with the default cost model.
+func NewCPU(mem *Memory, isa riscv.Ext) *CPU {
+	return &CPU{Mem: mem, ISA: isa, Cost: &DefaultCost}
+}
+
+// Reset prepares the hart to run an image: pc at the entry, sp at the stack
+// top, gp at the image's anchor.
+func (c *CPU) Reset(img *obj.Image) {
+	c.X = [32]uint64{}
+	c.F = [32]uint64{}
+	c.V = [32]Vec{}
+	c.VL, c.VT = 0, 0
+	c.PC = img.Entry
+	c.X[riscv.SP] = obj.StackTop
+	c.X[riscv.GP] = img.GP
+}
+
+// fault constructs a fault stop.
+func (c *CPU) fault(kind FaultKind, addr uint64, err error) (Stop, bool) {
+	return Stop{Kind: StopFault, Fault: Fault{Kind: kind, PC: c.PC, Addr: addr, Err: err}}, true
+}
+
+func f64(bits uint64) float64 { return math.Float64frombits(bits) }
+func f64b(v float64) uint64   { return math.Float64bits(v) }
+func f32of(bits uint64) float32 {
+	// NaN-boxed single: valid when the upper 32 bits are all ones.
+	return math.Float32frombits(uint32(bits))
+}
+func f32b(v float32) uint64 { return 0xFFFFFFFF_00000000 | uint64(math.Float32bits(v)) }
+
+// Step executes one instruction. It returns (stop, true) when the kernel
+// must intervene; otherwise execution advanced normally.
+func (c *CPU) Step() (Stop, bool) {
+	if e := &c.icache[(c.PC>>1)&4095]; e.ok && e.pc == c.PC && e.mem == c.Mem && e.gen == c.Mem.gen {
+		if ext := e.inst.Extension(); !c.ISA.Has(ext) {
+			return c.fault(FaultIllegal, c.PC,
+				fmt.Errorf("unsupported extension %v for %s", ext, e.inst))
+		}
+		return c.exec(e.inst)
+	}
+	var ibuf [4]byte
+	if fa, ok := c.Mem.Fetch(c.PC, ibuf[:2]); !ok {
+		return c.fault(FaultAccess, fa, errors.New("instruction fetch"))
+	}
+	parcel := binary.LittleEndian.Uint16(ibuf[:2])
+	ilen, err := riscv.ParcelLen(parcel)
+	if err != nil {
+		return c.fault(FaultIllegal, c.PC, err)
+	}
+	var inst riscv.Inst
+	if ilen == 2 {
+		inst, err = riscv.DecodeCompressed(parcel)
+		if err == nil && !c.ISA.Has(riscv.ExtC) {
+			err = fmt.Errorf("%w: compressed instruction on core without C", riscv.ErrIllegal)
+		}
+	} else {
+		if fa, ok := c.Mem.Fetch(c.PC+2, ibuf[2:4]); !ok {
+			return c.fault(FaultAccess, fa, errors.New("instruction fetch (second parcel)"))
+		}
+		inst, err = riscv.Decode32(binary.LittleEndian.Uint32(ibuf[:4]))
+	}
+	if err != nil {
+		return c.fault(FaultIllegal, c.PC, err)
+	}
+	c.icache[(c.PC>>1)&4095] = icacheEntry{pc: c.PC, gen: c.Mem.gen, mem: c.Mem, inst: inst, ok: true}
+	if ext := inst.Extension(); !c.ISA.Has(ext) {
+		return c.fault(FaultIllegal, c.PC,
+			fmt.Errorf("unsupported extension %v for %s", ext, inst))
+	}
+	return c.exec(inst)
+}
+
+// Run executes until a stop condition or until limit instructions retire.
+func (c *CPU) Run(limit uint64) Stop {
+	for n := uint64(0); n < limit; n++ {
+		if stop, halted := c.Step(); halted {
+			return stop
+		}
+	}
+	return Stop{Kind: StopLimit}
+}
+
+// retire finalizes a normally-executed instruction.
+func (c *CPU) retire(inst riscv.Inst, nextPC uint64, taken bool) (Stop, bool) {
+	c.X[0] = 0
+	c.PC = nextPC
+	c.Cycles += c.Cost.Cost(inst, taken)
+	c.Instret++
+	c.LastInst = inst
+	return Stop{}, false
+}
+
+func (c *CPU) exec(inst riscv.Inst) (Stop, bool) {
+	x := &c.X
+	rd, rs1, rs2 := inst.Rd, inst.Rs1, inst.Rs2
+	imm := inst.Imm
+	next := c.PC + uint64(inst.Len)
+	s1, s2 := int64(x[rs1]), int64(x[rs2])
+	u1, u2 := x[rs1], x[rs2]
+
+	load := func(n int, signed bool) (Stop, bool) {
+		var buf [8]byte
+		addr := u1 + uint64(imm)
+		if fa, ok := c.Mem.Read(addr, buf[:n]); !ok {
+			return c.fault(FaultAccess, fa, fmt.Errorf("load %d bytes", n))
+		}
+		v := binary.LittleEndian.Uint64(buf[:])
+		if signed {
+			shift := uint(64 - 8*n)
+			v = uint64(int64(v<<shift) >> shift)
+		}
+		x[rd] = v
+		return c.retire(inst, next, false)
+	}
+	store := func(n int) (Stop, bool) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], u2)
+		addr := u1 + uint64(imm)
+		if fa, ok := c.Mem.Write(addr, buf[:n]); !ok {
+			return c.fault(FaultAccess, fa, fmt.Errorf("store %d bytes", n))
+		}
+		return c.retire(inst, next, false)
+	}
+	branch := func(cond bool) (Stop, bool) {
+		if cond {
+			return c.retire(inst, c.PC+uint64(imm), true)
+		}
+		return c.retire(inst, next, false)
+	}
+	aluW := func(v int64) (Stop, bool) {
+		x[rd] = uint64(int64(int32(v)))
+		return c.retire(inst, next, false)
+	}
+	alu := func(v uint64) (Stop, bool) {
+		x[rd] = v
+		return c.retire(inst, next, false)
+	}
+
+	switch inst.Op {
+	case riscv.LUI:
+		return alu(uint64(imm << 12))
+	case riscv.AUIPC:
+		return alu(c.PC + uint64(imm<<12))
+	case riscv.JAL:
+		target := c.PC + uint64(imm)
+		x[rd] = next
+		return c.retire(inst, target, true)
+	case riscv.JALR:
+		target := (u1 + uint64(imm)) &^ 1
+		if c.IndirectHook != nil {
+			newTarget, extra := c.IndirectHook(c.PC, target)
+			target = newTarget
+			c.Cycles += extra
+			c.HookCount++
+		}
+		x[rd] = next
+		return c.retire(inst, target, true)
+	case riscv.BEQ:
+		return branch(u1 == u2)
+	case riscv.BNE:
+		return branch(u1 != u2)
+	case riscv.BLT:
+		return branch(s1 < s2)
+	case riscv.BGE:
+		return branch(s1 >= s2)
+	case riscv.BLTU:
+		return branch(u1 < u2)
+	case riscv.BGEU:
+		return branch(u1 >= u2)
+	case riscv.LB:
+		return load(1, true)
+	case riscv.LH:
+		return load(2, true)
+	case riscv.LW:
+		return load(4, true)
+	case riscv.LD:
+		return load(8, true)
+	case riscv.LBU:
+		return load(1, false)
+	case riscv.LHU:
+		return load(2, false)
+	case riscv.LWU:
+		return load(4, false)
+	case riscv.SB:
+		return store(1)
+	case riscv.SH:
+		return store(2)
+	case riscv.SW:
+		return store(4)
+	case riscv.SD:
+		return store(8)
+	case riscv.ADDI:
+		return alu(u1 + uint64(imm))
+	case riscv.SLTI:
+		if s1 < imm {
+			return alu(1)
+		}
+		return alu(0)
+	case riscv.SLTIU:
+		if u1 < uint64(imm) {
+			return alu(1)
+		}
+		return alu(0)
+	case riscv.XORI:
+		return alu(u1 ^ uint64(imm))
+	case riscv.ORI:
+		return alu(u1 | uint64(imm))
+	case riscv.ANDI:
+		return alu(u1 & uint64(imm))
+	case riscv.SLLI:
+		return alu(u1 << uint(imm))
+	case riscv.SRLI:
+		return alu(u1 >> uint(imm))
+	case riscv.SRAI:
+		return alu(uint64(s1 >> uint(imm)))
+	case riscv.ADD:
+		return alu(u1 + u2)
+	case riscv.SUB:
+		return alu(u1 - u2)
+	case riscv.SLL:
+		return alu(u1 << (u2 & 63))
+	case riscv.SLT:
+		if s1 < s2 {
+			return alu(1)
+		}
+		return alu(0)
+	case riscv.SLTU:
+		if u1 < u2 {
+			return alu(1)
+		}
+		return alu(0)
+	case riscv.XOR:
+		return alu(u1 ^ u2)
+	case riscv.SRL:
+		return alu(u1 >> (u2 & 63))
+	case riscv.SRA:
+		return alu(uint64(s1 >> (u2 & 63)))
+	case riscv.OR:
+		return alu(u1 | u2)
+	case riscv.AND:
+		return alu(u1 & u2)
+	case riscv.ADDIW:
+		return aluW(s1 + imm)
+	case riscv.SLLIW:
+		return aluW(int64(int32(u1) << uint(imm)))
+	case riscv.SRLIW:
+		return aluW(int64(int32(uint32(u1) >> uint(imm))))
+	case riscv.SRAIW:
+		return aluW(int64(int32(u1) >> uint(imm)))
+	case riscv.ADDW:
+		return aluW(s1 + s2)
+	case riscv.SUBW:
+		return aluW(s1 - s2)
+	case riscv.SLLW:
+		return aluW(int64(int32(u1) << (u2 & 31)))
+	case riscv.SRLW:
+		return aluW(int64(int32(uint32(u1) >> (u2 & 31))))
+	case riscv.SRAW:
+		return aluW(int64(int32(u1) >> (u2 & 31)))
+	case riscv.FENCE:
+		return c.retire(inst, next, false)
+	case riscv.ECALL:
+		// The kernel services the call and advances the pc.
+		return Stop{Kind: StopEcall}, true
+	case riscv.EBREAK:
+		return Stop{Kind: StopBreak}, true
+
+	case riscv.MUL:
+		return alu(u1 * u2)
+	case riscv.MULH:
+		hi, _ := mul64(s1, s2)
+		return alu(uint64(hi))
+	case riscv.MULHU:
+		hi, _ := mulu64(u1, u2)
+		return alu(hi)
+	case riscv.MULHSU:
+		hi := mulhsu(s1, u2)
+		return alu(uint64(hi))
+	case riscv.DIV:
+		if s2 == 0 {
+			return alu(^uint64(0))
+		}
+		if s1 == math.MinInt64 && s2 == -1 {
+			return alu(uint64(s1))
+		}
+		return alu(uint64(s1 / s2))
+	case riscv.DIVU:
+		if u2 == 0 {
+			return alu(^uint64(0))
+		}
+		return alu(u1 / u2)
+	case riscv.REM:
+		if s2 == 0 {
+			return alu(uint64(s1))
+		}
+		if s1 == math.MinInt64 && s2 == -1 {
+			return alu(0)
+		}
+		return alu(uint64(s1 % s2))
+	case riscv.REMU:
+		if u2 == 0 {
+			return alu(u1)
+		}
+		return alu(u1 % u2)
+	case riscv.MULW:
+		return aluW(int64(int32(u1) * int32(u2)))
+	case riscv.DIVW:
+		a, b := int32(u1), int32(u2)
+		if b == 0 {
+			return alu(^uint64(0))
+		}
+		if a == math.MinInt32 && b == -1 {
+			return aluW(int64(a))
+		}
+		return aluW(int64(a / b))
+	case riscv.DIVUW:
+		a, b := uint32(u1), uint32(u2)
+		if b == 0 {
+			return alu(^uint64(0))
+		}
+		return aluW(int64(int32(a / b)))
+	case riscv.REMW:
+		a, b := int32(u1), int32(u2)
+		if b == 0 {
+			return aluW(int64(a))
+		}
+		if a == math.MinInt32 && b == -1 {
+			return aluW(0)
+		}
+		return aluW(int64(a % b))
+	case riscv.REMUW:
+		a, b := uint32(u1), uint32(u2)
+		if b == 0 {
+			return aluW(int64(int32(a)))
+		}
+		return aluW(int64(int32(a % b)))
+
+	case riscv.SH1ADD:
+		return alu(u1<<1 + u2)
+	case riscv.SH2ADD:
+		return alu(u1<<2 + u2)
+	case riscv.SH3ADD:
+		return alu(u1<<3 + u2)
+	case riscv.ANDN:
+		return alu(u1 &^ u2)
+	case riscv.ORN:
+		return alu(u1 | ^u2)
+	case riscv.XNOR:
+		return alu(^(u1 ^ u2))
+
+	default:
+		return c.execFPV(inst, next)
+	}
+}
+
+func mul64(a, b int64) (hi, lo int64) {
+	h, l := mulu64(uint64(a), uint64(b))
+	if a < 0 {
+		h -= uint64(b)
+	}
+	if b < 0 {
+		h -= uint64(a)
+	}
+	return int64(h), int64(l)
+}
+
+func mulu64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	al, ah := a&mask, a>>32
+	bl, bh := b&mask, b>>32
+	t := al*bh + (al*bl)>>32
+	tl, th := t&mask, t>>32
+	tl += ah * bl
+	return ah*bh + th + tl>>32, a * b
+}
+
+func mulhsu(a int64, b uint64) int64 {
+	h, _ := mulu64(uint64(a), b)
+	if a < 0 {
+		h -= b
+	}
+	return int64(h)
+}

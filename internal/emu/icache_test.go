@@ -1,0 +1,123 @@
+package emu
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// TestPokeInvalidatesDecodedCache exercises the runtime-rewriting contract:
+// after the kernel patches code in place, the hart must execute the new
+// bytes even if the old instruction was hot in the decode cache.
+func TestPokeInvalidatesDecodedCache(t *testing.T) {
+	// Loop: addi a0, a0, 1 ; j loop — run hot, then patch the addi into
+	// addi a0, a0, 100 and check the increment changes.
+	text := make([]byte, 8)
+	binary.LittleEndian.PutUint32(text, riscv.MustEncode(
+		riscv.Inst{Op: riscv.ADDI, Rd: riscv.A0, Rs1: riscv.A0, Imm: 1}))
+	binary.LittleEndian.PutUint32(text[4:], riscv.MustEncode(
+		riscv.Inst{Op: riscv.JAL, Rd: riscv.Zero, Imm: -4}))
+	mem := NewMemory()
+	mem.Map(obj.TextBase, uint64(len(text)), obj.PermRX)
+	mem.write(obj.TextBase, text)
+	cpu := NewCPU(mem, riscv.RV64GC)
+	cpu.PC = obj.TextBase
+
+	if stop := cpu.Run(200); stop.Kind != StopLimit {
+		t.Fatalf("warmup stop: %+v", stop)
+	}
+	before := cpu.X[riscv.A0]
+	if before == 0 {
+		t.Fatal("loop did not run")
+	}
+
+	var patch [4]byte
+	binary.LittleEndian.PutUint32(patch[:], riscv.MustEncode(
+		riscv.Inst{Op: riscv.ADDI, Rd: riscv.A0, Rs1: riscv.A0, Imm: 100}))
+	if !mem.Poke(obj.TextBase, patch[:]) {
+		t.Fatal("poke failed")
+	}
+	cpu.PC = obj.TextBase
+	a0 := cpu.X[riscv.A0]
+	if stop, halted := cpu.Step(); halted {
+		t.Fatalf("step after poke: %+v", stop)
+	}
+	if got := cpu.X[riscv.A0] - a0; got != 100 {
+		t.Errorf("patched instruction added %d, want 100 (stale decode cache?)", got)
+	}
+}
+
+// TestPokeUnmapped rejects pokes into unmapped space.
+func TestPokeUnmapped(t *testing.T) {
+	mem := NewMemory()
+	if mem.Poke(0x1234, []byte{1}) {
+		t.Error("poke into unmapped memory succeeded")
+	}
+}
+
+// TestCrossPageAccess reads and writes spanning page boundaries.
+func TestCrossPageAccess(t *testing.T) {
+	mem := NewMemory()
+	mem.Map(0x1000, 2*obj.PageSize, obj.PermRW)
+	addr := uint64(0x1000 + obj.PageSize - 3)
+	if err := mem.WriteUint64(addr, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	v, err := mem.ReadUint64(addr)
+	if err != nil || v != 0x1122334455667788 {
+		t.Errorf("cross-page u64 = %#x, %v", v, err)
+	}
+	// Partial overlap into unmapped space must fault with the right address.
+	end := uint64(0x1000 + 2*obj.PageSize)
+	if fa, ok := mem.Write(end-4, make([]byte, 8)); ok || fa != end {
+		t.Errorf("overhanging write: fa=%#x ok=%v, want fault at %#x", fa, ok, end)
+	}
+}
+
+// TestFetchAcrossPageBoundary executes a 4-byte instruction straddling two
+// pages (possible with the compressed extension's 2-byte alignment).
+func TestFetchAcrossPageBoundary(t *testing.T) {
+	mem := NewMemory()
+	mem.Map(obj.TextBase, 2*obj.PageSize, obj.PermRX)
+	pc := obj.TextBase + obj.PageSize - 2
+	var w [4]byte
+	binary.LittleEndian.PutUint32(w[:], riscv.MustEncode(
+		riscv.Inst{Op: riscv.ADDI, Rd: riscv.A0, Rs1: riscv.Zero, Imm: 7}))
+	mem.write(pc, w[:])
+	cpu := NewCPU(mem, riscv.RV64GC)
+	cpu.PC = pc
+	if stop, halted := cpu.Step(); halted {
+		t.Fatalf("stop: %+v", stop)
+	}
+	if cpu.X[riscv.A0] != 7 {
+		t.Errorf("a0 = %d", cpu.X[riscv.A0])
+	}
+}
+
+// TestSmileSemanticsRandomGP verifies the architectural property SMILE
+// relies on for arbitrary gp values: executing only the jalr half jumps to
+// gp+imm and leaves the return address in gp.
+func TestSmileSemanticsRandomGP(t *testing.T) {
+	for _, gp := range []uint64{0x31800, 0x40000, 0x7FFF0000} {
+		mem := NewMemory()
+		mem.Map(obj.TextBase, obj.PageSize, obj.PermRX)
+		var w [4]byte
+		binary.LittleEndian.PutUint32(w[:], riscv.MustEncode(
+			riscv.Inst{Op: riscv.JALR, Rd: riscv.GP, Rs1: riscv.GP, Imm: 1544}))
+		mem.write(obj.TextBase, w[:])
+		cpu := NewCPU(mem, riscv.RV64GC)
+		cpu.PC = obj.TextBase
+		cpu.X[riscv.GP] = gp
+		if stop, halted := cpu.Step(); halted {
+			t.Fatalf("gp=%#x: %+v", gp, stop)
+		}
+		if cpu.PC != gp+1544 {
+			t.Errorf("gp=%#x: jumped to %#x, want %#x", gp, cpu.PC, gp+1544)
+		}
+		if cpu.X[riscv.GP] != obj.TextBase+4 {
+			t.Errorf("gp=%#x: return address %#x, want %#x", gp, cpu.X[riscv.GP], obj.TextBase+4)
+		}
+	}
+}

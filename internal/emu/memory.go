@@ -1,0 +1,226 @@
+// Package emu implements the simulated RISC-V hardware Chimera runs on: a
+// paged memory with R/W/X permissions, and RV64IMFDCV cores with per-core
+// extension masks, precise deterministic faults and a cycle cost model.
+//
+// The substrate replaces the paper's SpacemiT K1 / SOPHGO SG2042 boards. It
+// is deliberately architectural rather than microarchitectural: what matters
+// to Chimera is that jumping into a non-executable data segment raises a
+// segmentation fault, that reserved encodings raise illegal-instruction
+// faults, and that instruction costs accumulate so rewriting overhead is
+// measurable.
+package emu
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/eurosys26p57/chimera/internal/obj"
+)
+
+// Page is one 4KiB frame plus its mapping permission. Pages are shared by
+// reference between address spaces: Chimera's MMViews map the same data
+// frames into every view while giving each view its own code frames (§4.3).
+type Page struct {
+	Data [obj.PageSize]byte
+	Perm obj.Perm
+}
+
+// Memory is a sparse paged address space. A one-entry translation cache
+// keeps the hot-loop lookup off the page map.
+type Memory struct {
+	pages map[uint64]*Page
+
+	lastPN   uint64
+	lastPage *Page
+
+	lastFetchPN   uint64
+	lastFetchPage *Page
+
+	// gen counts mapping/code mutations; decoded-instruction caches key on
+	// it so runtime code patching invalidates them.
+	gen uint64
+}
+
+// Gen returns the mutation generation of the address space.
+func (m *Memory) Gen() uint64 { return m.gen }
+
+// Poke writes bytes bypassing page permissions — the kernel's code-patching
+// primitive (runtime rewriting, §4.3). It bumps the generation so decoded
+// instruction caches drop stale entries.
+func (m *Memory) Poke(addr uint64, data []byte) bool {
+	for len(data) > 0 {
+		p, ok := m.pages[pageOf(addr)]
+		if !ok {
+			return false
+		}
+		off := addr & (obj.PageSize - 1)
+		n := copy(p.Data[off:], data)
+		data = data[n:]
+		addr += uint64(n)
+	}
+	m.gen++
+	return true
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory { return &Memory{pages: make(map[uint64]*Page)} }
+
+func pageOf(addr uint64) uint64 { return addr >> 12 }
+
+// Page returns the frame mapped at the page containing addr.
+func (m *Memory) Page(addr uint64) (*Page, bool) {
+	p, ok := m.pages[pageOf(addr)]
+	return p, ok
+}
+
+// MapPage installs an existing frame at the page containing addr, enabling
+// frame sharing between address spaces.
+func (m *Memory) MapPage(addr uint64, p *Page) {
+	m.pages[pageOf(addr)] = p
+	m.lastPage, m.lastFetchPage = nil, nil
+	m.gen++
+}
+
+// lookup resolves a page through the one-entry caches (instruction fetches
+// and data accesses stream through separate entries so they don't thrash).
+func (m *Memory) lookup(pn uint64, fetch bool) (*Page, bool) {
+	if fetch {
+		if m.lastFetchPage != nil && m.lastFetchPN == pn {
+			return m.lastFetchPage, true
+		}
+	} else if m.lastPage != nil && m.lastPN == pn {
+		return m.lastPage, true
+	}
+	p, ok := m.pages[pn]
+	if ok {
+		if fetch {
+			m.lastFetchPN, m.lastFetchPage = pn, p
+		} else {
+			m.lastPN, m.lastPage = pn, p
+		}
+	}
+	return p, ok
+}
+
+// Map allocates zeroed frames covering [addr, addr+size) with the given
+// permission. Partial pages are rounded out.
+func (m *Memory) Map(addr, size uint64, perm obj.Perm) {
+	for pn := pageOf(addr); pn <= pageOf(addr+size-1); pn++ {
+		if _, ok := m.pages[pn]; !ok {
+			m.pages[pn] = &Page{Perm: perm}
+		} else {
+			m.pages[pn].Perm |= perm
+		}
+	}
+	m.lastPage, m.lastFetchPage = nil, nil
+	m.gen++
+}
+
+// MapSection maps a section's bytes at its address.
+func (m *Memory) MapSection(s *obj.Section) {
+	if len(s.Data) == 0 {
+		return
+	}
+	m.Map(s.Addr, uint64(len(s.Data)), s.Perm)
+	m.write(s.Addr, s.Data)
+}
+
+// MapImage maps every section of an image plus a stack.
+func (m *Memory) MapImage(img *obj.Image) {
+	for _, s := range img.Sections {
+		m.MapSection(s)
+	}
+	m.Map(obj.StackTop-obj.StackSize, obj.StackSize, obj.PermRW)
+}
+
+// write stores bytes without permission checks (loader path).
+func (m *Memory) write(addr uint64, data []byte) {
+	for len(data) > 0 {
+		p := m.pages[pageOf(addr)]
+		off := addr & (obj.PageSize - 1)
+		n := copy(p.Data[off:], data)
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+// access performs a checked read or write of n bytes at addr. It returns
+// the address that faulted, if any.
+func (m *Memory) access(addr uint64, buf []byte, write bool, need obj.Perm) (uint64, bool) {
+	a := addr
+	for len(buf) > 0 {
+		p, ok := m.lookup(pageOf(a), need == obj.PermX)
+		if !ok || p.Perm&need == 0 {
+			return a, false
+		}
+		off := a & (obj.PageSize - 1)
+		var n int
+		if write {
+			n = copy(p.Data[off:], buf)
+		} else {
+			n = copy(buf, p.Data[off:])
+		}
+		buf = buf[n:]
+		a += uint64(n)
+	}
+	return 0, true
+}
+
+// Read copies n bytes at addr into buf, checking read permission.
+func (m *Memory) Read(addr uint64, buf []byte) (uint64, bool) {
+	return m.access(addr, buf, false, obj.PermR)
+}
+
+// Write copies buf to addr, checking write permission.
+func (m *Memory) Write(addr uint64, buf []byte) (uint64, bool) {
+	return m.access(addr, buf, true, obj.PermW)
+}
+
+// Fetch reads up to 4 instruction bytes at addr, checking execute
+// permission. fewer than 4 bytes are returned only at the edge of the
+// mapped region.
+func (m *Memory) Fetch(addr uint64, buf []byte) (uint64, bool) {
+	return m.access(addr, buf, false, obj.PermX)
+}
+
+// ReadUint64 loads a little-endian u64.
+func (m *Memory) ReadUint64(addr uint64) (uint64, error) {
+	var b [8]byte
+	if fa, ok := m.Read(addr, b[:]); !ok {
+		return 0, fmt.Errorf("emu: read fault at %#x", fa)
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteUint64 stores a little-endian u64.
+func (m *Memory) WriteUint64(addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	if fa, ok := m.Write(addr, b[:]); !ok {
+		return fmt.Errorf("emu: write fault at %#x", fa)
+	}
+	return nil
+}
+
+// Clone returns a new address space sharing no frames with m (deep copy).
+func (m *Memory) Clone() *Memory {
+	out := NewMemory()
+	for pn, p := range m.pages {
+		cp := *p
+		out.pages[pn] = &cp
+	}
+	return out
+}
+
+// ShareFrom maps every frame of src whose page falls inside [addr,
+// addr+size) into m by reference. Used to share data segments between
+// MMViews.
+func (m *Memory) ShareFrom(src *Memory, addr, size uint64) {
+	for pn := pageOf(addr); pn <= pageOf(addr+size-1); pn++ {
+		if p, ok := src.pages[pn]; ok {
+			m.pages[pn] = p
+		}
+	}
+	m.lastPage, m.lastFetchPage = nil, nil
+	m.gen++
+}

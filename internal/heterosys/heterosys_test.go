@@ -1,0 +1,203 @@
+package heterosys
+
+import (
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/kernel"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/workload"
+)
+
+// runOn dispatches a fresh task of pr on a machine with the given pools and
+// returns the process after completion.
+func runOn(t *testing.T, pr *Prepared, isa riscv.Ext) *kernel.Process {
+	t.Helper()
+	task, err := pr.NewTask("t", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Proc.MigrateTo(isa); err != nil {
+		t.Fatal(err)
+	}
+	task.Proc.CPU.ISA = isa
+	for i := 0; i < 10_000; i++ {
+		_, st, err := task.Proc.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == kernel.StatusExited {
+			return task.Proc
+		}
+		if st == kernel.StatusNeedMigration {
+			t.Fatal("unexpected migration request")
+		}
+	}
+	t.Fatal("task did not finish")
+	return nil
+}
+
+func nativeExit(t *testing.T, img *obj.Image) uint64 {
+	t.Helper()
+	p, err := kernel.NewProcess("native", []kernel.Variant{{ISA: img.ISA, Image: img}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := p.Run(2_000_000_000)
+	if err != nil || st != kernel.StatusExited {
+		t.Fatalf("native run: %v %v", st, err)
+	}
+	return p.ExitCode
+}
+
+func TestAllSystemsMatmulBothDirections(t *testing.T) {
+	base, ext, err := workload.MatmulPair(10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := nativeExit(t, ext)
+	if w2 := nativeExit(t, base); w2 != want {
+		t.Fatalf("version disagreement: %d vs %d", w2, want)
+	}
+	for _, sys := range Systems {
+		for _, inputExt := range []bool{true, false} {
+			pr, err := Prepare(sys, base, ext, inputExt)
+			if err != nil {
+				t.Fatalf("%s inputExt=%v: %v", sys, inputExt, err)
+			}
+			// Run on an extension core.
+			p := runOn(t, pr, riscv.RV64GCV)
+			if p.ExitCode != want {
+				t.Errorf("%s inputExt=%v on ext core: exit %d, want %d", sys, inputExt, p.ExitCode, want)
+			}
+			// Run on a base core (FAM with the ext input cannot).
+			if sys == FAM && inputExt {
+				continue
+			}
+			p = runOn(t, pr, riscv.RV64GC)
+			if p.ExitCode != want {
+				t.Errorf("%s inputExt=%v on base core: exit %d, want %d", sys, inputExt, p.ExitCode, want)
+			}
+		}
+	}
+}
+
+func TestChimeraUpgradeAccelerates(t *testing.T) {
+	base, ext, err := workload.MatmulPair(16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := Prepare(Chimera, base, ext, false) // base input: upgrading
+	if err != nil {
+		t.Fatal(err)
+	}
+	onBase := runOn(t, pr, riscv.RV64GC)
+	onExt := runOn(t, pr, riscv.RV64GCV)
+	if onBase.ExitCode != onExt.ExitCode {
+		t.Fatalf("results differ: %d vs %d", onBase.ExitCode, onExt.ExitCode)
+	}
+	if onExt.CPU.Cycles >= onBase.CPU.Cycles {
+		t.Errorf("upgraded run not faster: ext %d cycles vs base %d",
+			onExt.CPU.Cycles, onBase.CPU.Cycles)
+	}
+}
+
+func TestSpecThroughAllSystems(t *testing.T) {
+	p := workload.SpecParams{
+		Name: "mini", CodeKB: 1100, Funcs: 6, VecFuncs: 3, BodyInsts: 30,
+		IndirectEvery: 3, ErrEntryEvery: 5, Rounds: 12, Seed: 7,
+	}
+	base, err := workload.BuildSpec(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := workload.BuildSpec(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := nativeExit(t, ext)
+	for _, sys := range Systems {
+		pr, err := Prepare(sys, base, ext, true)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		proc := runOn(t, pr, riscv.RV64GCV)
+		if proc.ExitCode != want {
+			t.Errorf("%s on ext core: exit %d, want %d", sys, proc.ExitCode, want)
+		}
+		if sys == FAM {
+			continue
+		}
+		proc = runOn(t, pr, riscv.RV64GC)
+		if proc.ExitCode != want {
+			t.Errorf("%s on base core: exit %d, want %d", sys, proc.ExitCode, want)
+		}
+		if sys == Chimera {
+			if proc.Counters.FaultRecoveries == 0 {
+				t.Errorf("chimera: the alt-entry path produced no passive fault recoveries")
+			}
+		}
+		if sys == Safer {
+			if proc.Counters.Checks == 0 {
+				t.Errorf("safer: no pointer checks recorded")
+			}
+		}
+	}
+}
+
+func TestFig11StyleSchedule(t *testing.T) {
+	// A miniature §6.1 run: 20 mixed tasks on a 2+2 machine under every
+	// system; all results must agree and accounting must be sane.
+	fibBase, fibExt, err := workload.FibPair(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmBase, mmExt, err := workload.MatmulPair(10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFib := nativeExit(t, fibExt)
+	wantMM := nativeExit(t, mmExt)
+
+	for _, sys := range Systems {
+		prFib, err := Prepare(sys, fibBase, fibExt, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prMM, err := Prepare(sys, mmBase, mmExt, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := kernel.NewMachine(2, 2)
+		s := kernel.NewScheduler(m)
+		s.SliceInstr = 50_000
+		for i := 0; i < 20; i++ {
+			var task *kernel.Task
+			if i%2 == 0 {
+				task, err = prFib.NewTask("fib", false)
+			} else {
+				task, err = prMM.NewTask("mm", true)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Submit(task)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		for _, task := range res.Tasks {
+			want := wantFib
+			if task.NeedsExt {
+				want = wantMM
+			}
+			if task.Proc.ExitCode != want {
+				t.Errorf("%s task %d: exit %d, want %d", sys, task.ID, task.Proc.ExitCode, want)
+			}
+		}
+		if res.CPUTime == 0 || res.Latency == 0 {
+			t.Errorf("%s: empty accounting %+v", sys, res)
+		}
+	}
+}

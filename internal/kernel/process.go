@@ -1,0 +1,398 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/eurosys26p57/chimera/internal/chbp"
+	"github.com/eurosys26p57/chimera/internal/emu"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/translate"
+)
+
+// Variant is the content of one MMView: the rewritten (or original) binary
+// a particular core class executes, plus its runtime metadata.
+type Variant struct {
+	ISA    riscv.Ext
+	Image  *obj.Image
+	Tables *chbp.Tables
+	// AddrMap enables Safer-style indirect-target translation for this view.
+	AddrMap map[uint64]uint64
+	// SaferChecks installs the regeneration pointer-check hook.
+	SaferChecks bool
+}
+
+// View is one loaded MMView: an address space instantiated from a variant,
+// sharing data frames with its sibling views (§4.3, Fig. 9).
+type View struct {
+	isa      riscv.Ext
+	img      *obj.Image
+	tables   *chbp.Tables
+	mem      *emu.Memory
+	hook     func(pc, target uint64) (uint64, uint64)
+	vregAddr uint64
+	// addrMap/revMap translate original-space instruction addresses to this
+	// view's regenerated addresses and back (Safer-style views; nil for
+	// address-preserving patched views).
+	addrMap map[uint64]uint64
+	revMap  map[uint64]uint64
+	// runtime rewriting area
+	patchBase, patchCursor, patchEnd uint64
+}
+
+// sharedSections are mapped once and shared by reference across views.
+var sharedSections = map[string]bool{
+	obj.SecRodata: true,
+	obj.SecData:   true,
+	obj.SecSData:  true,
+	obj.SecBSS:    true,
+}
+
+// FAMPolicy selects fault-and-migrate behavior: an unsupported instruction
+// asks the scheduler to move the task instead of being rewritten (§2.1).
+type FAMPolicy bool
+
+// Process is a loaded program with one view per core class (§4.3).
+type Process struct {
+	Name string
+	// CPU holds the architectural state; its Mem/ISA switch on migration.
+	CPU   *emu.CPU
+	views map[riscv.Ext]*View
+	cur   *View
+
+	FAM FAMPolicy
+
+	Exited   bool
+	ExitCode uint64
+	Output   []byte
+
+	Counters Counters
+
+	handlers map[int]uint64 // signal number -> user handler pc
+	inSignal bool
+	sigFrame sigContext
+	pending  []int
+}
+
+type sigContext struct {
+	X  [32]uint64
+	F  [32]uint64
+	PC uint64
+}
+
+// VariantFromImage builds a Variant from a (possibly rewritten) image,
+// recovering the embedded fault-handling tables if present.
+func VariantFromImage(img *obj.Image) (Variant, error) {
+	tables, err := chbp.TablesOf(img)
+	if err != nil {
+		return Variant{}, fmt.Errorf("kernel: parsing embedded tables: %w", err)
+	}
+	return Variant{ISA: img.ISA, Image: img, Tables: tables}, nil
+}
+
+// NewProcess loads the variants into views with shared data frames and
+// prepares the architectural state at the first variant's entry.
+func NewProcess(name string, variants []Variant) (*Process, error) {
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("kernel: no variants")
+	}
+	p := &Process{
+		Name:     name,
+		views:    make(map[riscv.Ext]*View),
+		handlers: make(map[int]uint64),
+	}
+	var first *View
+	for _, v := range variants {
+		if _, dup := p.views[v.ISA]; dup {
+			return nil, fmt.Errorf("kernel: duplicate variant for %v", v.ISA)
+		}
+		mem := emu.NewMemory()
+		mem.MapImage(v.Image)
+		view := &View{isa: v.ISA, img: v.Image, tables: v.Tables, mem: mem}
+		if v.AddrMap != nil {
+			view.addrMap = v.AddrMap
+			view.revMap = make(map[uint64]uint64, len(v.AddrMap))
+			for o, n := range v.AddrMap {
+				view.revMap[n] = o
+			}
+		}
+		if sec := v.Image.Section(obj.SecVRegFile); sec != nil {
+			view.vregAddr = sec.Addr
+		}
+		if v.SaferChecks {
+			ts, te := uint64(0), uint64(0)
+			if s := v.Image.Text(); s != nil {
+				ts, te = s.Addr, s.End()
+			}
+			m := v.AddrMap
+			view.hook = func(pc, target uint64) (uint64, uint64) {
+				cost := uint64(12)
+				if target >= ts && target < te {
+					if nt, ok := m[target]; ok {
+						if (target>>1)%10 == 0 {
+							cost += 28
+						}
+						return nt, cost
+					}
+				}
+				return target, cost
+			}
+		}
+		// Runtime patch area: a page range above everything in this view.
+		high := uint64(0)
+		for _, s := range v.Image.Sections {
+			if s.End() > high {
+				high = s.End()
+			}
+		}
+		view.patchBase = obj.AlignUp(high+obj.PageSize, obj.PageSize)
+		view.patchCursor = view.patchBase
+		view.patchEnd = view.patchBase + 1<<20
+		if first == nil {
+			first = view
+		} else {
+			// Share the data segments and the stack with the first view
+			// (Fig. 9: all MMViews point at common data frames). A section
+			// is shareable only when both views agree on its placement and
+			// initial contents — binaries from separate compilations (MELF's
+			// per-ISA versions) may embed view-local code pointers, which
+			// must stay private to their view.
+			for _, s := range v.Image.Sections {
+				if !sharedSections[s.Name] {
+					continue
+				}
+				ref := first.img.Section(s.Name)
+				if ref == nil || ref.Addr != s.Addr || len(ref.Data) != len(s.Data) {
+					continue
+				}
+				if !bytesEqual(ref.Data, s.Data) {
+					continue
+				}
+				mem.ShareFrom(first.mem, s.Addr, uint64(len(s.Data)))
+			}
+			mem.ShareFrom(first.mem, obj.StackTop-obj.StackSize, obj.StackSize)
+		}
+		p.views[v.ISA] = view
+	}
+	p.cur = first
+	p.CPU = emu.NewCPU(first.mem, first.isa)
+	p.CPU.Reset(first.img)
+	p.CPU.IndirectHook = first.hook
+	return p, nil
+}
+
+// ViewFor returns the view whose binary runs on the given core ISA: an
+// exact match, else the richest view the core supports.
+func (p *Process) ViewFor(isa riscv.Ext) (*View, bool) {
+	if v, ok := p.views[isa]; ok {
+		return v, true
+	}
+	var best *View
+	for _, v := range p.views {
+		if isa.Has(v.img.ISA) {
+			if best == nil || v.img.ISA > best.img.ISA {
+				best = v
+			}
+		}
+	}
+	return best, best != nil
+}
+
+// CurrentView returns the active MMView.
+func (p *Process) CurrentView() *View { return p.cur }
+
+// GP returns the view's ABI gp value.
+func (v *View) GP() uint64 { return v.img.GP }
+
+// Tables exposes the view's runtime tables.
+func (v *View) Tables() *chbp.Tables { return v.tables }
+
+// syncVectorStateOut spills the hart's architectural vector state into the
+// view's simulated register file so a base-core view sees it (§4.1).
+func (p *Process) syncVectorStateOut(to *View) {
+	if to.vregAddr == 0 {
+		return
+	}
+	mem := to.mem
+	mem.WriteUint64(to.vregAddr, p.CPU.VL)
+	mem.WriteUint64(to.vregAddr+8, uint64(p.CPU.VT))
+	var buf [riscv.VLenBytes]byte
+	for i := 0; i < 32; i++ {
+		copy(buf[:], p.CPU.V[i][:])
+		mem.Write(to.vregAddr+16+uint64(i*riscv.VLenBytes), buf[:])
+	}
+}
+
+// syncVectorStateIn loads the simulated register file back into the hart's
+// vector registers when migrating to an extension core.
+func (p *Process) syncVectorStateIn(from *View) {
+	if from.vregAddr == 0 {
+		return
+	}
+	mem := from.mem
+	if vl, err := mem.ReadUint64(from.vregAddr); err == nil {
+		p.CPU.VL = vl
+	}
+	if vt, err := mem.ReadUint64(from.vregAddr + 8); err == nil {
+		p.CPU.VT = int64(vt)
+	}
+	var buf [riscv.VLenBytes]byte
+	for i := 0; i < 32; i++ {
+		if _, ok := mem.Read(from.vregAddr+16+uint64(i*riscv.VLenBytes), buf[:]); ok {
+			copy(p.CPU.V[i][:], buf[:])
+		}
+	}
+}
+
+// MigrateTo switches the process to the view for the target core ISA
+// (Fig. 9 ②). If the pc currently sits inside generated target
+// instructions, the migration is delayed by running to the block's exit
+// probe first (§4.3). The bound caps that run.
+func (p *Process) MigrateTo(isa riscv.Ext) error {
+	target, ok := p.ViewFor(isa)
+	if !ok {
+		if p.FAM {
+			// Fault-and-migrate has no per-core variants: the task runs its
+			// only binary anywhere and relies on the illegal-instruction
+			// fault to bounce back to a capable core (§2.1).
+			return nil
+		}
+		return fmt.Errorf("kernel: no view runs on %v", isa)
+	}
+	if target == p.cur {
+		return nil
+	}
+	// Delay while inside target instructions: the same pc is not
+	// semantically equivalent across views there.
+	if t := p.cur.tables; t != nil && t.InTargetSection(p.CPU.PC) {
+		for i := 0; i < 1_000_000 && t.InTargetSection(p.CPU.PC); i++ {
+			if res := p.step(1); res != stepOK {
+				break
+			}
+		}
+		if t.InTargetSection(p.CPU.PC) {
+			return fmt.Errorf("kernel: migration probe never fired at %#x", p.CPU.PC)
+		}
+	}
+	// Regenerated views live at different code addresses: translate the pc
+	// back to the original address space, then forward into the target.
+	// (Patched views preserve addresses, so both steps are no-ops there.)
+	if p.cur.revMap != nil {
+		if orig, ok := p.cur.revMap[p.CPU.PC]; ok {
+			p.CPU.PC = orig
+		}
+	}
+	if target.addrMap != nil {
+		if npc, ok := target.addrMap[p.CPU.PC]; ok {
+			p.CPU.PC = npc
+		} else if s := target.img.SectionAt(p.CPU.PC); s == nil || s.Perm&obj.PermX == 0 {
+			return fmt.Errorf("kernel: pc %#x not mappable into regenerated view", p.CPU.PC)
+		}
+	}
+	// Vector context moves through the simulated register files.
+	if p.cur.isa.Has(riscv.ExtV) && !target.isa.Has(riscv.ExtV) {
+		p.syncVectorStateOut(target)
+	}
+	if !p.cur.isa.Has(riscv.ExtV) && target.isa.Has(riscv.ExtV) {
+		p.syncVectorStateIn(p.cur)
+	}
+	p.cur = target
+	p.CPU.Mem = target.mem
+	p.CPU.ISA = target.isa
+	p.CPU.IndirectHook = target.hook
+	p.Counters.Migrations++
+	p.Counters.KernelCycles += MigrationCost
+	return nil
+}
+
+// runtimeRewrite handles an unrecognized extension instruction that faulted
+// (§4.1/§4.3 "Redirection/Rewriting"): the kernel translates it in place
+// with a trap trampoline into a per-view patch area.
+func (p *Process) runtimeRewrite(v *View, pc uint64) error {
+	page, ok := v.mem.Page(pc)
+	if !ok {
+		return fmt.Errorf("kernel: faulting pc %#x unmapped", pc)
+	}
+	off := pc & (obj.PageSize - 1)
+	raw := make([]byte, 4)
+	n := copy(raw, page.Data[off:])
+	inst, err := riscv.Decode(raw[:n])
+	if err != nil {
+		return fmt.Errorf("kernel: cannot decode at %#x: %w", pc, err)
+	}
+	if p.CPU.ISA.Has(inst.Extension()) {
+		return fmt.Errorf("kernel: %s at %#x is already supported", inst, pc)
+	}
+	if v.vregAddr == 0 {
+		return fmt.Errorf("kernel: view has no simulated register file")
+	}
+	// The element width in effect lives in the simulated vtype slot (any
+	// dominating vsetvli was itself downgraded to write it there).
+	sew := riscv.E64
+	if vt, err := v.mem.ReadUint64(v.vregAddr + 8); err == nil && vt != 0 {
+		sew = riscv.SEWOf(int64(vt))
+	}
+	seq, err := translate.Downgrade(inst, sew, &translate.Context{VRegBase: v.vregAddr})
+	if err != nil {
+		return err
+	}
+	// Place the target block followed by a trap exit resuming after the
+	// rewritten instruction.
+	need := uint64(4*len(seq)) + 4
+	if v.patchCursor+need > v.patchEnd {
+		return fmt.Errorf("kernel: runtime patch area exhausted")
+	}
+	v.mem.Map(v.patchCursor, need, obj.PermRX)
+	blockAddr := v.patchCursor
+	for i, in := range seq {
+		w, err := riscv.Encode(in)
+		if err != nil {
+			return err
+		}
+		writeCode(v.mem, blockAddr+uint64(4*i), w)
+	}
+	exitAddr := blockAddr + uint64(4*len(seq))
+	writeCode(v.mem, exitAddr, riscv.MustEncode(riscv.Inst{Op: riscv.EBREAK}))
+	// Patch the faulting instruction with a trap trampoline of its size.
+	if inst.Len == 2 {
+		pcl, _ := riscv.EncodeCompressed(riscv.Inst{Op: riscv.EBREAK})
+		writeParcel(v.mem, pc, pcl)
+	} else {
+		writeCode(v.mem, pc, riscv.MustEncode(riscv.Inst{Op: riscv.EBREAK}))
+	}
+	if v.tables == nil {
+		v.tables = chbp.NewTables(v.img.GP)
+	}
+	v.tables.Trap[pc] = blockAddr
+	v.tables.ExitTrap[exitAddr] = pc + uint64(inst.Len)
+	p.Counters.RuntimeRewrites++
+	p.Counters.KernelCycles += RuntimeRewriteCost
+	return nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// writeCode stores a 32-bit word bypassing page permissions (kernel
+// privilege).
+func writeCode(m *emu.Memory, addr uint64, w uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], w)
+	m.Poke(addr, b[:])
+}
+
+func writeParcel(m *emu.Memory, addr uint64, pcl uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], pcl)
+	m.Poke(addr, b[:])
+}

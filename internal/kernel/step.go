@@ -1,0 +1,288 @@
+package kernel
+
+import (
+	"fmt"
+
+	"github.com/eurosys26p57/chimera/internal/emu"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// Status reports how a scheduling slice ended.
+type Status int
+
+// Statuses.
+const (
+	// StatusRunning: the slice was exhausted; the task is still runnable.
+	StatusRunning Status = iota
+	// StatusExited: the process called exit or died on a signal.
+	StatusExited
+	// StatusNeedMigration: FAM policy hit an unsupported instruction; the
+	// scheduler must move the task to a capable core (§2.1).
+	StatusNeedMigration
+	// StatusYield: the process gave up its slice voluntarily.
+	StatusYield
+)
+
+type stepStatus = Status
+
+const stepOK = StatusRunning
+
+// step is the single-instruction helper used by migration probes.
+func (p *Process) step(n uint64) Status {
+	_, st, _ := p.Run(n)
+	return st
+}
+
+// Run executes up to slice instructions on the current view, servicing
+// syscalls, traps, and deterministic faults. It returns the cycles
+// consumed (guest + kernel charges), the resulting status, and an error
+// only for simulator-level problems (never for guest crashes, which exit
+// the process with 128+signal).
+func (p *Process) Run(slice uint64) (uint64, Status, error) {
+	cpu := p.CPU
+	startCycles := cpu.Cycles
+	startKernel := p.Counters.KernelCycles
+	startChecks := cpu.HookCount
+	executed := uint64(0)
+	status := StatusRunning
+
+loop:
+	for executed < slice && !p.Exited {
+		if len(p.pending) > 0 && !p.inSignal {
+			sig := p.pending[0]
+			p.pending = p.pending[1:]
+			p.deliverSignal(sig)
+			if p.Exited {
+				status = StatusExited
+				break
+			}
+		}
+		before := cpu.Instret
+		stop := cpu.Run(slice - executed)
+		executed += cpu.Instret - before
+		switch stop.Kind {
+		case emu.StopLimit:
+			// Slice exhausted.
+		case emu.StopEcall:
+			st, err := p.syscall()
+			if err != nil {
+				return p.consumed(startCycles, startKernel, startChecks), status, err
+			}
+			if st != StatusRunning {
+				status = st
+				break loop
+			}
+		case emu.StopBreak:
+			if !p.handleBreak() {
+				p.deliverSignal(SIGTRAP)
+			}
+		case emu.StopFault:
+			st := p.handleFault(stop.Fault)
+			if st != StatusRunning {
+				status = st
+				break loop
+			}
+		}
+	}
+	if p.Exited {
+		status = StatusExited
+	}
+	return p.consumed(startCycles, startKernel, startChecks), status, nil
+}
+
+func (p *Process) consumed(startCycles, startKernel, startChecks uint64) uint64 {
+	p.Counters.Checks += p.CPU.HookCount - startChecks
+	return (p.CPU.Cycles - startCycles) + (p.Counters.KernelCycles - startKernel)
+}
+
+// handleBreak services an ebreak through the trap tables. It reports
+// whether the trap was a known trampoline.
+func (p *Process) handleBreak() bool {
+	t := p.cur.tables
+	if t == nil {
+		return false
+	}
+	if tgt, ok := t.Trap[p.CPU.PC]; ok {
+		p.CPU.PC = tgt
+		p.Counters.Traps++
+		p.Counters.KernelCycles += TrapCost
+		return true
+	}
+	if resume, ok := t.ExitTrap[p.CPU.PC]; ok && resume != 0 {
+		p.CPU.PC = resume
+		p.Counters.Traps++
+		p.Counters.KernelCycles += TrapCost
+		return true
+	}
+	return false
+}
+
+// handleFault routes a deterministic fault (§4.3): CHBP-raised faults are
+// recovered through the fault-handling table; unrecognized extension
+// instructions are rewritten at run time (or trigger migration under FAM);
+// anything else is a real program fault and becomes a signal.
+func (p *Process) handleFault(f emu.Fault) Status {
+	cpu := p.CPU
+	t := p.cur.tables
+	switch f.Kind {
+	case emu.FaultAccess:
+		if t != nil {
+			// A partially-executed SMILE trampoline jumped through the
+			// unmodified gp into the data segment. The jalr stored its
+			// return address in gp, so the fault address is gp-4 (§4.3).
+			key := cpu.X[riscv.GP] - 4
+			if tgt, ok := t.Redirect[key]; ok && cpu.PC == f.PC {
+				cpu.X[riscv.GP] = t.GP
+				cpu.PC = tgt
+				p.Counters.FaultRecoveries++
+				p.Counters.KernelCycles += FaultRecoveryCost
+				return StatusRunning
+			}
+			// Fig. 5 general-register trampolines leave the return address
+			// in the pair's register instead of gp; scan the register file
+			// for a value matching a redirect key. The relocated copies
+			// re-execute the overwritten lui, so no register restore is
+			// needed.
+			for r := riscv.T0; r < 32; r++ {
+				if tgt, ok := t.Redirect[cpu.X[r]-4]; ok && cpu.PC == f.PC {
+					cpu.PC = tgt
+					p.Counters.FaultRecoveries++
+					p.Counters.KernelCycles += FaultRecoveryCost
+					return StatusRunning
+				}
+			}
+		}
+		p.deliverSignal(SIGSEGV)
+		return p.signalStatus()
+	case emu.FaultIllegal:
+		if t != nil {
+			if tgt, ok := t.Redirect[f.PC]; ok {
+				cpu.PC = tgt
+				p.Counters.FaultRecoveries++
+				p.Counters.KernelCycles += FaultRecoveryCost
+				return StatusRunning
+			}
+		}
+		// Unrecognized extension instruction? (The hart's ISA is the core's,
+		// which may be narrower than the view's.)
+		if inst, ok := p.decodeAt(f.PC); ok && !p.CPU.ISA.Has(inst.Extension()) {
+			if p.FAM {
+				return StatusNeedMigration
+			}
+			if err := p.runtimeRewrite(p.cur, f.PC); err == nil {
+				return StatusRunning // pc unchanged: the fresh trap trampoline fires next
+			}
+		}
+		p.deliverSignal(SIGILL)
+		return p.signalStatus()
+	}
+	p.deliverSignal(SIGILL)
+	return p.signalStatus()
+}
+
+func (p *Process) signalStatus() Status {
+	if p.Exited {
+		return StatusExited
+	}
+	return StatusRunning
+}
+
+func (p *Process) decodeAt(pc uint64) (riscv.Inst, bool) {
+	page, ok := p.cur.mem.Page(pc)
+	if !ok {
+		return riscv.Inst{}, false
+	}
+	off := pc & 0xFFF
+	buf := make([]byte, 0, 4)
+	buf = append(buf, page.Data[off:min(off+4, 4096)]...)
+	for len(buf) < 4 {
+		next, ok := p.cur.mem.Page(pc + uint64(len(buf)))
+		if !ok {
+			break
+		}
+		buf = append(buf, next.Data[0])
+	}
+	in, err := riscv.Decode(buf)
+	return in, err == nil
+}
+
+// deliverSignal delivers a signal to the process: to its registered user
+// handler (with gp restored to the ABI value so the handler runs correctly
+// even if the signal interrupted a SMILE trampoline, §4.3 Fig. 10), or
+// fatally when there is none.
+func (p *Process) deliverSignal(sig int) {
+	handler, ok := p.handlers[sig]
+	if !ok || p.inSignal {
+		p.Exited = true
+		p.ExitCode = 128 + uint64(sig)
+		return
+	}
+	p.sigFrame = sigContext{X: p.CPU.X, F: p.CPU.F, PC: p.CPU.PC}
+	p.inSignal = true
+	p.CPU.PC = handler
+	p.CPU.X[riscv.A0] = uint64(sig)
+	if t := p.cur.tables; t != nil && t.GP != 0 {
+		// Chimera's signal-handling fix: the user handler observes the ABI
+		// gp even when the trampoline had it temporarily overwritten.
+		p.CPU.X[riscv.GP] = t.GP
+	} else {
+		p.CPU.X[riscv.GP] = p.cur.img.GP
+	}
+	p.Counters.SignalsTaken++
+	p.Counters.KernelCycles += SignalDeliveryCost
+}
+
+// Kill queues an asynchronous signal, delivered at the next scheduling
+// point.
+func (p *Process) Kill(sig int) { p.pending = append(p.pending, sig) }
+
+// syscall services an environment call.
+func (p *Process) syscall() (Status, error) {
+	cpu := p.CPU
+	p.Counters.Syscalls++
+	p.Counters.KernelCycles += SyscallCost
+	nr := cpu.X[riscv.A7]
+	a0, a1, a2 := cpu.X[riscv.A0], cpu.X[riscv.A1], cpu.X[riscv.A2]
+	advance := true
+	st := StatusRunning
+	switch nr {
+	case SysExit:
+		p.Exited = true
+		p.ExitCode = a0
+		st = StatusExited
+		advance = false
+	case SysWrite:
+		if a2 > 1<<20 {
+			cpu.X[riscv.A0] = ^uint64(0) // EFAULT-ish
+			break
+		}
+		buf := make([]byte, a2)
+		if fa, ok := cpu.Mem.Read(a1, buf); !ok {
+			return st, fmt.Errorf("kernel: write(2) buffer fault at %#x", fa)
+		}
+		p.Output = append(p.Output, buf...)
+		cpu.X[riscv.A0] = a2
+	case SysGetTID:
+		cpu.X[riscv.A0] = 1
+	case SysYield:
+		st = StatusYield
+	case SysSigaction:
+		p.handlers[int(a0)] = a1
+		cpu.X[riscv.A0] = 0
+	case SysSigreturn:
+		if !p.inSignal {
+			return st, fmt.Errorf("kernel: sigreturn outside a signal")
+		}
+		cpu.X = p.sigFrame.X
+		cpu.F = p.sigFrame.F
+		cpu.PC = p.sigFrame.PC
+		p.inSignal = false
+		advance = false
+	default:
+		cpu.X[riscv.A0] = ^uint64(37) // -ENOSYS
+	}
+	if advance {
+		cpu.PC += 4
+	}
+	return st, nil
+}

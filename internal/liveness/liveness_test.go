@@ -1,0 +1,179 @@
+package liveness
+
+import (
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/asm"
+	"github.com/eurosys26p57/chimera/internal/cfg"
+	"github.com/eurosys26p57/chimera/internal/dis"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+func analyze(t *testing.T, build func(b *asm.Builder)) (*Analysis, map[string]uint64) {
+	t.Helper()
+	b := asm.NewBuilder(riscv.RV64GCV)
+	build(b)
+	img, err := b.Build("t", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Build(dis.Disassemble(img))
+	labels := make(map[string]uint64)
+	for _, sym := range img.Symbols {
+		labels[sym.Name] = sym.Addr
+	}
+	return Analyze(g), labels
+}
+
+func TestUseDef(t *testing.T) {
+	cases := []struct {
+		in       riscv.Inst
+		use, def RegSet
+	}{
+		{riscv.Inst{Op: riscv.ADD, Rd: riscv.A0, Rs1: riscv.A1, Rs2: riscv.A2},
+			RegSet(0).Add(riscv.A1).Add(riscv.A2), RegSet(0).Add(riscv.A0)},
+		{riscv.Inst{Op: riscv.SD, Rs1: riscv.SP, Rs2: riscv.RA},
+			RegSet(0).Add(riscv.SP).Add(riscv.RA), 0},
+		{riscv.Inst{Op: riscv.LUI, Rd: riscv.T0}, 0, RegSet(0).Add(riscv.T0)},
+		{riscv.Inst{Op: riscv.BEQ, Rs1: riscv.A0, Rs2: riscv.A1},
+			RegSet(0).Add(riscv.A0).Add(riscv.A1), 0},
+		{riscv.Inst{Op: riscv.JALR, Rd: riscv.GP, Rs1: riscv.GP},
+			RegSet(0).Add(riscv.GP), RegSet(0).Add(riscv.GP)},
+		{riscv.Inst{Op: riscv.FMADDD, Rd: 1, Rs1: 2, Rs2: 3, Rs3: 4}, 0, 0},
+		{riscv.Inst{Op: riscv.VLE64V, Rd: 1, Rs1: riscv.A0},
+			RegSet(0).Add(riscv.A0), 0},
+		{riscv.Inst{Op: riscv.FCVTLD, Rd: riscv.A0, Rs1: 1}, 0, RegSet(0).Add(riscv.A0)},
+		// x0 never appears in sets.
+		{riscv.Inst{Op: riscv.ADDI, Rd: riscv.Zero, Rs1: riscv.Zero}, 0, 0},
+	}
+	for _, c := range cases {
+		use, def := UseDef(c.in)
+		if use != c.use || def != c.def {
+			t.Errorf("UseDef(%v) = %032b/%032b, want %032b/%032b", c.in, use, def, c.use, c.def)
+		}
+	}
+}
+
+func TestDeadAfterSimple(t *testing.T) {
+	// t1 is overwritten before any use after the anchor point, so it is dead
+	// there; a0 is used by the ecall path so it stays live.
+	a, labels := analyze(t, func(b *asm.Builder) {
+		b.Func("main")
+		b.Li(riscv.A0, 1)
+		b.Func("anchor")
+		b.Nop() // the instruction we ask about
+		b.Li(riscv.T1, 7)
+		b.Op(riscv.ADD, riscv.A0, riscv.A0, riscv.T1)
+		b.Ecall()
+		b.Ret()
+	})
+	anchor := labels["anchor"]
+	live := a.LiveAfter(anchor)
+	if live.Has(riscv.T1) {
+		t.Error("t1 should be dead after anchor (redefined before use)")
+	}
+	if !live.Has(riscv.A0) {
+		t.Error("a0 should be live after anchor")
+	}
+	if r, ok := a.DeadAfter(anchor); !ok {
+		t.Error("no dead register found")
+	} else if live.Has(r) {
+		t.Errorf("DeadAfter returned live register %v", r)
+	}
+}
+
+func TestConservativeAtIndirect(t *testing.T) {
+	// Immediately before an unresolvable computed jump, everything is live.
+	a, labels := analyze(t, func(b *asm.Builder) {
+		b.Func("main")
+		b.Func("anchor")
+		b.Nop()
+		b.Jr(riscv.T0)
+	})
+	live := a.LiveAfter(labels["anchor"])
+	if live != AllRegs {
+		t.Errorf("live before computed jump = %032b, want all", live)
+	}
+	if _, ok := a.DeadAfter(labels["anchor"]); ok {
+		t.Error("found a dead register before an indirect jump")
+	}
+}
+
+func TestRetUsesABIContract(t *testing.T) {
+	// Before a ret, only return/callee-saved registers (plus ra) are live;
+	// temporaries are scavengeable, which is what lets CHBP find exit
+	// registers in leaf epilogues.
+	a, labels := analyze(t, func(b *asm.Builder) {
+		b.Func("main")
+		b.Func("anchor")
+		b.Nop()
+		b.Ret()
+	})
+	live := a.LiveAfter(labels["anchor"])
+	if live.Has(riscv.T3) {
+		t.Error("t3 live before ret despite ABI contract")
+	}
+	for _, r := range []riscv.Reg{riscv.A0, riscv.S0, riscv.SP, riscv.RA} {
+		if !live.Has(r) {
+			t.Errorf("%v should be live before ret", r.Name())
+		}
+	}
+}
+
+func TestLoopLiveness(t *testing.T) {
+	// The loop counter must stay live around the back edge.
+	a, labels := analyze(t, func(b *asm.Builder) {
+		b.Func("main")
+		b.Li(riscv.S2, 10)
+		b.Label("loop")
+		b.Func("anchor")
+		b.Nop()
+		b.Imm(riscv.ADDI, riscv.S2, riscv.S2, -1)
+		b.Bne(riscv.S2, riscv.Zero, "loop")
+		b.Ecall()
+		b.Ret()
+	})
+	live := a.LiveAfter(labels["anchor"])
+	if !live.Has(riscv.S2) {
+		t.Error("loop counter s2 must be live inside the loop")
+	}
+}
+
+func TestCallModel(t *testing.T) {
+	// Before a call, temporaries not read later are dead even though the
+	// callee body is opaque; callee-saved registers read after the call stay
+	// live across it.
+	a, labels := analyze(t, func(b *asm.Builder) {
+		b.Func("main")
+		b.Li(riscv.S3, 5)
+		b.Li(riscv.T2, 9)
+		b.Func("anchor")
+		b.Nop()
+		b.Call("leaf")
+		b.Op(riscv.ADD, riscv.A0, riscv.A0, riscv.S3)
+		b.Ecall()
+		b.Ret()
+		b.Func("leaf")
+		b.Li(riscv.A0, 1)
+		b.Ret()
+	})
+	live := a.LiveAfter(labels["anchor"])
+	if !live.Has(riscv.S3) {
+		t.Error("s3 read after the call must be live across it")
+	}
+	if live.Has(riscv.T2) {
+		t.Error("t2 is not read after anchor; the call model should not keep it live")
+	}
+}
+
+func TestRegSetOps(t *testing.T) {
+	var s RegSet
+	s = s.Add(riscv.A0).Add(riscv.T3)
+	if !s.Has(riscv.A0) || !s.Has(riscv.T3) || s.Has(riscv.A1) {
+		t.Error("Add/Has broken")
+	}
+	s = s.Remove(riscv.A0)
+	if s.Has(riscv.A0) {
+		t.Error("Remove broken")
+	}
+}

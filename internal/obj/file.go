@@ -1,0 +1,166 @@
+package obj
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// On-disk format: a compact little-endian container so the CLI tools can
+// pass images between rewriting and execution.
+//
+//	magic "CHIM" | u16 version | header | sections | symbols
+//
+// All strings are u16 length + bytes; all integers little-endian.
+
+const (
+	fileMagic   = "CHIM"
+	fileVersion = 1
+)
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > 0xFFFF {
+		return fmt.Errorf("obj: string too long (%d bytes)", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// WriteTo serializes the image.
+func (img *Image) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	buf.WriteString(fileMagic)
+	binary.Write(&buf, binary.LittleEndian, uint16(fileVersion))
+	if err := writeString(&buf, img.Name); err != nil {
+		return 0, err
+	}
+	binary.Write(&buf, binary.LittleEndian, img.Entry)
+	binary.Write(&buf, binary.LittleEndian, img.GP)
+	binary.Write(&buf, binary.LittleEndian, uint32(img.ISA))
+	binary.Write(&buf, binary.LittleEndian, uint32(len(img.Sections)))
+	for _, s := range img.Sections {
+		if err := writeString(&buf, s.Name); err != nil {
+			return 0, err
+		}
+		binary.Write(&buf, binary.LittleEndian, s.Addr)
+		binary.Write(&buf, binary.LittleEndian, uint8(s.Perm))
+		binary.Write(&buf, binary.LittleEndian, uint64(len(s.Data)))
+		buf.Write(s.Data)
+	}
+	binary.Write(&buf, binary.LittleEndian, uint32(len(img.Symbols)))
+	for _, sym := range img.Symbols {
+		if err := writeString(&buf, sym.Name); err != nil {
+			return 0, err
+		}
+		binary.Write(&buf, binary.LittleEndian, sym.Addr)
+		binary.Write(&buf, binary.LittleEndian, sym.Size)
+		binary.Write(&buf, binary.LittleEndian, uint8(sym.Kind))
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadImage deserializes an image written by WriteTo.
+func ReadImage(r io.Reader) (*Image, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("obj: bad magic %q", magic)
+	}
+	var version uint16
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != fileVersion {
+		return nil, fmt.Errorf("obj: unsupported version %d", version)
+	}
+	img := &Image{}
+	var err error
+	if img.Name, err = readString(r); err != nil {
+		return nil, err
+	}
+	var isa uint32
+	if err := binary.Read(r, binary.LittleEndian, &img.Entry); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &img.GP); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &isa); err != nil {
+		return nil, err
+	}
+	img.ISA = riscv.Ext(isa)
+	var nsec uint32
+	if err := binary.Read(r, binary.LittleEndian, &nsec); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nsec; i++ {
+		s := &Section{}
+		if s.Name, err = readString(r); err != nil {
+			return nil, err
+		}
+		var perm uint8
+		var size uint64
+		if err := binary.Read(r, binary.LittleEndian, &s.Addr); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &perm); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &size); err != nil {
+			return nil, err
+		}
+		if size > 1<<32 {
+			return nil, fmt.Errorf("obj: unreasonable section size %d", size)
+		}
+		s.Perm = Perm(perm)
+		s.Data = make([]byte, size)
+		if _, err := io.ReadFull(r, s.Data); err != nil {
+			return nil, err
+		}
+		img.Sections = append(img.Sections, s)
+	}
+	var nsym uint32
+	if err := binary.Read(r, binary.LittleEndian, &nsym); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nsym; i++ {
+		var sym Symbol
+		if sym.Name, err = readString(r); err != nil {
+			return nil, err
+		}
+		var kind uint8
+		if err := binary.Read(r, binary.LittleEndian, &sym.Addr); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &sym.Size); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
+			return nil, err
+		}
+		sym.Kind = SymKind(kind)
+		img.Symbols = append(img.Symbols, sym)
+	}
+	return img, nil
+}

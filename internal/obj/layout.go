@@ -1,0 +1,26 @@
+package obj
+
+// Standard address-space layout for images built by the toolchain. The
+// values mirror a conventional RISC-V Linux static link: code low, data
+// above it, the gp anchor 0x800 into .sdata (the linker convention that
+// maximizes gp-relative reach), and the stack near the top of the 31-bit
+// simulated address space.
+const (
+	// PageSize is the MMU granule of the simulated machine.
+	PageSize = 1 << 12
+
+	// TextBase is where .text is linked.
+	TextBase uint64 = 0x0001_0000
+
+	// StackTop is the initial stack pointer; the stack grows down.
+	StackTop uint64 = 0x7FFF_F000
+
+	// StackSize is the size of the stack mapping.
+	StackSize uint64 = 1 << 20
+
+	// GPOffset is the offset of the gp anchor inside .sdata.
+	GPOffset uint64 = 0x800
+)
+
+// AlignUp rounds v up to the next multiple of align (a power of two).
+func AlignUp(v, align uint64) uint64 { return (v + align - 1) &^ (align - 1) }

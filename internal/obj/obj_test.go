@@ -1,0 +1,146 @@
+package obj
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+func testImage() *Image {
+	img := &Image{
+		Name:  "t",
+		Entry: TextBase,
+		ISA:   riscv.RV64GC,
+	}
+	img.AddSection(&Section{Name: SecText, Addr: TextBase, Data: make([]byte, 64), Perm: PermRX})
+	img.AddSection(&Section{Name: SecData, Addr: 0x20000, Data: make([]byte, 32), Perm: PermRW})
+	img.AddSection(&Section{Name: SecSData, Addr: 0x30000, Data: make([]byte, PageSize), Perm: PermRW})
+	img.GP = 0x30000 + GPOffset
+	img.Symbols = []Symbol{
+		{Name: "main", Addr: TextBase, Size: 32, Kind: SymFunc},
+		{Name: "blob", Addr: 0x20000, Size: 32, Kind: SymObject},
+	}
+	return img
+}
+
+func TestValidate(t *testing.T) {
+	img := testImage()
+	if err := img.Validate(); err != nil {
+		t.Fatalf("valid image rejected: %v", err)
+	}
+
+	overlap := testImage()
+	overlap.AddSection(&Section{Name: "x", Addr: TextBase + 8, Data: make([]byte, 8), Perm: PermR})
+	if err := overlap.Validate(); err == nil {
+		t.Error("overlapping sections accepted")
+	}
+
+	badEntry := testImage()
+	badEntry.Entry = 0x20000 // data section: not executable
+	if err := badEntry.Validate(); err == nil {
+		t.Error("non-executable entry accepted")
+	}
+
+	badGP := testImage()
+	badGP.GP = TextBase // gp must point into data, not code
+	if err := badGP.Validate(); err == nil {
+		t.Error("gp anchor in executable section accepted")
+	}
+}
+
+func TestReadWriteAt(t *testing.T) {
+	img := testImage()
+	want := []byte{1, 2, 3, 4}
+	if err := img.WriteAt(TextBase+8, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if err := img.ReadAt(TextBase+8, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+	if err := img.ReadAt(TextBase+62, got); err == nil {
+		t.Error("read crossing section end accepted")
+	}
+	if err := img.WriteAt(0x50000, want); err == nil {
+		t.Error("write outside any section accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	img := testImage()
+	cp := img.Clone()
+	cp.Text().Data[0] = 0xAA
+	if img.Text().Data[0] == 0xAA {
+		t.Error("clone shares section bytes with the original")
+	}
+	cp.Symbols[0].Name = "changed"
+	if img.Symbols[0].Name == "changed" {
+		t.Error("clone shares symbol slice with the original")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	img := testImage()
+	img.Text().Data[5] = 0x5A
+	var buf bytes.Buffer
+	if _, err := img.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != img.Name || back.Entry != img.Entry || back.GP != img.GP || back.ISA != img.ISA {
+		t.Errorf("header mismatch: %+v vs %+v", back, img)
+	}
+	if len(back.Sections) != len(img.Sections) || len(back.Symbols) != len(img.Symbols) {
+		t.Fatalf("counts mismatch")
+	}
+	for i := range img.Sections {
+		a, b := img.Sections[i], back.Sections[i]
+		if a.Name != b.Name || a.Addr != b.Addr || a.Perm != b.Perm || !bytes.Equal(a.Data, b.Data) {
+			t.Errorf("section %d mismatch", i)
+		}
+	}
+	if back.Symbols[0] != img.Symbols[0] {
+		t.Errorf("symbol mismatch: %+v vs %+v", back.Symbols[0], img.Symbols[0])
+	}
+}
+
+func TestReadImageRejectsJunk(t *testing.T) {
+	if _, err := ReadImage(bytes.NewReader([]byte("NOPE...."))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	testImage().WriteTo(&buf)
+	if _, err := ReadImage(bytes.NewReader(buf.Bytes()[:20])); err == nil {
+		t.Error("truncated image accepted")
+	}
+}
+
+func TestSectionAtAndLookups(t *testing.T) {
+	img := testImage()
+	if s := img.SectionAt(TextBase + 10); s == nil || s.Name != SecText {
+		t.Error("SectionAt failed inside .text")
+	}
+	if s := img.SectionAt(0x999999); s != nil {
+		t.Error("SectionAt returned a section for an unmapped address")
+	}
+	if sym, ok := img.Lookup("main"); !ok || sym.Addr != TextBase {
+		t.Error("Lookup(main) failed")
+	}
+	if _, ok := img.SymbolAt(TextBase); !ok {
+		t.Error("SymbolAt(entry) failed")
+	}
+	funcs := img.FuncSymbols()
+	if len(funcs) != 1 || funcs[0].Name != "main" {
+		t.Errorf("FuncSymbols = %v", funcs)
+	}
+	if img.CodeSize() != 64 {
+		t.Errorf("CodeSize = %d, want 64", img.CodeSize())
+	}
+}

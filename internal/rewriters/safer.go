@@ -1,0 +1,125 @@
+package rewriters
+
+import (
+	"fmt"
+
+	"github.com/eurosys26p57/chimera/internal/chbp"
+	"github.com/eurosys26p57/chimera/internal/dis"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/translate"
+)
+
+// Safer cost model: every indirect jump pays the inline encoded-pointer
+// check; targets whose encoding failed statically pay the translation-table
+// path on top (§2.2). The constants model the instruction sequences Safer
+// inlines; the unencoded ratio reflects its static encoding hit rate.
+const (
+	SaferCheckCycles = 12
+	SaferTableCycles = 28
+	// saferUnencodedDenom: 1-in-N indirect targets take the table path.
+	saferUnencodedDenom = 10
+)
+
+// Safer rewrites an image the way the Safer regeneration baseline does:
+// all code is regenerated at new addresses with direct control flow fixed
+// statically; every indirect jump is checked at run time and its target
+// translated from the original address space. The original code section is
+// dropped from the executable mapping — regeneration keeps no trampolines.
+func Safer(img *obj.Image, targetISA riscv.Ext, emptyPatch bool) (*Rewritten, error) {
+	d := dis.Disassemble(img)
+	vregAddr, newBase := newLayout(img)
+	rel, err := relocateAll(d, relocOptions{
+		targetISA:  targetISA,
+		emptyPatch: emptyPatch,
+		newBase:    newBase,
+		ctx:        &translate.Context{VRegBase: vregAddr},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rw := img.Clone()
+	rw.Name = img.Name + ".safer"
+	// Regeneration: the original text stops being executable; stale code
+	// pointers that escape the runtime check fault deterministically, which
+	// mirrors Safer's "detect but cannot correct" behavior.
+	for _, s := range rw.Sections {
+		if s.Perm&obj.PermX != 0 {
+			s.Perm = obj.PermR
+		}
+	}
+
+	tables := chbp.NewTables(img.GP)
+	for addr, resume := range rel.trapResume {
+		tables.ExitTrap[addr] = resume
+	}
+	tables.TargetStart, tables.TargetEnd = newBase, rel.newEnd
+
+	rw.AddSection(&obj.Section{Name: obj.SecVRegFile, Addr: vregAddr,
+		Data: make([]byte, translate.VRegFileSize), Perm: obj.PermRW})
+	rw.AddSection(&obj.Section{Name: obj.SecTarget, Addr: newBase,
+		Data: rel.code, Perm: obj.PermRX})
+	rw.AddSection(&obj.Section{Name: obj.SecFaultTab,
+		Addr: obj.AlignUp(rel.newEnd+1, obj.PageSize), Data: tables.Marshal(), Perm: obj.PermR})
+
+	entry, ok := rel.addrMap[img.Entry]
+	if !ok {
+		return nil, fmt.Errorf("rewriters: entry %#x not relocated", img.Entry)
+	}
+	rw.Entry = entry
+	if !emptyPatch {
+		rw.ISA = targetISA
+	}
+	if err := rw.Validate(); err != nil {
+		return nil, err
+	}
+	return &Rewritten{
+		Image:   rw,
+		Tables:  tables,
+		AddrMap: rel.addrMap,
+		Stats:   Stats{Insts: len(d.Order), NewCodeBytes: len(rel.code)},
+	}, nil
+}
+
+// SaferHook builds the per-CPU indirect-jump hook realizing Safer's runtime
+// pointer checks: targets inside the original text range are translated to
+// their regenerated addresses. textStart/textEnd bound the original code.
+func SaferHook(addrMap map[uint64]uint64, textStart, textEnd uint64) func(pc, target uint64) (uint64, uint64) {
+	return func(pc, target uint64) (uint64, uint64) {
+		cost := uint64(SaferCheckCycles)
+		if target >= textStart && target < textEnd {
+			if nt, ok := addrMap[target]; ok {
+				if (target>>1)%saferUnencodedDenom == 0 {
+					cost += SaferTableCycles // unencoded: table path
+				}
+				return nt, cost
+			}
+		}
+		return target, cost
+	}
+}
+
+// Strawman is the paper's strawman binary patching: CHBP's translation and
+// placement, but every long-distance entry is a trap-based trampoline.
+func Strawman(img *obj.Image, targetISA riscv.Ext, emptyPatch bool) (*chbp.Result, error) {
+	return chbp.Rewrite(img, chbp.Options{
+		TargetISA:  targetISA,
+		Trampoline: chbp.TrapEntry,
+		EmptyPatch: emptyPatch,
+	})
+}
+
+// CHBP is the convenience wrapper running full CHBP with defaults.
+func CHBP(img *obj.Image, targetISA riscv.Ext, emptyPatch bool) (*chbp.Result, error) {
+	return chbp.Rewrite(img, chbp.Options{TargetISA: targetISA, EmptyPatch: emptyPatch})
+}
+
+// TextRange returns the executable range of the original image (for hooks).
+func TextRange(img *obj.Image) (uint64, uint64) {
+	t := img.Text()
+	if t == nil {
+		return 0, 0
+	}
+	return t.Addr, t.End()
+}

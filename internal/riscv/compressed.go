@@ -1,0 +1,331 @@
+package riscv
+
+import "fmt"
+
+// Compressed (RVC) support. DecodeCompressed expands a 16-bit parcel to its
+// base-ISA equivalent with Len == 2. The reserved encodings required by the
+// C extension are reported as ErrReserved: Chimera's SMILE jalr encoding is
+// chosen so that its upper parcel decodes as one of them (a c.lui with a zero
+// immediate; §4.2, Fig. 7b).
+
+func cReg(v uint16) Reg { return Reg(8 + v&7) }
+
+// DecodeCompressed decodes one 16-bit compressed parcel.
+func DecodeCompressed(p uint16) (Inst, error) {
+	if p == 0 {
+		return Inst{}, fmt.Errorf("%w: defined-illegal all-zero parcel", ErrIllegal)
+	}
+	mk := func(op Op, rd, rs1, rs2 Reg, imm int64) (Inst, error) {
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: imm, Len: 2}, nil
+	}
+	bad := func(reason string) (Inst, error) {
+		return Inst{}, fmt.Errorf("%w: %s (%#04x)", ErrReserved, reason, p)
+	}
+	f3 := p >> 13 & 7
+	switch p & 3 {
+	case 0: // quadrant C0
+		switch f3 {
+		case 0: // c.addi4spn
+			uimm := int64(p>>11&3)<<4 | int64(p>>7&15)<<6 | int64(p>>6&1)<<2 | int64(p>>5&1)<<3
+			if uimm == 0 {
+				return bad("c.addi4spn with zero immediate")
+			}
+			return mk(ADDI, cReg(p>>2), SP, 0, uimm)
+		case 2: // c.lw
+			uimm := int64(p>>10&7)<<3 | int64(p>>6&1)<<2 | int64(p>>5&1)<<6
+			return mk(LW, cReg(p>>2), cReg(p>>7), 0, uimm)
+		case 3: // c.ld
+			uimm := int64(p>>10&7)<<3 | int64(p>>5&3)<<6
+			return mk(LD, cReg(p>>2), cReg(p>>7), 0, uimm)
+		case 6: // c.sw
+			uimm := int64(p>>10&7)<<3 | int64(p>>6&1)<<2 | int64(p>>5&1)<<6
+			return mk(SW, 0, cReg(p>>7), cReg(p>>2), uimm)
+		case 7: // c.sd
+			uimm := int64(p>>10&7)<<3 | int64(p>>5&3)<<6
+			return mk(SD, 0, cReg(p>>7), cReg(p>>2), uimm)
+		}
+		return bad("unimplemented C0 encoding")
+	case 1: // quadrant C1
+		rd := Reg(p >> 7 & 31)
+		imm6 := signExtend(uint64(p>>12&1)<<5|uint64(p>>2&31), 6)
+		switch f3 {
+		case 0: // c.nop / c.addi
+			return mk(ADDI, rd, rd, 0, imm6)
+		case 1: // c.addiw
+			if rd == 0 {
+				return bad("c.addiw with rd=0")
+			}
+			return mk(ADDIW, rd, rd, 0, imm6)
+		case 2: // c.li
+			return mk(ADDI, rd, Zero, 0, imm6)
+		case 3:
+			if rd == SP { // c.addi16sp
+				imm := int64(p>>12&1)<<9 | int64(p>>6&1)<<4 | int64(p>>5&1)<<6 |
+					int64(p>>3&3)<<7 | int64(p>>2&1)<<5
+				imm = signExtend(uint64(imm), 10)
+				if imm == 0 {
+					return bad("c.addi16sp with zero immediate")
+				}
+				return mk(ADDI, SP, SP, 0, imm)
+			}
+			// c.lui: the expanded LUI immediate is the sign-extended 6-bit
+			// value (units of 4KiB pages). imm == 0 is reserved — this is the
+			// encoding SMILE's jalr parcel resolves to.
+			if imm6 == 0 {
+				return bad("c.lui with zero immediate")
+			}
+			return mk(LUI, rd, 0, 0, imm6)
+		case 4: // misc-alu on rd'
+			rdp := cReg(p >> 7)
+			switch p >> 10 & 3 {
+			case 0: // c.srli
+				return mk(SRLI, rdp, rdp, 0, int64(p>>12&1)<<5|int64(p>>2&31))
+			case 1: // c.srai
+				return mk(SRAI, rdp, rdp, 0, int64(p>>12&1)<<5|int64(p>>2&31))
+			case 2: // c.andi
+				return mk(ANDI, rdp, rdp, 0, imm6)
+			case 3:
+				rs2p := cReg(p >> 2)
+				if p>>12&1 == 0 {
+					switch p >> 5 & 3 {
+					case 0:
+						return mk(SUB, rdp, rdp, rs2p, 0)
+					case 1:
+						return mk(XOR, rdp, rdp, rs2p, 0)
+					case 2:
+						return mk(OR, rdp, rdp, rs2p, 0)
+					case 3:
+						return mk(AND, rdp, rdp, rs2p, 0)
+					}
+				}
+				switch p >> 5 & 3 {
+				case 0:
+					return mk(SUBW, rdp, rdp, rs2p, 0)
+				case 1:
+					return mk(ADDW, rdp, rdp, rs2p, 0)
+				}
+				return bad("reserved C1 misc-alu encoding")
+			}
+		case 5: // c.j
+			imm := int64(p>>12&1)<<11 | int64(p>>11&1)<<4 | int64(p>>9&3)<<8 |
+				int64(p>>8&1)<<10 | int64(p>>7&1)<<6 | int64(p>>6&1)<<7 |
+				int64(p>>3&7)<<1 | int64(p>>2&1)<<5
+			return mk(JAL, Zero, 0, 0, signExtend(uint64(imm), 12))
+		case 6, 7: // c.beqz / c.bnez
+			imm := int64(p>>12&1)<<8 | int64(p>>10&3)<<3 | int64(p>>5&3)<<6 |
+				int64(p>>3&3)<<1 | int64(p>>2&1)<<5
+			imm = signExtend(uint64(imm), 9)
+			op := BEQ
+			if f3 == 7 {
+				op = BNE
+			}
+			return mk(op, 0, cReg(p>>7), Zero, imm)
+		}
+	case 2: // quadrant C2
+		rd := Reg(p >> 7 & 31)
+		rs2 := Reg(p >> 2 & 31)
+		switch f3 {
+		case 0: // c.slli
+			return mk(SLLI, rd, rd, 0, int64(p>>12&1)<<5|int64(p>>2&31))
+		case 2: // c.lwsp
+			if rd == 0 {
+				return bad("c.lwsp with rd=0")
+			}
+			uimm := int64(p>>12&1)<<5 | int64(p>>4&7)<<2 | int64(p>>2&3)<<6
+			return mk(LW, rd, SP, 0, uimm)
+		case 3: // c.ldsp
+			if rd == 0 {
+				return bad("c.ldsp with rd=0")
+			}
+			uimm := int64(p>>12&1)<<5 | int64(p>>5&3)<<3 | int64(p>>2&7)<<6
+			return mk(LD, rd, SP, 0, uimm)
+		case 4:
+			if p>>12&1 == 0 {
+				if rs2 == 0 { // c.jr
+					if rd == 0 {
+						return bad("c.jr with rs1=0")
+					}
+					return mk(JALR, Zero, rd, 0, 0)
+				}
+				return mk(ADD, rd, Zero, rs2, 0) // c.mv
+			}
+			if rs2 == 0 {
+				if rd == 0 {
+					return mk(EBREAK, 0, 0, 0, 0) // c.ebreak
+				}
+				return mk(JALR, RA, rd, 0, 0) // c.jalr
+			}
+			return mk(ADD, rd, rd, rs2, 0) // c.add
+		case 6: // c.swsp
+			uimm := int64(p>>9&15)<<2 | int64(p>>7&3)<<6
+			return mk(SW, 0, SP, rs2, uimm)
+		case 7: // c.sdsp
+			uimm := int64(p>>10&7)<<3 | int64(p>>7&7)<<6
+			return mk(SD, 0, SP, rs2, uimm)
+		}
+		return bad("unimplemented C2 encoding")
+	}
+	return bad("unreachable quadrant")
+}
+
+func isCReg(r Reg) bool { return r >= 8 && r <= 15 }
+
+// EncodeCompressed attempts to produce a 16-bit compressed encoding for
+// inst. It returns ErrNotCompress when the instruction (with its particular
+// registers and immediate) has no RVC form in the supported subset.
+func EncodeCompressed(inst Inst) (uint16, error) {
+	no := func() (uint16, error) { return 0, ErrNotCompress }
+	imm := inst.Imm
+	switch inst.Op {
+	case ADDI:
+		switch {
+		case inst.Rd == inst.Rs1 && fitsSigned(imm, 6):
+			// c.addi (c.nop when rd==x0, imm==0)
+			return 1 | uint16(imm>>5&1)<<12 | uint16(inst.Rd)<<7 | uint16(imm&31)<<2, nil
+		case inst.Rs1 == Zero && fitsSigned(imm, 6):
+			// c.li
+			return 1 | 2<<13 | uint16(imm>>5&1)<<12 | uint16(inst.Rd)<<7 | uint16(imm&31)<<2, nil
+		case inst.Rd == SP && inst.Rs1 == SP && imm != 0 && imm%16 == 0 && fitsSigned(imm, 10):
+			// c.addi16sp
+			return 1 | 3<<13 | uint16(imm>>9&1)<<12 | uint16(SP)<<7 |
+				uint16(imm>>4&1)<<6 | uint16(imm>>6&1)<<5 | uint16(imm>>7&3)<<3 | uint16(imm>>5&1)<<2, nil
+		case inst.Rs1 == SP && isCReg(inst.Rd) && imm > 0 && imm < 1024 && imm%4 == 0:
+			// c.addi4spn
+			return 0 | uint16(imm>>4&3)<<11 | uint16(imm>>6&15)<<7 |
+				uint16(imm>>2&1)<<6 | uint16(imm>>3&1)<<5 | uint16(inst.Rd-8)<<2, nil
+		}
+		return no()
+	case ADDIW:
+		if inst.Rd == inst.Rs1 && inst.Rd != 0 && fitsSigned(imm, 6) {
+			return 1 | 1<<13 | uint16(imm>>5&1)<<12 | uint16(inst.Rd)<<7 | uint16(imm&31)<<2, nil
+		}
+		return no()
+	case LUI:
+		if inst.Rd != 0 && inst.Rd != SP && imm != 0 && fitsSigned(imm, 6) {
+			return 1 | 3<<13 | uint16(imm>>5&1)<<12 | uint16(inst.Rd)<<7 | uint16(imm&31)<<2, nil
+		}
+		return no()
+	case ADD:
+		if inst.Rd != 0 && inst.Rs2 != 0 {
+			if inst.Rs1 == Zero { // c.mv
+				return 2 | 4<<13 | uint16(inst.Rd)<<7 | uint16(inst.Rs2)<<2, nil
+			}
+			if inst.Rs1 == inst.Rd { // c.add
+				return 2 | 4<<13 | 1<<12 | uint16(inst.Rd)<<7 | uint16(inst.Rs2)<<2, nil
+			}
+		}
+		return no()
+	case SUB, XOR, OR, AND, SUBW, ADDW:
+		if inst.Rd != inst.Rs1 || !isCReg(inst.Rd) || !isCReg(inst.Rs2) {
+			return no()
+		}
+		var hi, sel uint16
+		switch inst.Op {
+		case SUB:
+			hi, sel = 0, 0
+		case XOR:
+			hi, sel = 0, 1
+		case OR:
+			hi, sel = 0, 2
+		case AND:
+			hi, sel = 0, 3
+		case SUBW:
+			hi, sel = 1, 0
+		case ADDW:
+			hi, sel = 1, 1
+		}
+		return 1 | 4<<13 | hi<<12 | 3<<10 | uint16(inst.Rd-8)<<7 | sel<<5 | uint16(inst.Rs2-8)<<2, nil
+	case SLLI:
+		if inst.Rd == inst.Rs1 && inst.Rd != 0 && imm > 0 && imm < 64 {
+			return 2 | uint16(imm>>5&1)<<12 | uint16(inst.Rd)<<7 | uint16(imm&31)<<2, nil
+		}
+		return no()
+	case SRLI, SRAI:
+		if inst.Rd == inst.Rs1 && isCReg(inst.Rd) && imm > 0 && imm < 64 {
+			sel := uint16(0)
+			if inst.Op == SRAI {
+				sel = 1
+			}
+			return 1 | 4<<13 | uint16(imm>>5&1)<<12 | sel<<10 | uint16(inst.Rd-8)<<7 | uint16(imm&31)<<2, nil
+		}
+		return no()
+	case ANDI:
+		if inst.Rd == inst.Rs1 && isCReg(inst.Rd) && fitsSigned(imm, 6) {
+			return 1 | 4<<13 | uint16(imm>>5&1)<<12 | 2<<10 | uint16(inst.Rd-8)<<7 | uint16(imm&31)<<2, nil
+		}
+		return no()
+	case JAL:
+		if inst.Rd == Zero && fitsSigned(imm, 12) && imm%2 == 0 {
+			return 1 | 5<<13 | uint16(imm>>11&1)<<12 | uint16(imm>>4&1)<<11 |
+				uint16(imm>>8&3)<<9 | uint16(imm>>10&1)<<8 | uint16(imm>>6&1)<<7 |
+				uint16(imm>>7&1)<<6 | uint16(imm>>1&7)<<3 | uint16(imm>>5&1)<<2, nil
+		}
+		return no()
+	case JALR:
+		if imm != 0 || inst.Rs1 == 0 {
+			return no()
+		}
+		if inst.Rd == Zero { // c.jr
+			return 2 | 4<<13 | uint16(inst.Rs1)<<7, nil
+		}
+		if inst.Rd == RA { // c.jalr
+			return 2 | 4<<13 | 1<<12 | uint16(inst.Rs1)<<7, nil
+		}
+		return no()
+	case BEQ, BNE:
+		if inst.Rs2 != Zero || !isCReg(inst.Rs1) || !fitsSigned(imm, 9) || imm%2 != 0 {
+			return no()
+		}
+		f3 := uint16(6)
+		if inst.Op == BNE {
+			f3 = 7
+		}
+		return 1 | f3<<13 | uint16(imm>>8&1)<<12 | uint16(imm>>3&3)<<10 |
+			uint16(inst.Rs1-8)<<7 | uint16(imm>>6&3)<<5 | uint16(imm>>1&3)<<3 | uint16(imm>>5&1)<<2, nil
+	case LW:
+		if isCReg(inst.Rd) && isCReg(inst.Rs1) && imm >= 0 && imm < 128 && imm%4 == 0 {
+			return 0 | 2<<13 | uint16(imm>>3&7)<<10 | uint16(inst.Rs1-8)<<7 |
+				uint16(imm>>2&1)<<6 | uint16(imm>>6&1)<<5 | uint16(inst.Rd-8)<<2, nil
+		}
+		if inst.Rs1 == SP && inst.Rd != 0 && imm >= 0 && imm < 256 && imm%4 == 0 {
+			return 2 | 2<<13 | uint16(imm>>5&1)<<12 | uint16(inst.Rd)<<7 |
+				uint16(imm>>2&7)<<4 | uint16(imm>>6&3)<<2, nil
+		}
+		return no()
+	case LD:
+		if isCReg(inst.Rd) && isCReg(inst.Rs1) && imm >= 0 && imm < 256 && imm%8 == 0 {
+			return 0 | 3<<13 | uint16(imm>>3&7)<<10 | uint16(inst.Rs1-8)<<7 |
+				uint16(imm>>6&3)<<5 | uint16(inst.Rd-8)<<2, nil
+		}
+		if inst.Rs1 == SP && inst.Rd != 0 && imm >= 0 && imm < 512 && imm%8 == 0 {
+			return 2 | 3<<13 | uint16(imm>>5&1)<<12 | uint16(inst.Rd)<<7 |
+				uint16(imm>>3&3)<<5 | uint16(imm>>6&7)<<2, nil
+		}
+		return no()
+	case SW:
+		if isCReg(inst.Rs2) && isCReg(inst.Rs1) && imm >= 0 && imm < 128 && imm%4 == 0 {
+			return 0 | 6<<13 | uint16(imm>>3&7)<<10 | uint16(inst.Rs1-8)<<7 |
+				uint16(imm>>2&1)<<6 | uint16(imm>>6&1)<<5 | uint16(inst.Rs2-8)<<2, nil
+		}
+		if inst.Rs1 == SP && imm >= 0 && imm < 256 && imm%4 == 0 {
+			return 2 | 6<<13 | uint16(imm>>2&15)<<9 | uint16(imm>>6&3)<<7 | uint16(inst.Rs2)<<2, nil
+		}
+		return no()
+	case SD:
+		if isCReg(inst.Rs2) && isCReg(inst.Rs1) && imm >= 0 && imm < 256 && imm%8 == 0 {
+			return 0 | 7<<13 | uint16(imm>>3&7)<<10 | uint16(inst.Rs1-8)<<7 |
+				uint16(imm>>6&3)<<5 | uint16(inst.Rs2-8)<<2, nil
+		}
+		if inst.Rs1 == SP && imm >= 0 && imm < 512 && imm%8 == 0 {
+			return 2 | 7<<13 | uint16(imm>>3&7)<<10 | uint16(imm>>6&7)<<7 | uint16(inst.Rs2)<<2, nil
+		}
+		return no()
+	case EBREAK:
+		return 2 | 4<<13 | 1<<12, nil
+	}
+	return no()
+}
+
+// CNop is the canonical 2-byte c.nop encoding used to pad trampoline spaces
+// (Fig. 4a).
+const CNop uint16 = 0x0001

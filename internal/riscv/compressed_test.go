@@ -1,0 +1,165 @@
+package riscv
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestDecodeCompressedKnown(t *testing.T) {
+	cases := []struct {
+		parcel uint16
+		want   Inst
+	}{
+		{0x0001, Inst{Op: ADDI, Rd: Zero, Rs1: Zero, Imm: 0, Len: 2}}, // c.nop
+		{0x4501, Inst{Op: ADDI, Rd: A0, Rs1: Zero, Imm: 0, Len: 2}},   // c.li a0, 0
+		{0x4529, Inst{Op: ADDI, Rd: A0, Rs1: Zero, Imm: 10, Len: 2}},  // c.li a0, 10
+		{0x852E, Inst{Op: ADD, Rd: A0, Rs1: Zero, Rs2: A1, Len: 2}},   // c.mv a0, a1
+		{0x952E, Inst{Op: ADD, Rd: A0, Rs1: A0, Rs2: A1, Len: 2}},     // c.add a0, a1
+		{0x8082, Inst{Op: JALR, Rd: Zero, Rs1: RA, Imm: 0, Len: 2}},   // ret
+		{0x9002, Inst{Op: EBREAK, Len: 2}},                            // c.ebreak
+		{0xA001, Inst{Op: JAL, Rd: Zero, Imm: 0, Len: 2}},             // c.j .
+		{0x892D, Inst{Op: ANDI, Rd: A0, Rs1: A0, Imm: 11, Len: 2}},    // c.andi a0, 11
+		{0x050A, Inst{Op: SLLI, Rd: A0, Rs1: A0, Imm: 2, Len: 2}},     // c.slli a0, 2
+		{0x8D09, Inst{Op: SUB, Rd: A0, Rs1: A0, Rs2: A0, Len: 2}},     // c.sub a0, a0
+	}
+	for _, c := range cases {
+		got, err := DecodeCompressed(c.parcel)
+		if err != nil {
+			t.Errorf("DecodeCompressed(%#04x): %v", c.parcel, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("DecodeCompressed(%#04x) = %+v (%s), want %+v (%s)",
+				c.parcel, got, got, c.want, c.want)
+		}
+	}
+}
+
+func TestCompressedReserved(t *testing.T) {
+	illegal := []struct {
+		parcel uint16
+		err    error
+		name   string
+	}{
+		{0x0000, ErrIllegal, "all-zero parcel"},
+		{0x6081, ErrReserved, "c.lui ra, 0 (the SMILE jalr upper parcel)"},
+		{0x6101, ErrReserved, "c.addi16sp with zero immediate"},
+		{0x8002, ErrReserved, "c.jr with rs1=0"},
+		{0x2001, ErrReserved, "c.addiw rd=0"},
+	}
+	for _, c := range illegal {
+		if _, err := DecodeCompressed(c.parcel); !errors.Is(err, c.err) {
+			t.Errorf("%s: DecodeCompressed(%#04x) err = %v, want %v", c.name, c.parcel, err, c.err)
+		}
+	}
+}
+
+// TestSmileJalrParcel verifies the bit-level fact Fig. 7b depends on: the
+// upper 16-bit parcel of "jalr gp, 1544(gp)" is a reserved compressed
+// encoding, so a mid-instruction fetch faults deterministically.
+func TestSmileJalrParcel(t *testing.T) {
+	w := MustEncode(Inst{Op: JALR, Rd: GP, Rs1: GP, Imm: 1544})
+	upper := uint16(w >> 16)
+	if upper != 0x6081 {
+		t.Fatalf("jalr gp, 1544(gp) upper parcel = %#04x, want 0x6081", upper)
+	}
+	if _, err := DecodeCompressed(upper); !errors.Is(err, ErrReserved) {
+		t.Fatalf("upper parcel should be reserved, got %v", err)
+	}
+	// And the parcel must not itself look like a 32-bit instruction start.
+	if n, err := ParcelLen(upper); err != nil || n != 2 {
+		t.Fatalf("ParcelLen(upper) = %d, %v; want 2-byte compressed", n, err)
+	}
+}
+
+// TestSmileAuipcParcel verifies Fig. 7a: with imm bits 4-8 forced to 11111,
+// the upper parcel of the SMILE auipc is a reserved wide-instruction prefix.
+func TestSmileAuipcParcel(t *testing.T) {
+	for immHi := int64(0); immHi < 1<<11; immHi += 13 {
+		imm := immHi<<9 | 0x1F<<4         // bits 4-8 = 11111, bits 0-3 arbitrary below
+		imm = int64(int32(imm<<12) >> 12) // sign-extend 20-bit
+		w := MustEncode(Inst{Op: AUIPC, Rd: GP, Imm: imm})
+		upper := uint16(w >> 16)
+		if _, err := ParcelLen(upper); !errors.Is(err, ErrWidePrefix) {
+			t.Fatalf("auipc imm=%#x upper parcel %#04x: err=%v, want ErrWidePrefix", imm, upper, err)
+		}
+	}
+}
+
+func TestEncodeCompressedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tried, ok := 0, 0
+	for trial := 0; trial < 20000; trial++ {
+		in := Inst{
+			Op:  []Op{ADDI, ADDIW, LUI, ADD, SUB, XOR, OR, AND, SUBW, ADDW, SLLI, SRLI, SRAI, ANDI, JAL, JALR, BEQ, BNE, LW, LD, SW, SD, EBREAK}[rng.Intn(23)],
+			Rd:  Reg(rng.Intn(32)),
+			Rs1: Reg(rng.Intn(32)),
+			Rs2: Reg(rng.Intn(32)),
+			Imm: int64(rng.Intn(1024) - 512),
+			Len: 2,
+		}
+		// Zero operand fields the operation's encoding does not carry, so the
+		// round-trip comparison is well-defined.
+		switch in.Op {
+		case LUI, JAL:
+			in.Rs1, in.Rs2 = 0, 0
+		case ADDI, ADDIW, SLLI, SRLI, SRAI, ANDI, LW, LD, JALR:
+			in.Rs2 = 0
+		case ADD, SUB, XOR, OR, AND, SUBW, ADDW:
+			in.Imm = 0
+		case SW, SD:
+			in.Rd = 0
+		case EBREAK:
+			in = Inst{Op: EBREAK, Len: 2}
+		}
+		p, err := EncodeCompressed(in)
+		tried++
+		if err != nil {
+			continue
+		}
+		ok++
+		out, err := DecodeCompressed(p)
+		if err != nil {
+			t.Fatalf("EncodeCompressed(%v) = %#04x which fails to decode: %v", in, p, err)
+		}
+		// Normalize: compressed expansions canonicalize some operand forms.
+		want := in
+		switch in.Op {
+		case ADDI:
+			if in.Rs1 == SP && isCReg(in.Rd) && in.Rd != in.Rs1 {
+				// c.addi4spn form
+			} else if in.Rs1 == Zero && in.Rd != in.Rs1 {
+				// c.li
+			} else {
+				want.Rs1 = want.Rd
+			}
+		case ADDIW, SLLI:
+			want.Rs1 = want.Rd
+		case JAL:
+			want.Rd = Zero
+		case JALR:
+			if want.Rd != Zero {
+				want.Rd = RA
+			}
+		case BEQ, BNE:
+			want.Rs2 = Zero
+			want.Rd = 0
+		case EBREAK:
+			want = Inst{Op: EBREAK, Len: 2}
+		}
+		if out != want {
+			t.Fatalf("compressed round trip: in=%+v parcel=%#04x out=%+v", in, p, out)
+		}
+	}
+	if ok < 500 {
+		t.Fatalf("too few successful compressions to be meaningful: %d/%d", ok, tried)
+	}
+}
+
+func TestCNopDecodes(t *testing.T) {
+	in, err := DecodeCompressed(CNop)
+	if err != nil || in.Op != ADDI || in.Rd != Zero || in.Imm != 0 {
+		t.Fatalf("CNop decodes to %+v, %v; want c.nop", in, err)
+	}
+}

@@ -1,0 +1,66 @@
+package riscv
+
+import "fmt"
+
+// String renders the instruction in conventional assembler syntax.
+func (i Inst) String() string {
+	m := i.Op.Mnemonic()
+	f := func(r Reg) string { return "f" + fmt.Sprint(uint8(r)) }
+	v := func(r Reg) string { return "v" + fmt.Sprint(uint8(r)) }
+	switch i.Op {
+	case LUI, AUIPC:
+		return fmt.Sprintf("%s %s, %#x", m, i.Rd.Name(), uint32(i.Imm)&0xFFFFF)
+	case JAL:
+		return fmt.Sprintf("%s %s, %d", m, i.Rd.Name(), i.Imm)
+	case JALR:
+		return fmt.Sprintf("%s %s, %d(%s)", m, i.Rd.Name(), i.Imm, i.Rs1.Name())
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return fmt.Sprintf("%s %s, %s, %d", m, i.Rs1.Name(), i.Rs2.Name(), i.Imm)
+	case LB, LH, LW, LD, LBU, LHU, LWU:
+		return fmt.Sprintf("%s %s, %d(%s)", m, i.Rd.Name(), i.Imm, i.Rs1.Name())
+	case SB, SH, SW, SD:
+		return fmt.Sprintf("%s %s, %d(%s)", m, i.Rs2.Name(), i.Imm, i.Rs1.Name())
+	case ADDI, SLTI, SLTIU, XORI, ORI, ANDI, SLLI, SRLI, SRAI,
+		ADDIW, SLLIW, SRLIW, SRAIW:
+		return fmt.Sprintf("%s %s, %s, %d", m, i.Rd.Name(), i.Rs1.Name(), i.Imm)
+	case FENCE, ECALL, EBREAK:
+		return m
+	case FLW, FLD:
+		return fmt.Sprintf("%s %s, %d(%s)", m, f(i.Rd), i.Imm, i.Rs1.Name())
+	case FSW, FSD:
+		return fmt.Sprintf("%s %s, %d(%s)", m, f(i.Rs2), i.Imm, i.Rs1.Name())
+	case FMADDS, FMADDD:
+		return fmt.Sprintf("%s %s, %s, %s, %s", m, f(i.Rd), f(i.Rs1), f(i.Rs2), f(i.Rs3))
+	case FADDS, FSUBS, FMULS, FDIVS, FADDD, FSUBD, FMULD, FDIVD, FSGNJS, FSGNJD:
+		return fmt.Sprintf("%s %s, %s, %s", m, f(i.Rd), f(i.Rs1), f(i.Rs2))
+	case FCVTSL, FCVTDL, FMVDX, FMVWX:
+		return fmt.Sprintf("%s %s, %s", m, f(i.Rd), i.Rs1.Name())
+	case FCVTLD, FMVXD, FMVXW:
+		return fmt.Sprintf("%s %s, %s", m, i.Rd.Name(), f(i.Rs1))
+	case FEQD, FLTD, FLED:
+		return fmt.Sprintf("%s %s, %s, %s", m, i.Rd.Name(), f(i.Rs1), f(i.Rs2))
+	case VSETVLI:
+		return fmt.Sprintf("%s %s, %s, e%d,m1", m, i.Rd.Name(), i.Rs1.Name(), 8<<SEWOf(i.Imm))
+	case VLE32V, VLE64V, VSE32V, VSE64V:
+		return fmt.Sprintf("%s %s, (%s)", m, v(i.Rd), i.Rs1.Name())
+	case VADDVV, VMULVV, VFADDVV, VFMULVV, VFMACCVV:
+		return fmt.Sprintf("%s %s, %s, %s", m, v(i.Rd), v(i.Rs2), v(i.Rs1))
+	case VADDVX, VMVVX:
+		return fmt.Sprintf("%s %s, %s, %s", m, v(i.Rd), v(i.Rs2), i.Rs1.Name())
+	case VMVVI:
+		return fmt.Sprintf("%s %s, %d", m, v(i.Rd), i.Imm)
+	case VFMACCVF, VFMVVF:
+		return fmt.Sprintf("%s %s, %s, %s", m, v(i.Rd), f(i.Rs1), v(i.Rs2))
+	case VFMVFS:
+		return fmt.Sprintf("%s %s, %s", m, f(i.Rd), v(i.Rs2))
+	case VFREDUSUMVS:
+		return fmt.Sprintf("%s %s, %s, %s", m, v(i.Rd), v(i.Rs2), v(i.Rs1))
+	case ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+		ADDW, SUBW, SLLW, SRLW, SRAW,
+		MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU,
+		MULW, DIVW, DIVUW, REMW, REMUW,
+		SH1ADD, SH2ADD, SH3ADD, ANDN, ORN, XNOR:
+		return fmt.Sprintf("%s %s, %s, %s", m, i.Rd.Name(), i.Rs1.Name(), i.Rs2.Name())
+	}
+	return m
+}

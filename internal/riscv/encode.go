@@ -1,0 +1,319 @@
+package riscv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Major opcodes (bits 6:0 of a 32-bit instruction).
+const (
+	opLoad    = 0x03
+	opLoadFP  = 0x07
+	opMiscMem = 0x0F
+	opOpImm   = 0x13
+	opAUIPC   = 0x17
+	opOpImm32 = 0x1B
+	opStore   = 0x23
+	opStoreFP = 0x27
+	opOp      = 0x33
+	opLUI     = 0x37
+	opOp32    = 0x3B
+	opMAdd    = 0x43
+	opOpFP    = 0x53
+	opOpV     = 0x57
+	opBranch  = 0x63
+	opJALR    = 0x67
+	opJAL     = 0x6F
+	opSystem  = 0x73
+)
+
+// Vector funct3 categories.
+const (
+	opIVV = 0
+	opFVV = 1
+	opMVV = 2
+	opIVI = 3
+	opIVX = 4
+	opFVF = 5
+	opMVX = 6
+	opCFG = 7
+)
+
+type encFormat uint8
+
+const (
+	fmtR encFormat = iota
+	fmtR4
+	fmtI
+	fmtIShift // I-format with 6-bit shamt (RV64)
+	fmtIShiftW
+	fmtS
+	fmtB
+	fmtU
+	fmtJ
+	fmtSys
+	fmtFence
+	fmtVSet
+	fmtVLoad
+	fmtVStore
+	fmtVArith // OPIVV/OPFVV/OPMVV and scalar-operand variants
+)
+
+type encInfo struct {
+	fmt    encFormat
+	opcode uint32
+	f3     uint32
+	f7     uint32 // funct7, or funct6<<1|vm for vector arithmetic
+	vcat   uint32 // vector funct3 category for fmtVArith
+}
+
+var encTable = map[Op]encInfo{
+	LUI:   {fmt: fmtU, opcode: opLUI},
+	AUIPC: {fmt: fmtU, opcode: opAUIPC},
+	JAL:   {fmt: fmtJ, opcode: opJAL},
+	JALR:  {fmt: fmtI, opcode: opJALR, f3: 0},
+
+	BEQ:  {fmt: fmtB, opcode: opBranch, f3: 0},
+	BNE:  {fmt: fmtB, opcode: opBranch, f3: 1},
+	BLT:  {fmt: fmtB, opcode: opBranch, f3: 4},
+	BGE:  {fmt: fmtB, opcode: opBranch, f3: 5},
+	BLTU: {fmt: fmtB, opcode: opBranch, f3: 6},
+	BGEU: {fmt: fmtB, opcode: opBranch, f3: 7},
+
+	LB:  {fmt: fmtI, opcode: opLoad, f3: 0},
+	LH:  {fmt: fmtI, opcode: opLoad, f3: 1},
+	LW:  {fmt: fmtI, opcode: opLoad, f3: 2},
+	LD:  {fmt: fmtI, opcode: opLoad, f3: 3},
+	LBU: {fmt: fmtI, opcode: opLoad, f3: 4},
+	LHU: {fmt: fmtI, opcode: opLoad, f3: 5},
+	LWU: {fmt: fmtI, opcode: opLoad, f3: 6},
+
+	SB: {fmt: fmtS, opcode: opStore, f3: 0},
+	SH: {fmt: fmtS, opcode: opStore, f3: 1},
+	SW: {fmt: fmtS, opcode: opStore, f3: 2},
+	SD: {fmt: fmtS, opcode: opStore, f3: 3},
+
+	ADDI:  {fmt: fmtI, opcode: opOpImm, f3: 0},
+	SLTI:  {fmt: fmtI, opcode: opOpImm, f3: 2},
+	SLTIU: {fmt: fmtI, opcode: opOpImm, f3: 3},
+	XORI:  {fmt: fmtI, opcode: opOpImm, f3: 4},
+	ORI:   {fmt: fmtI, opcode: opOpImm, f3: 6},
+	ANDI:  {fmt: fmtI, opcode: opOpImm, f3: 7},
+	SLLI:  {fmt: fmtIShift, opcode: opOpImm, f3: 1, f7: 0x00},
+	SRLI:  {fmt: fmtIShift, opcode: opOpImm, f3: 5, f7: 0x00},
+	SRAI:  {fmt: fmtIShift, opcode: opOpImm, f3: 5, f7: 0x20},
+
+	ADD:  {fmt: fmtR, opcode: opOp, f3: 0, f7: 0x00},
+	SUB:  {fmt: fmtR, opcode: opOp, f3: 0, f7: 0x20},
+	SLL:  {fmt: fmtR, opcode: opOp, f3: 1, f7: 0x00},
+	SLT:  {fmt: fmtR, opcode: opOp, f3: 2, f7: 0x00},
+	SLTU: {fmt: fmtR, opcode: opOp, f3: 3, f7: 0x00},
+	XOR:  {fmt: fmtR, opcode: opOp, f3: 4, f7: 0x00},
+	SRL:  {fmt: fmtR, opcode: opOp, f3: 5, f7: 0x00},
+	SRA:  {fmt: fmtR, opcode: opOp, f3: 5, f7: 0x20},
+	OR:   {fmt: fmtR, opcode: opOp, f3: 6, f7: 0x00},
+	AND:  {fmt: fmtR, opcode: opOp, f3: 7, f7: 0x00},
+
+	ADDIW: {fmt: fmtI, opcode: opOpImm32, f3: 0},
+	SLLIW: {fmt: fmtIShiftW, opcode: opOpImm32, f3: 1, f7: 0x00},
+	SRLIW: {fmt: fmtIShiftW, opcode: opOpImm32, f3: 5, f7: 0x00},
+	SRAIW: {fmt: fmtIShiftW, opcode: opOpImm32, f3: 5, f7: 0x20},
+	ADDW:  {fmt: fmtR, opcode: opOp32, f3: 0, f7: 0x00},
+	SUBW:  {fmt: fmtR, opcode: opOp32, f3: 0, f7: 0x20},
+	SLLW:  {fmt: fmtR, opcode: opOp32, f3: 1, f7: 0x00},
+	SRLW:  {fmt: fmtR, opcode: opOp32, f3: 5, f7: 0x00},
+	SRAW:  {fmt: fmtR, opcode: opOp32, f3: 5, f7: 0x20},
+
+	FENCE:  {fmt: fmtFence, opcode: opMiscMem},
+	ECALL:  {fmt: fmtSys, opcode: opSystem, f7: 0},
+	EBREAK: {fmt: fmtSys, opcode: opSystem, f7: 1},
+
+	MUL:    {fmt: fmtR, opcode: opOp, f3: 0, f7: 0x01},
+	MULH:   {fmt: fmtR, opcode: opOp, f3: 1, f7: 0x01},
+	MULHSU: {fmt: fmtR, opcode: opOp, f3: 2, f7: 0x01},
+	MULHU:  {fmt: fmtR, opcode: opOp, f3: 3, f7: 0x01},
+	DIV:    {fmt: fmtR, opcode: opOp, f3: 4, f7: 0x01},
+	DIVU:   {fmt: fmtR, opcode: opOp, f3: 5, f7: 0x01},
+	REM:    {fmt: fmtR, opcode: opOp, f3: 6, f7: 0x01},
+	REMU:   {fmt: fmtR, opcode: opOp, f3: 7, f7: 0x01},
+	MULW:   {fmt: fmtR, opcode: opOp32, f3: 0, f7: 0x01},
+	DIVW:   {fmt: fmtR, opcode: opOp32, f3: 4, f7: 0x01},
+	DIVUW:  {fmt: fmtR, opcode: opOp32, f3: 5, f7: 0x01},
+	REMW:   {fmt: fmtR, opcode: opOp32, f3: 6, f7: 0x01},
+	REMUW:  {fmt: fmtR, opcode: opOp32, f3: 7, f7: 0x01},
+
+	SH1ADD: {fmt: fmtR, opcode: opOp, f3: 2, f7: 0x10},
+	SH2ADD: {fmt: fmtR, opcode: opOp, f3: 4, f7: 0x10},
+	SH3ADD: {fmt: fmtR, opcode: opOp, f3: 6, f7: 0x10},
+	ANDN:   {fmt: fmtR, opcode: opOp, f3: 7, f7: 0x20},
+	ORN:    {fmt: fmtR, opcode: opOp, f3: 6, f7: 0x20},
+	XNOR:   {fmt: fmtR, opcode: opOp, f3: 4, f7: 0x20},
+
+	FLW: {fmt: fmtI, opcode: opLoadFP, f3: 2},
+	FLD: {fmt: fmtI, opcode: opLoadFP, f3: 3},
+	FSW: {fmt: fmtS, opcode: opStoreFP, f3: 2},
+	FSD: {fmt: fmtS, opcode: opStoreFP, f3: 3},
+
+	FADDS:  {fmt: fmtR, opcode: opOpFP, f3: 0, f7: 0x00},
+	FSUBS:  {fmt: fmtR, opcode: opOpFP, f3: 0, f7: 0x04},
+	FMULS:  {fmt: fmtR, opcode: opOpFP, f3: 0, f7: 0x08},
+	FDIVS:  {fmt: fmtR, opcode: opOpFP, f3: 0, f7: 0x0C},
+	FADDD:  {fmt: fmtR, opcode: opOpFP, f3: 0, f7: 0x01},
+	FSUBD:  {fmt: fmtR, opcode: opOpFP, f3: 0, f7: 0x05},
+	FMULD:  {fmt: fmtR, opcode: opOpFP, f3: 0, f7: 0x09},
+	FDIVD:  {fmt: fmtR, opcode: opOpFP, f3: 0, f7: 0x0D},
+	FMADDS: {fmt: fmtR4, opcode: opMAdd, f3: 0, f7: 0x00},
+	FMADDD: {fmt: fmtR4, opcode: opMAdd, f3: 0, f7: 0x01},
+	FSGNJS: {fmt: fmtR, opcode: opOpFP, f3: 0, f7: 0x10},
+	FSGNJD: {fmt: fmtR, opcode: opOpFP, f3: 0, f7: 0x11},
+	FCVTSL: {fmt: fmtR, opcode: opOpFP, f3: 7, f7: 0x68}, // rs2=2 (L)
+	FCVTDL: {fmt: fmtR, opcode: opOpFP, f3: 7, f7: 0x69}, // rs2=2 (L)
+	FCVTLD: {fmt: fmtR, opcode: opOpFP, f3: 1, f7: 0x61}, // rs2=2 (L), rtz
+	FMVXD:  {fmt: fmtR, opcode: opOpFP, f3: 0, f7: 0x71},
+	FMVDX:  {fmt: fmtR, opcode: opOpFP, f3: 0, f7: 0x79},
+	FMVXW:  {fmt: fmtR, opcode: opOpFP, f3: 0, f7: 0x70},
+	FMVWX:  {fmt: fmtR, opcode: opOpFP, f3: 0, f7: 0x78},
+	FEQD:   {fmt: fmtR, opcode: opOpFP, f3: 2, f7: 0x51},
+	FLTD:   {fmt: fmtR, opcode: opOpFP, f3: 1, f7: 0x51},
+	FLED:   {fmt: fmtR, opcode: opOpFP, f3: 0, f7: 0x51},
+
+	VSETVLI: {fmt: fmtVSet, opcode: opOpV, f3: opCFG},
+	VLE32V:  {fmt: fmtVLoad, opcode: opLoadFP, f3: 6},
+	VLE64V:  {fmt: fmtVLoad, opcode: opLoadFP, f3: 7},
+	VSE32V:  {fmt: fmtVStore, opcode: opStoreFP, f3: 6},
+	VSE64V:  {fmt: fmtVStore, opcode: opStoreFP, f3: 7},
+
+	// f7 = funct6<<1 | vm (vm=1: unmasked).
+	VADDVV:      {fmt: fmtVArith, opcode: opOpV, vcat: opIVV, f7: 0x00<<1 | 1},
+	VADDVX:      {fmt: fmtVArith, opcode: opOpV, vcat: opIVX, f7: 0x00<<1 | 1},
+	VMULVV:      {fmt: fmtVArith, opcode: opOpV, vcat: opMVV, f7: 0x25<<1 | 1},
+	VMVVI:       {fmt: fmtVArith, opcode: opOpV, vcat: opIVI, f7: 0x17<<1 | 1},
+	VMVVX:       {fmt: fmtVArith, opcode: opOpV, vcat: opIVX, f7: 0x17<<1 | 1},
+	VFADDVV:     {fmt: fmtVArith, opcode: opOpV, vcat: opFVV, f7: 0x00<<1 | 1},
+	VFMULVV:     {fmt: fmtVArith, opcode: opOpV, vcat: opFVV, f7: 0x24<<1 | 1},
+	VFMACCVV:    {fmt: fmtVArith, opcode: opOpV, vcat: opFVV, f7: 0x2C<<1 | 1},
+	VFMACCVF:    {fmt: fmtVArith, opcode: opOpV, vcat: opFVF, f7: 0x2C<<1 | 1},
+	VFMVVF:      {fmt: fmtVArith, opcode: opOpV, vcat: opFVF, f7: 0x17<<1 | 1},
+	VFMVFS:      {fmt: fmtVArith, opcode: opOpV, vcat: opFVV, f7: 0x10<<1 | 1},
+	VFREDUSUMVS: {fmt: fmtVArith, opcode: opOpV, vcat: opFVV, f7: 0x01<<1 | 1},
+}
+
+// errors returned by Encode/Decode.
+var (
+	ErrBadOp       = errors.New("riscv: unknown operation")
+	ErrImmRange    = errors.New("riscv: immediate out of range")
+	ErrTruncated   = errors.New("riscv: truncated instruction bytes")
+	ErrIllegal     = errors.New("riscv: illegal instruction encoding")
+	ErrReserved    = errors.New("riscv: reserved instruction encoding")
+	ErrWidePrefix  = errors.New("riscv: reserved >=48-bit instruction prefix")
+	ErrNotCompress = errors.New("riscv: instruction has no compressed encoding")
+)
+
+func fitsSigned(v int64, bits uint) bool {
+	min := int64(-1) << (bits - 1)
+	max := int64(1)<<(bits-1) - 1
+	return v >= min && v <= max
+}
+
+// Encode produces the 32-bit encoding of inst. Compressed encoding is
+// handled separately by EncodeCompressed.
+func Encode(inst Inst) (uint32, error) {
+	info, ok := encTable[inst.Op]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrBadOp, inst.Op)
+	}
+	rd, rs1, rs2 := uint32(inst.Rd)&31, uint32(inst.Rs1)&31, uint32(inst.Rs2)&31
+	switch info.fmt {
+	case fmtR:
+		switch inst.Op {
+		case FCVTSL, FCVTDL, FCVTLD:
+			rs2 = 2 // L (int64) conversion selector
+		case FMVXD, FMVDX, FMVXW, FMVWX:
+			rs2 = 0
+		}
+		return info.f7<<25 | rs2<<20 | rs1<<15 | info.f3<<12 | rd<<7 | info.opcode, nil
+	case fmtR4:
+		return uint32(inst.Rs3&31)<<27 | info.f7<<25 | rs2<<20 | rs1<<15 | info.f3<<12 | rd<<7 | info.opcode, nil
+	case fmtI:
+		if !fitsSigned(inst.Imm, 12) {
+			return 0, fmt.Errorf("%w: %v imm=%d", ErrImmRange, inst.Op.Mnemonic(), inst.Imm)
+		}
+		return uint32(inst.Imm&0xFFF)<<20 | rs1<<15 | info.f3<<12 | rd<<7 | info.opcode, nil
+	case fmtIShift:
+		if inst.Imm < 0 || inst.Imm > 63 {
+			return 0, fmt.Errorf("%w: shamt=%d", ErrImmRange, inst.Imm)
+		}
+		return info.f7<<25 | uint32(inst.Imm)<<20 | rs1<<15 | info.f3<<12 | rd<<7 | info.opcode, nil
+	case fmtIShiftW:
+		if inst.Imm < 0 || inst.Imm > 31 {
+			return 0, fmt.Errorf("%w: shamt=%d", ErrImmRange, inst.Imm)
+		}
+		return info.f7<<25 | uint32(inst.Imm)<<20 | rs1<<15 | info.f3<<12 | rd<<7 | info.opcode, nil
+	case fmtS:
+		if !fitsSigned(inst.Imm, 12) {
+			return 0, fmt.Errorf("%w: %v imm=%d", ErrImmRange, inst.Op.Mnemonic(), inst.Imm)
+		}
+		imm := uint32(inst.Imm & 0xFFF)
+		return (imm>>5)<<25 | rs2<<20 | rs1<<15 | info.f3<<12 | (imm&0x1F)<<7 | info.opcode, nil
+	case fmtB:
+		if !fitsSigned(inst.Imm, 13) || inst.Imm&1 != 0 {
+			return 0, fmt.Errorf("%w: branch offset=%d", ErrImmRange, inst.Imm)
+		}
+		imm := uint32(inst.Imm) & 0x1FFF
+		return (imm>>12)<<31 | ((imm>>5)&0x3F)<<25 | rs2<<20 | rs1<<15 |
+			info.f3<<12 | ((imm>>1)&0xF)<<8 | ((imm>>11)&1)<<7 | info.opcode, nil
+	case fmtU:
+		if !fitsSigned(inst.Imm, 20) && (inst.Imm < 0 || inst.Imm > 0xFFFFF) {
+			return 0, fmt.Errorf("%w: upper imm=%d", ErrImmRange, inst.Imm)
+		}
+		return uint32(inst.Imm&0xFFFFF)<<12 | rd<<7 | info.opcode, nil
+	case fmtJ:
+		if !fitsSigned(inst.Imm, 21) || inst.Imm&1 != 0 {
+			return 0, fmt.Errorf("%w: jump offset=%d", ErrImmRange, inst.Imm)
+		}
+		imm := uint32(inst.Imm) & 0x1FFFFF
+		return (imm>>20)<<31 | ((imm>>1)&0x3FF)<<21 | ((imm>>11)&1)<<20 |
+			((imm>>12)&0xFF)<<12 | rd<<7 | info.opcode, nil
+	case fmtSys:
+		return info.f7<<20 | info.opcode, nil
+	case fmtFence:
+		return 0x0FF00000 | info.opcode, nil // fence iorw,iorw
+	case fmtVSet:
+		if inst.Imm < 0 || inst.Imm > 0x7FF {
+			return 0, fmt.Errorf("%w: vtype=%d", ErrImmRange, inst.Imm)
+		}
+		return uint32(inst.Imm)<<20 | rs1<<15 | uint32(opCFG)<<12 | rd<<7 | info.opcode, nil
+	case fmtVLoad:
+		// unit-stride, unmasked: nf=0, mew=0, mop=0, vm=1, lumop=0
+		return 1<<25 | rs1<<15 | info.f3<<12 | rd<<7 | info.opcode, nil
+	case fmtVStore:
+		// vs3 (data) is carried in Rd for symmetry with loads.
+		return 1<<25 | rs1<<15 | info.f3<<12 | rd<<7 | info.opcode, nil
+	case fmtVArith:
+		switch inst.Op {
+		case VMVVI:
+			if !fitsSigned(inst.Imm, 5) {
+				return 0, fmt.Errorf("%w: vmv.v.i imm=%d", ErrImmRange, inst.Imm)
+			}
+			rs1 = uint32(inst.Imm) & 31
+			rs2 = 0
+		case VMVVX, VFMVVF:
+			// vs2 must be 0 for vmv.v.x / vfmv.v.f
+			rs2 = 0
+		case VFMVFS:
+			rs1 = 0
+		}
+		return info.f7<<25 | rs2<<20 | rs1<<15 | info.vcat<<12 | rd<<7 | info.opcode, nil
+	}
+	return 0, fmt.Errorf("%w: %v", ErrBadOp, inst.Op)
+}
+
+// MustEncode is Encode but panics on error; for use with known-good
+// instruction constructions (templates, trampolines).
+func MustEncode(inst Inst) uint32 {
+	w, err := Encode(inst)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,370 @@
+// Package riscv models the RV64 instruction set used by Chimera: the RV64I
+// base, the M, F/D, Zba/Zbb, C (compressed) and V (vector) extensions, with
+// bit-accurate encodings. The decoder intentionally reproduces the two
+// reserved-encoding families that Chimera's SMILE trampoline relies on:
+//
+//   - a 16-bit parcel whose low five bits are all ones is the prefix of a
+//     reserved >=48-bit instruction and raises an illegal-instruction fault;
+//   - several compressed encodings (for example c.lui with a zero immediate)
+//     are reserved by the C extension and likewise raise a fault.
+package riscv
+
+import "fmt"
+
+// Reg is an integer register number x0..x31. The same 5-bit index space is
+// used for floating-point (f0..f31) and vector (v0..v31) registers; the
+// operation determines which file an operand names.
+type Reg uint8
+
+// ABI register names.
+const (
+	Zero Reg = 0 // x0, hardwired zero
+	RA   Reg = 1 // return address
+	SP   Reg = 2 // stack pointer
+	GP   Reg = 3 // global pointer (the SMILE trampoline register)
+	TP   Reg = 4 // thread pointer
+	T0   Reg = 5 // temporaries
+	T1   Reg = 6
+	T2   Reg = 7
+	S0   Reg = 8 // saved / frame pointer
+	S1   Reg = 9
+	A0   Reg = 10 // argument/return registers
+	A1   Reg = 11
+	A2   Reg = 12
+	A3   Reg = 13
+	A4   Reg = 14
+	A5   Reg = 15
+	A6   Reg = 16
+	A7   Reg = 17
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+	S8   Reg = 24
+	S9   Reg = 25
+	S10  Reg = 26
+	S11  Reg = 27
+	T3   Reg = 28
+	T4   Reg = 29
+	T5   Reg = 30
+	T6   Reg = 31
+)
+
+var regNames = [32]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// Name returns the ABI name of r ("gp", "a0", ...).
+func (r Reg) Name() string {
+	if r < 32 {
+		return regNames[r]
+	}
+	return fmt.Sprintf("x%d", uint8(r))
+}
+
+// Ext identifies an ISA extension as a bit in an extension set.
+type Ext uint32
+
+const (
+	ExtI Ext = 1 << iota // base integer ISA
+	ExtM                 // integer multiply/divide
+	ExtF                 // single-precision floating point
+	ExtD                 // double-precision floating point
+	ExtC                 // compressed instructions
+	ExtV                 // vector extension (RVV 1.0 subset)
+	ExtB                 // bit manipulation (Zba/Zbb subset)
+)
+
+// Common extension sets. RV64GC is the paper's "base core" ISA; RV64GCV adds
+// the vector extension and is the "extension core" ISA.
+const (
+	RV64G   = ExtI | ExtM | ExtF | ExtD
+	RV64GC  = RV64G | ExtC
+	RV64GCV = RV64GC | ExtV
+)
+
+// Has reports whether the set contains every extension in q.
+func (e Ext) Has(q Ext) bool { return e&q == q }
+
+// String lists the extensions in a fixed order, e.g. "rv64imfdcv".
+func (e Ext) String() string {
+	s := "rv64"
+	for _, p := range []struct {
+		bit Ext
+		ch  string
+	}{{ExtI, "i"}, {ExtM, "m"}, {ExtF, "f"}, {ExtD, "d"}, {ExtC, "c"}, {ExtV, "v"}, {ExtB, "b"}} {
+		if e&p.bit != 0 {
+			s += p.ch
+		}
+	}
+	return s
+}
+
+// VLEN is the vector register length in bits, matching the SpacemiT K1 cores
+// used in the paper's evaluation.
+const VLEN = 256
+
+// VLenBytes is VLEN in bytes.
+const VLenBytes = VLEN / 8
+
+// Op enumerates the operations the model supports. Compressed instructions
+// decode to their base-ISA Op with Inst.Len == 2.
+type Op uint16
+
+const (
+	BAD Op = iota
+
+	// RV64I
+	LUI
+	AUIPC
+	JAL
+	JALR
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	LB
+	LH
+	LW
+	LD
+	LBU
+	LHU
+	LWU
+	SB
+	SH
+	SW
+	SD
+	ADDI
+	SLTI
+	SLTIU
+	XORI
+	ORI
+	ANDI
+	SLLI
+	SRLI
+	SRAI
+	ADD
+	SUB
+	SLL
+	SLT
+	SLTU
+	XOR
+	SRL
+	SRA
+	OR
+	AND
+	ADDIW
+	SLLIW
+	SRLIW
+	SRAIW
+	ADDW
+	SUBW
+	SLLW
+	SRLW
+	SRAW
+	FENCE
+	ECALL
+	EBREAK
+
+	// M extension
+	MUL
+	MULH
+	MULHSU
+	MULHU
+	DIV
+	DIVU
+	REM
+	REMU
+	MULW
+	DIVW
+	DIVUW
+	REMW
+	REMUW
+
+	// Zba / Zbb subset
+	SH1ADD
+	SH2ADD
+	SH3ADD
+	ANDN
+	ORN
+	XNOR
+
+	// F/D subset. Rd/Rs1/Rs2/Rs3 index the f register file except where the
+	// mnemonic says otherwise (loads/stores use an integer base register;
+	// fmv.x/fcvt move across files).
+	FLW
+	FSW
+	FLD
+	FSD
+	FADDS
+	FSUBS
+	FMULS
+	FDIVS
+	FMADDS
+	FADDD
+	FSUBD
+	FMULD
+	FDIVD
+	FMADDD
+	FSGNJS // fmv.s when rs1==rs2
+	FSGNJD // fmv.d when rs1==rs2
+	FCVTSL // int64 -> float32
+	FCVTDL // int64 -> float64
+	FCVTLD // float64 -> int64 (rtz)
+	FMVXD  // f -> x bit move
+	FMVDX  // x -> f bit move
+	FMVXW
+	FMVWX
+	FEQD
+	FLTD
+	FLED
+
+	// V extension subset (RVV 1.0 encodings). Rd/Rs1/Rs2 index the v register
+	// file except: vsetvli (x,x), vadd.vx / vmv.v.x (Rs1 is x), vfmacc.vf /
+	// vfmv.v.f (Rs1 is f), vfmv.f.s (Rd is f), loads/stores (Rs1 is the x base).
+	VSETVLI
+	VLE32V
+	VLE64V
+	VSE32V
+	VSE64V
+	VADDVV
+	VADDVX
+	VMULVV
+	VMVVI
+	VMVVX
+	VFADDVV
+	VFMULVV
+	VFMACCVV
+	VFMACCVF
+	VFMVVF
+	VFMVFS
+	VFREDUSUMVS
+
+	numOps
+)
+
+// SEW is a vector selected element width.
+type SEW uint8
+
+const (
+	E8  SEW = 0
+	E16 SEW = 1
+	E32 SEW = 2
+	E64 SEW = 3
+)
+
+// Bytes returns the element width in bytes.
+func (s SEW) Bytes() int { return 1 << s }
+
+// VType packs the vtype fields Chimera's subset uses (LMUL is fixed at 1,
+// tail/mask agnostic).
+func VType(sew SEW) int64 { return int64(sew) << 3 }
+
+// SEWOf extracts the element width from a vtype immediate.
+func SEWOf(vtype int64) SEW { return SEW((vtype >> 3) & 7) }
+
+// Inst is one decoded (or to-be-encoded) instruction.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Rs3 Reg   // fmadd only
+	Imm int64 // sign-extended immediate / shift amount / vtype
+	Len int   // encoded length in bytes: 2 (compressed) or 4
+}
+
+// Is returns true if the instruction has operation op.
+func (i Inst) Is(op Op) bool { return i.Op == op }
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsBranch() bool {
+	switch i.Op {
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return true
+	}
+	return false
+}
+
+// IsJump reports whether the instruction is an unconditional jump (JAL/JALR).
+func (i Inst) IsJump() bool { return i.Op == JAL || i.Op == JALR }
+
+// IsControl reports whether the instruction can redirect control flow.
+func (i Inst) IsControl() bool {
+	return i.IsBranch() || i.IsJump() || i.Op == ECALL || i.Op == EBREAK
+}
+
+// IsTerminator reports whether fallthrough past the instruction is
+// impossible (unconditional jump).
+func (i Inst) IsTerminator() bool { return i.IsJump() }
+
+// IsVector reports whether the instruction belongs to the V extension.
+func (i Inst) IsVector() bool { return i.Op >= VSETVLI && i.Op <= VFREDUSUMVS }
+
+// Extension returns the extension the operation belongs to.
+func (i Inst) Extension() Ext {
+	switch {
+	case i.Op >= MUL && i.Op <= REMUW:
+		return ExtM
+	case i.Op >= SH1ADD && i.Op <= XNOR:
+		return ExtB
+	case i.Op == FLW || i.Op == FSW || (i.Op >= FADDS && i.Op <= FMADDS) ||
+		i.Op == FSGNJS || i.Op == FCVTSL || i.Op == FMVXW || i.Op == FMVWX:
+		return ExtF
+	case i.Op >= FLD && i.Op <= FLED:
+		return ExtD
+	case i.IsVector():
+		return ExtV
+	default:
+		return ExtI
+	}
+}
+
+// opNames maps Op to its canonical mnemonic.
+var opNames = map[Op]string{
+	LUI: "lui", AUIPC: "auipc", JAL: "jal", JALR: "jalr",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	LB: "lb", LH: "lh", LW: "lw", LD: "ld", LBU: "lbu", LHU: "lhu", LWU: "lwu",
+	SB: "sb", SH: "sh", SW: "sw", SD: "sd",
+	ADDI: "addi", SLTI: "slti", SLTIU: "sltiu", XORI: "xori", ORI: "ori", ANDI: "andi",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai",
+	ADD: "add", SUB: "sub", SLL: "sll", SLT: "slt", SLTU: "sltu", XOR: "xor",
+	SRL: "srl", SRA: "sra", OR: "or", AND: "and",
+	ADDIW: "addiw", SLLIW: "slliw", SRLIW: "srliw", SRAIW: "sraiw",
+	ADDW: "addw", SUBW: "subw", SLLW: "sllw", SRLW: "srlw", SRAW: "sraw",
+	FENCE: "fence", ECALL: "ecall", EBREAK: "ebreak",
+	MUL: "mul", MULH: "mulh", MULHSU: "mulhsu", MULHU: "mulhu",
+	DIV: "div", DIVU: "divu", REM: "rem", REMU: "remu",
+	MULW: "mulw", DIVW: "divw", DIVUW: "divuw", REMW: "remw", REMUW: "remuw",
+	SH1ADD: "sh1add", SH2ADD: "sh2add", SH3ADD: "sh3add",
+	ANDN: "andn", ORN: "orn", XNOR: "xnor",
+	FLW: "flw", FSW: "fsw", FLD: "fld", FSD: "fsd",
+	FADDS: "fadd.s", FSUBS: "fsub.s", FMULS: "fmul.s", FDIVS: "fdiv.s", FMADDS: "fmadd.s",
+	FADDD: "fadd.d", FSUBD: "fsub.d", FMULD: "fmul.d", FDIVD: "fdiv.d", FMADDD: "fmadd.d",
+	FSGNJS: "fsgnj.s", FSGNJD: "fsgnj.d",
+	FCVTSL: "fcvt.s.l", FCVTDL: "fcvt.d.l", FCVTLD: "fcvt.l.d",
+	FMVXD: "fmv.x.d", FMVDX: "fmv.d.x", FMVXW: "fmv.x.w", FMVWX: "fmv.w.x",
+	FEQD: "feq.d", FLTD: "flt.d", FLED: "fle.d",
+	VSETVLI: "vsetvli", VLE32V: "vle32.v", VLE64V: "vle64.v",
+	VSE32V: "vse32.v", VSE64V: "vse64.v",
+	VADDVV: "vadd.vv", VADDVX: "vadd.vx", VMULVV: "vmul.vv",
+	VMVVI: "vmv.v.i", VMVVX: "vmv.v.x",
+	VFADDVV: "vfadd.vv", VFMULVV: "vfmul.vv",
+	VFMACCVV: "vfmacc.vv", VFMACCVF: "vfmacc.vf",
+	VFMVVF: "vfmv.v.f", VFMVFS: "vfmv.f.s", VFREDUSUMVS: "vfredusum.vs",
+}
+
+// Mnemonic returns the canonical mnemonic for op.
+func (o Op) Mnemonic() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint16(o))
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/eurosys26p57/chimera/internal/asm"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// BLASKind selects one of the §6.4 OpenBLAS kernels.
+type BLASKind string
+
+// The evaluated kernels.
+const (
+	DGEMM BLASKind = "dgemm"
+	SGEMM BLASKind = "sgemm"
+	DGEMV BLASKind = "dgemv"
+	SGEMV BLASKind = "sgemv"
+)
+
+// BLASKinds lists them in the paper's order (Fig. 14 a-d).
+var BLASKinds = []BLASKind{DGEMM, SGEMM, DGEMV, SGEMV}
+
+// emitDotF emits fa0 += dot(a0, a1, len a2) at the given element width,
+// scalar or vector. Clobbers a0-a2, t0-t1, f0-f1/v0-v2.
+func emitDotF(b *asm.Builder, label string, f32, vector bool) {
+	if !vector {
+		ld, fma := riscv.FLD, riscv.FMADDD
+		step := int64(8)
+		if f32 {
+			ld, fma, step = riscv.FLW, riscv.FMADDS, 4
+		}
+		b.Label(label)
+		b.Load(ld, 0, riscv.A0, 0)
+		b.Load(ld, 1, riscv.A1, 0)
+		b.I(riscv.Inst{Op: fma, Rd: 10, Rs1: 0, Rs2: 1, Rs3: 10})
+		b.Imm(riscv.ADDI, riscv.A0, riscv.A0, step)
+		b.Imm(riscv.ADDI, riscv.A1, riscv.A1, step)
+		b.Imm(riscv.ADDI, riscv.A2, riscv.A2, -1)
+		b.Bne(riscv.A2, riscv.Zero, label)
+		return
+	}
+	sew, vle, shift := riscv.E64, riscv.VLE64V, int64(3)
+	if f32 {
+		sew, vle, shift = riscv.E32, riscv.VLE32V, 2
+	}
+	vt := riscv.VType(sew)
+	b.I(riscv.Inst{Op: riscv.VSETVLI, Rd: riscv.T0, Rs1: riscv.Zero, Imm: vt})
+	b.I(riscv.Inst{Op: riscv.VMVVI, Rd: 2, Imm: 0})
+	b.Label(label)
+	b.I(riscv.Inst{Op: riscv.VSETVLI, Rd: riscv.T0, Rs1: riscv.A2, Imm: vt})
+	b.I(riscv.Inst{Op: vle, Rd: 0, Rs1: riscv.A0})
+	b.I(riscv.Inst{Op: vle, Rd: 1, Rs1: riscv.A1})
+	b.I(riscv.Inst{Op: riscv.VFMACCVV, Rd: 2, Rs1: 0, Rs2: 1})
+	b.Imm(riscv.SLLI, riscv.T1, riscv.T0, shift)
+	b.Op(riscv.ADD, riscv.A0, riscv.A0, riscv.T1)
+	b.Op(riscv.ADD, riscv.A1, riscv.A1, riscv.T1)
+	b.Op(riscv.SUB, riscv.A2, riscv.A2, riscv.T0)
+	b.Bne(riscv.A2, riscv.Zero, label)
+	b.I(riscv.Inst{Op: riscv.VSETVLI, Rd: riscv.T0, Rs1: riscv.Zero, Imm: vt})
+	b.I(riscv.Inst{Op: riscv.VFMVVF, Rd: 1, Rs1: 10})
+	b.I(riscv.Inst{Op: riscv.VFREDUSUMVS, Rd: 0, Rs1: 1, Rs2: 2})
+	b.I(riscv.Inst{Op: riscv.VFMVFS, Rd: 10, Rs2: 0})
+}
+
+// BLAS builds one §6.4 kernel slice: a program computing rows [row0, row1)
+// of the kernel's output over n-sized operands, exiting with a checksum.
+// Thread-level parallelism is modeled by running several slices as tasks.
+func BLAS(kind BLASKind, n, row0, row1 int64, vector bool) (*obj.Image, error) {
+	f32 := kind == SGEMM || kind == SGEMV
+	gemv := kind == DGEMV || kind == SGEMV
+	if row0 < 0 || row1 > n || row0 >= row1 {
+		return nil, fmt.Errorf("workload: bad row slice [%d,%d) of %d", row0, row1, n)
+	}
+	elem := int64(8)
+	zeroF := riscv.FCVTDL
+	ld := riscv.FLD
+	st := riscv.FSD
+	if f32 {
+		elem = 4
+		zeroF = riscv.FCVTSL
+		ld = riscv.FLW
+		st = riscv.FSW
+	}
+	isa := riscv.RV64GC
+	if vector {
+		isa = riscv.RV64GCV
+	}
+	b := asm.NewBuilder(isa)
+	b.Compress = true
+	b.Zero("matA", int(n*n*elem))
+	b.Zero("matB", int(n*n*elem)) // Bᵀ for gemm; x (first row) for gemv
+	b.Zero("matC", int(n*n*elem))
+
+	b.Func("main")
+	// Fill only what the slice touches: its rows of A, and the shared
+	// operand B (the x vector for gemv). Thread-local setup stays
+	// proportional to the slice's compute, as in a real BLAS run where the
+	// data already exists.
+	fill := func(sym string, startElem, countElems, mod int64) {
+		b.La(riscv.T2, sym)
+		b.Li(riscv.T5, startElem*elem)
+		b.Op(riscv.ADD, riscv.T2, riscv.T2, riscv.T5)
+		b.Li(riscv.T3, countElems)
+		b.Li(riscv.T4, startElem)
+		b.Op(riscv.ADD, riscv.T3, riscv.T3, riscv.T4) // end index
+		loop := sym + ".fill"
+		b.Label(loop)
+		b.Li(riscv.T5, mod)
+		b.Op(riscv.REM, riscv.T6, riscv.T4, riscv.T5)
+		b.Imm(riscv.ADDI, riscv.T6, riscv.T6, 1)
+		b.I(riscv.Inst{Op: zeroF, Rd: 0, Rs1: riscv.T6})
+		b.Store(st, 0, riscv.T2, 0)
+		b.Imm(riscv.ADDI, riscv.T2, riscv.T2, elem)
+		b.Imm(riscv.ADDI, riscv.T4, riscv.T4, 1)
+		b.Bne(riscv.T4, riscv.T3, loop)
+	}
+	fill("matA", row0*n, (row1-row0)*n, 7)
+	if gemv {
+		fill("matB", 0, n, 5)
+	} else {
+		fill("matB", 0, n*n, 5)
+	}
+
+	// Row loop over [row0, row1).
+	b.La(riscv.S2, "matA")
+	b.Li(riscv.T2, row0*n*elem)
+	b.Op(riscv.ADD, riscv.S2, riscv.S2, riscv.T2)
+	b.La(riscv.S6, "matC")
+	b.Op(riscv.ADD, riscv.S6, riscv.S6, riscv.T2)
+	b.Li(riscv.S4, row0)
+	b.Label("iloop")
+	cols := n
+	if gemv {
+		cols = 1
+	}
+	b.La(riscv.S3, "matB")
+	b.Li(riscv.S5, 0)
+	b.Label("jloop")
+	b.Mv(riscv.A0, riscv.S2)
+	b.Mv(riscv.A1, riscv.S3)
+	b.Li(riscv.A2, n)
+	b.I(riscv.Inst{Op: zeroF, Rd: 10, Rs1: riscv.Zero})
+	emitDotF(b, "dot", f32, vector)
+	b.Store(st, 10, riscv.S6, 0)
+	b.Imm(riscv.ADDI, riscv.S6, riscv.S6, elem)
+	b.Li(riscv.T2, n*elem)
+	b.Op(riscv.ADD, riscv.S3, riscv.S3, riscv.T2)
+	b.Imm(riscv.ADDI, riscv.S5, riscv.S5, 1)
+	b.Li(riscv.T3, cols)
+	b.Bne(riscv.S5, riscv.T3, "jloop")
+	b.Li(riscv.T2, n*elem)
+	b.Op(riscv.ADD, riscv.S2, riscv.S2, riscv.T2)
+	b.Imm(riscv.ADDI, riscv.S4, riscv.S4, 1)
+	b.Li(riscv.T3, row1)
+	b.Bne(riscv.S4, riscv.T3, "iloop")
+
+	// Checksum the slice's outputs.
+	rows := row1 - row0
+	outElems := rows * cols
+	b.La(riscv.T2, "matC")
+	b.Li(riscv.T5, row0*n*elem)
+	b.Op(riscv.ADD, riscv.T2, riscv.T2, riscv.T5)
+	b.Li(riscv.T3, outElems)
+	b.Li(riscv.A0, 0)
+	b.Label("sum")
+	b.Load(ld, 0, riscv.T2, 0)
+	if f32 {
+		b.I(riscv.Inst{Op: riscv.FMVXW, Rd: riscv.T4, Rs1: 0})
+	} else {
+		b.I(riscv.Inst{Op: riscv.FCVTLD, Rd: riscv.T4, Rs1: 0})
+	}
+	b.Op(riscv.ADD, riscv.A0, riscv.A0, riscv.T4)
+	b.Imm(riscv.ADDI, riscv.T2, riscv.T2, elem)
+	b.Imm(riscv.ADDI, riscv.T3, riscv.T3, -1)
+	b.Bne(riscv.T3, riscv.Zero, "sum")
+	b.Imm(riscv.ANDI, riscv.A0, riscv.A0, 0x7F)
+	exit(b)
+	return b.Build(string(kind), "main")
+}
+
+// BLASPair returns the base and extension versions of a kernel slice.
+func BLASPair(kind BLASKind, n, row0, row1 int64) (base, ext *obj.Image, err error) {
+	base, err = BLAS(kind, n, row0, row1, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	ext, err = BLAS(kind, n, row0, row1, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return base, ext, nil
+}

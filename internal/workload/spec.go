@@ -1,0 +1,331 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/eurosys26p57/chimera/internal/asm"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// SpecParams shapes a synthetic SPEC-CPU2017-like binary. The per-benchmark
+// instances (SpecSuite) are parameterized from the paper's Table 3 columns:
+// code size, extension-instruction percentage, and control-flow behavior
+// chosen to land each benchmark in its reported band.
+type SpecParams struct {
+	Name string
+	// CodeKB is the total text size (hot code plus a cold region, like the
+	// >1MB binaries §6.2 selects).
+	CodeKB int
+	// Funcs is the number of generated hot functions.
+	Funcs int
+	// VecFuncs of them carry a vector block.
+	VecFuncs int
+	// BodyInsts is the scalar body length per function.
+	BodyInsts int
+	// IndirectEvery: every N rounds the main loop makes an indirect call
+	// through the function-pointer table (drives Safer/ARMore costs).
+	IndirectEvery int
+	// ErrEntryEvery: every N rounds the main loop legally enters a function
+	// at a mid-body label that CHBP's trampoline overwrites — the erroneous
+	// execution (P1) path. 0 disables.
+	ErrEntryEvery int
+	// PressureFuncs of the vector functions keep every scavengeable register
+	// live at the vector block's exit, so plain liveness finds no dead
+	// register and CHBP must shift the exit position (the Table 3
+	// "traditional" failure column).
+	PressureFuncs int
+	// HardPressureFuncs adds cold functions where even exit-position
+	// shifting fails (a branch immediately follows the block with all
+	// registers live), forcing the trap-exit fallback (the Table 3 "ours"
+	// failure column).
+	HardPressureFuncs int
+	// Rounds is the number of main-loop rounds.
+	Rounds int64
+	// Seed controls the generated instruction mix.
+	Seed int64
+}
+
+// VecData is the size of the shared vector scratch area.
+const vecElems = 64
+
+// BuildSpec generates the synthetic benchmark. vector selects the
+// RVV-optimized version (vector blocks emitted as RVV) versus the base
+// version (the same computation as scalar loops).
+func BuildSpec(p SpecParams, vector bool) (*obj.Image, error) {
+	if p.Funcs <= 0 || p.VecFuncs > p.Funcs {
+		return nil, fmt.Errorf("workload: bad spec params %+v", p)
+	}
+	isa := riscv.RV64GC
+	if vector {
+		isa = riscv.RV64GCV
+	}
+	b := asm.NewBuilder(isa)
+	b.Compress = true
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	b.DataF64("vecX", seqFloats(vecElems, 3))
+	b.DataF64("vecY", seqFloats(vecElems, 5))
+	b.Zero("vecZ", vecElems*8)
+
+	fname := func(i int) string { return fmt.Sprintf("f%03d", i) }
+
+	// main -------------------------------------------------------------
+	b.Func("main")
+	b.Li(riscv.S1, p.Rounds)
+	b.Li(riscv.S11, 0) // checksum
+	b.Li(riscv.S9, 0)  // round counter
+	b.Label("round")
+	for i := 0; i < p.Funcs; i++ {
+		b.Call(fname(i))
+		b.Op(riscv.ADD, riscv.S11, riscv.S11, riscv.A0)
+	}
+	if p.IndirectEvery > 0 {
+		b.Li(riscv.T0, int64(p.IndirectEvery))
+		b.Op(riscv.REM, riscv.T1, riscv.S9, riscv.T0)
+		b.Bne(riscv.T1, riscv.Zero, "noind")
+		// idx = round % Funcs
+		b.Li(riscv.T0, int64(p.Funcs))
+		b.Op(riscv.REM, riscv.T1, riscv.S9, riscv.T0)
+		b.Imm(riscv.SLLI, riscv.T1, riscv.T1, 3)
+		b.La(riscv.T2, "ftable")
+		b.Op(riscv.ADD, riscv.T2, riscv.T2, riscv.T1)
+		b.Load(riscv.LD, riscv.T2, riscv.T2, 0)
+		b.I(riscv.Inst{Op: riscv.JALR, Rd: riscv.RA, Rs1: riscv.T2})
+		b.Op(riscv.ADD, riscv.S11, riscv.S11, riscv.A0)
+		b.Label("noind")
+	}
+	if p.ErrEntryEvery > 0 {
+		b.Li(riscv.T0, int64(p.ErrEntryEvery))
+		b.Op(riscv.REM, riscv.T1, riscv.S9, riscv.T0)
+		b.Bne(riscv.T1, riscv.Zero, "noerr")
+		// Enter f0 at its mid-loop label with a coherent register state —
+		// a legal (if unusual) execution of the original binary, and the
+		// erroneous-entry (P1) path of every rewritten one.
+		b.La(riscv.A1, "vecX")
+		b.La(riscv.A2, "vecY")
+		b.La(riscv.A6, "vecZ")
+		b.Li(riscv.A7, 8)
+		b.Li(riscv.T5, 4) // in-flight vl, matching the stale vector state
+		b.Li(riscv.A0, 0)
+		b.La(riscv.T2, "altentry")
+		b.Load(riscv.LD, riscv.T2, riscv.T2, 0)
+		b.I(riscv.Inst{Op: riscv.JALR, Rd: riscv.RA, Rs1: riscv.T2})
+		b.Op(riscv.ADD, riscv.S11, riscv.S11, riscv.A0)
+		b.Label("noerr")
+	}
+	b.Imm(riscv.ADDI, riscv.S9, riscv.S9, 1)
+	b.Blt(riscv.S9, riscv.S1, "round")
+	// Cold functions run once: their rewrite artifacts (trap-exit
+	// fallbacks) exist but barely appear in the dynamic profile.
+	for i := 0; i < p.HardPressureFuncs; i++ {
+		b.Call(fmt.Sprintf("fhard%02d", i))
+		b.Op(riscv.ADD, riscv.S11, riscv.S11, riscv.A0)
+	}
+	b.Imm(riscv.ANDI, riscv.A0, riscv.S11, 0x7F)
+	exit(b)
+
+	// hot functions ------------------------------------------------------
+	scratch := []riscv.Reg{riscv.T0, riscv.T1, riscv.T2, riscv.T3, riscv.T4, riscv.A3, riscv.A4, riscv.A5}
+	for i := 0; i < p.Funcs; i++ {
+		b.Func(fname(i))
+		hasVec := i < p.VecFuncs
+		// Leaf functions need no frame; keep them leaf so mid-body entries
+		// (the alt entry) stay legal executions.
+		b.Li(riscv.A0, int64(i+1))
+		// Define every scratch register before use: compiled code never
+		// reads dead temporaries across call boundaries (psABI), and the
+		// liveness analyses of every rewriter rely on that.
+		for k, r := range scratch {
+			b.Li(r, int64(i*31+k*7+1))
+		}
+		for j := 0; j < p.BodyInsts; j++ {
+			rd := scratch[rng.Intn(len(scratch))]
+			r1 := scratch[rng.Intn(len(scratch))]
+			r2 := scratch[rng.Intn(len(scratch))]
+			switch rng.Intn(6) {
+			case 0:
+				b.Op(riscv.ADD, rd, r1, r2)
+			case 1:
+				b.Op(riscv.XOR, rd, r1, r2)
+			case 2:
+				b.Imm(riscv.ADDI, rd, r1, int64(rng.Intn(64)))
+			case 3:
+				// slli+add pair: Zba upgrade fodder.
+				b.Imm(riscv.SLLI, rd, r1, int64(1+rng.Intn(3)))
+				b.Op(riscv.ADD, rd, rd, r2)
+				j++
+			case 4:
+				b.Op(riscv.MUL, rd, r1, r2)
+			case 5:
+				b.Op(riscv.AND, rd, r1, r2)
+			}
+			b.Op(riscv.ADD, riscv.A0, riscv.A0, rd)
+		}
+		if hasVec {
+			b.La(riscv.A1, "vecX")
+			b.La(riscv.A2, "vecY")
+			b.La(riscv.A6, "vecZ")
+			if vector {
+				vt := riscv.VType(riscv.E64)
+				b.Li(riscv.A7, vecElems)
+				b.Label(fname(i) + ".vloop")
+				b.I(riscv.Inst{Op: riscv.VSETVLI, Rd: riscv.T5, Rs1: riscv.A7, Imm: vt})
+				b.I(riscv.Inst{Op: riscv.VLE64V, Rd: 1, Rs1: riscv.A1})
+				b.I(riscv.Inst{Op: riscv.VLE64V, Rd: 2, Rs1: riscv.A2})
+				b.I(riscv.Inst{Op: riscv.VFMACCVV, Rd: 2, Rs1: 1, Rs2: 1})
+				b.I(riscv.Inst{Op: riscv.VSE64V, Rd: 2, Rs1: riscv.A6})
+				if i == 0 {
+					// The alt entry: a legal indirect target sitting in the
+					// trampoline space of the preceding vse64 — every
+					// rewritten binary's erroneous-execution (P1) path.
+					b.Func("f0.alt")
+				}
+				b.Imm(riscv.SLLI, riscv.T6, riscv.T5, 3)
+				b.Op(riscv.ADD, riscv.A1, riscv.A1, riscv.T6)
+				b.Op(riscv.ADD, riscv.A2, riscv.A2, riscv.T6)
+				b.Op(riscv.ADD, riscv.A6, riscv.A6, riscv.T6)
+				b.Op(riscv.SUB, riscv.A7, riscv.A7, riscv.T5)
+				b.Bne(riscv.A7, riscv.Zero, fname(i)+".vloop")
+			} else {
+				// Scalar equivalent: z[i] = y[i] + x[i]*x[i].
+				b.Li(riscv.A7, vecElems)
+				b.Label(fname(i) + ".sloop")
+				b.Load(riscv.FLD, 0, riscv.A1, 0)
+				b.Load(riscv.FLD, 1, riscv.A2, 0)
+				b.I(riscv.Inst{Op: riscv.FMADDD, Rd: 1, Rs1: 0, Rs2: 0, Rs3: 1})
+				b.Store(riscv.FSD, 1, riscv.A6, 0)
+				if i == 0 {
+					b.Func("f0.alt")
+				}
+				b.Imm(riscv.ADDI, riscv.A1, riscv.A1, 8)
+				b.Imm(riscv.ADDI, riscv.A2, riscv.A2, 8)
+				b.Imm(riscv.ADDI, riscv.A6, riscv.A6, 8)
+				b.Imm(riscv.ADDI, riscv.A7, riscv.A7, -1)
+				b.Bne(riscv.A7, riscv.Zero, fname(i)+".sloop")
+			}
+			if i < p.PressureFuncs {
+				// The tail must precede any register redefinition so every
+				// scavengeable register is genuinely live at the loop exit.
+				emitPressureTail(b)
+			}
+			// Fold a vector result into the return value.
+			b.La(riscv.A1, "vecZ")
+			b.Load(riscv.LD, riscv.T5, riscv.A1, 16)
+			b.Op(riscv.ADD, riscv.A0, riscv.A0, riscv.T5)
+		}
+		b.Imm(riscv.ANDI, riscv.A0, riscv.A0, 0x7FF)
+		b.Ret()
+	}
+
+	// Cold hard-pressure functions: a branch right after the vector block
+	// with every scavengeable register live blocks exit-position shifting.
+	for i := 0; i < p.HardPressureFuncs; i++ {
+		b.Func(fmt.Sprintf("fhard%02d", i))
+		for k, r := range scratch {
+			b.Li(r, int64(k+2))
+		}
+		b.La(riscv.A1, "vecX")
+		b.La(riscv.A2, "vecY")
+		b.La(riscv.A6, "vecZ")
+		if vector {
+			vt := riscv.VType(riscv.E64)
+			b.Li(riscv.A7, 8)
+			lbl := fmt.Sprintf("fhard%02d.v", i)
+			b.Label(lbl)
+			b.I(riscv.Inst{Op: riscv.VSETVLI, Rd: riscv.T5, Rs1: riscv.A7, Imm: vt})
+			b.I(riscv.Inst{Op: riscv.VLE64V, Rd: 1, Rs1: riscv.A1})
+			b.I(riscv.Inst{Op: riscv.VFMACCVV, Rd: 1, Rs1: 1, Rs2: 1})
+			b.I(riscv.Inst{Op: riscv.VSE64V, Rd: 1, Rs1: riscv.A6})
+			b.Imm(riscv.SLLI, riscv.T6, riscv.T5, 3)
+			b.Op(riscv.ADD, riscv.A1, riscv.A1, riscv.T6)
+			b.Op(riscv.ADD, riscv.A6, riscv.A6, riscv.T6)
+			b.Op(riscv.SUB, riscv.A7, riscv.A7, riscv.T5)
+			b.Bne(riscv.A7, riscv.Zero, lbl)
+		} else {
+			b.Load(riscv.FLD, 0, riscv.A1, 0)
+			b.Store(riscv.FSD, 0, riscv.A6, 0)
+		}
+		// The converging branch: a no-op control join that a binary rewriter
+		// cannot shift past, with all registers kept live below it.
+		next := fmt.Sprintf("fhard%02d.join", i)
+		b.Beq(riscv.T0, riscv.T0, next)
+		b.Label(next)
+		emitPressureTail(b)
+		b.Imm(riscv.ANDI, riscv.A0, riscv.A0, 0x7FF)
+		b.Ret()
+	}
+
+	// Cold region: fills the section to the Table 3 code size.
+	hot := int(b.PC())
+	if pad := p.CodeKB*1024 - hot; pad > 0 {
+		b.Space(pad)
+	}
+
+	// Function pointer table + alt entry pointer.
+	var err error
+	b.DataI64("ftable", make([]int64, p.Funcs))
+	b.DataI64("altentry", []int64{0})
+	img, err := b.Build(p.Name, "main")
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the table contents now that addresses are final.
+	fixPointer := func(sym string, idx int, target string) error {
+		tsym, ok := img.Lookup(target)
+		if !ok {
+			return fmt.Errorf("workload: symbol %q missing", target)
+		}
+		ssym, ok := img.Lookup(sym)
+		if !ok {
+			return fmt.Errorf("workload: symbol %q missing", sym)
+		}
+		var buf [8]byte
+		buf[0] = byte(tsym.Addr)
+		buf[1] = byte(tsym.Addr >> 8)
+		buf[2] = byte(tsym.Addr >> 16)
+		buf[3] = byte(tsym.Addr >> 24)
+		buf[4] = byte(tsym.Addr >> 32)
+		buf[5] = byte(tsym.Addr >> 40)
+		buf[6] = byte(tsym.Addr >> 48)
+		buf[7] = byte(tsym.Addr >> 56)
+		return img.WriteAt(ssym.Addr+uint64(8*idx), buf[:])
+	}
+	for i := 0; i < p.Funcs; i++ {
+		if err = fixPointer("ftable", i, fname(i)); err != nil {
+			return nil, err
+		}
+	}
+	if p.ErrEntryEvery > 0 {
+		if p.VecFuncs == 0 {
+			return nil, fmt.Errorf("workload: ErrEntryEvery requires a vector function")
+		}
+		if err = fixPointer("altentry", 0, "f0.alt"); err != nil {
+			return nil, err
+		}
+	} else if err = fixPointer("altentry", 0, fname(0)); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// emitPressureTail reads every scavengeable temporary/argument register, so
+// each is live where the tail begins; the first read then frees its
+// register, which is exactly what exit-position shifting exploits (Fig. 8).
+func emitPressureTail(b *asm.Builder) {
+	for _, r := range []riscv.Reg{
+		riscv.T0, riscv.T1, riscv.T2, riscv.T3, riscv.T4, riscv.T5, riscv.T6,
+		riscv.A1, riscv.A2, riscv.A3, riscv.A4, riscv.A5, riscv.A6, riscv.A7,
+	} {
+		b.Op(riscv.ADD, riscv.A0, riscv.A0, r)
+	}
+}
+
+func seqFloats(n int, mod int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i%mod + 1)
+	}
+	return out
+}

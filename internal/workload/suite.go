@@ -1,0 +1,90 @@
+package workload
+
+// SpecCase pairs a synthetic benchmark with the paper's reported
+// characteristics (Table 3), which parameterize the generator.
+type SpecCase struct {
+	Params SpecParams
+	// PaperMB / PaperExtPct are Table 3's code size and extension
+	// instruction percentage for the original benchmark.
+	PaperMB     float64
+	PaperExtPct float64
+}
+
+// specCase derives generator parameters from the paper's numbers.
+// indirectEvery shapes how often indirect jumps execute (driving the
+// Safer/ARMore columns of Table 2); errEvery how often the legal
+// mid-function entry (CHBP's deterministic-fault path) fires.
+func specCase(name string, mb, extPct float64, indirectEvery, errEvery int, seed int64) SpecCase {
+	funcs := 12
+	vecFuncs := 8
+	if extPct < 1.5 {
+		vecFuncs = 3
+	}
+	// Pick the body size so the static vector share approximates extPct:
+	// each vector function contributes ~6 vector instructions.
+	totalTarget := float64(6*vecFuncs) / (extPct / 100)
+	body := int(totalTarget)/funcs - 30
+	if body < 8 {
+		body = 8
+	}
+	if body > 400 {
+		body = 400
+	}
+	return SpecCase{
+		Params: SpecParams{
+			Name:              name,
+			CodeKB:            int(mb * 1024),
+			Funcs:             funcs,
+			VecFuncs:          vecFuncs,
+			BodyInsts:         body,
+			IndirectEvery:     indirectEvery,
+			ErrEntryEvery:     errEvery,
+			PressureFuncs:     vecFuncs * 3 / 8,
+			HardPressureFuncs: 1,
+			Rounds:            60,
+			Seed:              seed,
+		},
+		PaperMB:     mb,
+		PaperExtPct: extPct,
+	}
+}
+
+// SpecSuite returns the Fig. 13 / Table 2 / Table 3 SPEC CPU2017 benchmark
+// set, parameterized from Table 3 (code size, extension share) and Table 2
+// (relative indirect-jump and erroneous-entry frequencies).
+func SpecSuite() []SpecCase {
+	return []SpecCase{
+		specCase("perlbench_r", 1.52, 0.58, 1, 40, 101),
+		specCase("gcc_r", 6.88, 0.44, 2, 80, 102),
+		specCase("omnetpp_r", 1.14, 0.95, 2, 90, 103),
+		specCase("xalancbmk_r", 2.91, 1.36, 3, 70, 104),
+		specCase("cactuBSSN_r", 3.49, 3.24, 40, 200, 105),
+		specCase("parest_r", 1.80, 2.10, 8, 100, 106),
+		specCase("wrf_r", 16.79, 3.21, 12, 90, 107),
+		specCase("blender_r", 7.31, 1.51, 6, 100, 108),
+		specCase("cam4_r", 4.29, 3.37, 10, 60, 109),
+		specCase("imagick_r", 1.41, 1.63, 4, 80, 110),
+		specCase("perlbench_s", 1.52, 0.58, 1, 40, 111),
+		specCase("gcc_s", 6.88, 0.44, 2, 80, 112),
+		specCase("omnetpp_s", 1.14, 0.95, 2, 90, 113),
+		specCase("xalancbmk_s", 2.91, 1.36, 3, 70, 114),
+		specCase("cactuBSSN_s", 3.49, 3.24, 40, 200, 115),
+		specCase("wrf_s", 16.78, 3.20, 12, 90, 116),
+		specCase("cam4_s", 4.47, 3.27, 10, 60, 117),
+		specCase("pop2_s", 3.57, 3.71, 14, 70, 118),
+		specCase("imagick_s", 1.46, 1.47, 4, 80, 119),
+	}
+}
+
+// RealWorldSuite returns the real-world application set of Tables 2 and 3.
+func RealWorldSuite() []SpecCase {
+	return []SpecCase{
+		specCase("Git", 3.11, 2.70, 6, 120, 201),
+		specCase("Vim", 2.91, 2.31, 8, 150, 202),
+		specCase("GIMP", 4.20, 2.10, 5, 110, 203),
+		specCase("CMake", 7.60, 3.32, 3, 90, 204),
+		specCase("CTest", 8.50, 3.30, 3, 95, 205),
+		specCase("Python", 2.31, 1.77, 4, 100, 206),
+		specCase("Libopenblas", 6.72, 0.59, 9, 130, 207),
+	}
+}

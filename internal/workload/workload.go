@@ -1,0 +1,186 @@
+// Package workload builds the guest programs the experiments run: the
+// §6.1 mixed task suite (Fibonacci base tasks, matrix-multiplication
+// extension tasks), the §6.4 BLAS kernels, and the §6.2 SPEC-CPU2017-shaped
+// synthetic binaries. Each program exists in a base (RV64GC) and an
+// extension (RV64GCV) version, standing in for the two compiler outputs the
+// paper feeds its systems.
+package workload
+
+import (
+	"github.com/eurosys26p57/chimera/internal/asm"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// exit emits "li a7, 93; ecall" (exit with a0).
+func exit(b *asm.Builder) {
+	b.Li(riscv.A7, 93)
+	b.Ecall()
+}
+
+// Fibonacci builds the §6.1 base task: an iterative Fibonacci computation
+// that the vector extension cannot accelerate. rounds scales the work; the
+// program exits with F(90) truncated to 8 bits, recomputed `rounds` times.
+func Fibonacci(rounds int64, isa riscv.Ext, compress bool) (*obj.Image, error) {
+	b := asm.NewBuilder(isa)
+	b.Compress = compress
+	b.Func("main")
+	b.Li(riscv.S4, rounds)
+	b.Label("rounds")
+	b.Li(riscv.T0, 0)
+	b.Li(riscv.T1, 1)
+	b.Li(riscv.T2, 90)
+	b.Label("fib")
+	b.Op(riscv.ADD, riscv.T3, riscv.T0, riscv.T1)
+	b.Mv(riscv.T0, riscv.T1)
+	b.Mv(riscv.T1, riscv.T3)
+	b.Imm(riscv.ADDI, riscv.T2, riscv.T2, -1)
+	b.Bne(riscv.T2, riscv.Zero, "fib")
+	b.Imm(riscv.ADDI, riscv.S4, riscv.S4, -1)
+	b.Bne(riscv.S4, riscv.Zero, "rounds")
+	b.Imm(riscv.ANDI, riscv.A0, riscv.T0, 0xFF)
+	exit(b)
+	return b.Build("fib", "main")
+}
+
+// emitScalarDot emits the canonical scalar dot-product loop (the shape the
+// upgrade templates recognize): fa0 += sum(a[i]*b[i]) for i < n, with
+// a0/a1 advancing and a2 counting down. Pointers and count are clobbered.
+func emitScalarDot(b *asm.Builder, label string) {
+	b.Label(label)
+	b.Load(riscv.FLD, 0, riscv.A0, 0)
+	b.Load(riscv.FLD, 1, riscv.A1, 0)
+	b.I(riscv.Inst{Op: riscv.FMADDD, Rd: 10, Rs1: 0, Rs2: 1, Rs3: 10})
+	b.Imm(riscv.ADDI, riscv.A0, riscv.A0, 8)
+	b.Imm(riscv.ADDI, riscv.A1, riscv.A1, 8)
+	b.Imm(riscv.ADDI, riscv.A2, riscv.A2, -1)
+	b.Bne(riscv.A2, riscv.Zero, label)
+}
+
+// emitVectorDot emits the hand-vectorized dot product with the same
+// register contract as emitScalarDot (clobbers t0/t1 and v0-v2).
+func emitVectorDot(b *asm.Builder, label string) {
+	vt := riscv.VType(riscv.E64)
+	b.I(riscv.Inst{Op: riscv.VSETVLI, Rd: riscv.T0, Rs1: riscv.Zero, Imm: vt})
+	b.I(riscv.Inst{Op: riscv.VMVVI, Rd: 2, Imm: 0})
+	b.Label(label)
+	b.I(riscv.Inst{Op: riscv.VSETVLI, Rd: riscv.T0, Rs1: riscv.A2, Imm: vt})
+	b.I(riscv.Inst{Op: riscv.VLE64V, Rd: 0, Rs1: riscv.A0})
+	b.I(riscv.Inst{Op: riscv.VLE64V, Rd: 1, Rs1: riscv.A1})
+	b.I(riscv.Inst{Op: riscv.VFMACCVV, Rd: 2, Rs1: 0, Rs2: 1})
+	b.Imm(riscv.SLLI, riscv.T1, riscv.T0, 3)
+	b.Op(riscv.ADD, riscv.A0, riscv.A0, riscv.T1)
+	b.Op(riscv.ADD, riscv.A1, riscv.A1, riscv.T1)
+	b.Op(riscv.SUB, riscv.A2, riscv.A2, riscv.T0)
+	b.Bne(riscv.A2, riscv.Zero, label)
+	b.I(riscv.Inst{Op: riscv.VSETVLI, Rd: riscv.T0, Rs1: riscv.Zero, Imm: vt})
+	b.I(riscv.Inst{Op: riscv.VFMVVF, Rd: 1, Rs1: 10})
+	b.I(riscv.Inst{Op: riscv.VFREDUSUMVS, Rd: 0, Rs1: 1, Rs2: 2})
+	b.I(riscv.Inst{Op: riscv.VFMVFS, Rd: 10, Rs2: 0})
+}
+
+// Matmul builds the §6.1 extension task: C = A × Bᵀ for n×n float64
+// matrices (B stored transposed so rows are contiguous), exiting with a
+// checksum of C. vector selects the RVV-optimized version; the scalar
+// version's inner loop is the canonical upgradable idiom.
+func Matmul(n int64, vector, compress bool) (*obj.Image, error) {
+	isa := riscv.RV64GC
+	if vector {
+		isa = riscv.RV64GCV
+	}
+	b := asm.NewBuilder(isa)
+	b.Compress = compress
+	b.Zero("matA", int(n*n*8))
+	b.Zero("matB", int(n*n*8))
+	b.Zero("matC", int(n*n*8))
+
+	b.Func("main")
+	// Fill A and B deterministically: A[i] = (i%7)+1, B[i] = (i%5)+1.
+	fill := func(sym string, mod int64) {
+		b.La(riscv.T2, sym)
+		b.Li(riscv.T3, n*n)
+		b.Li(riscv.T4, 0)
+		loop := sym + ".fill"
+		b.Label(loop)
+		b.Li(riscv.T5, mod)
+		b.Op(riscv.REM, riscv.T6, riscv.T4, riscv.T5)
+		b.Imm(riscv.ADDI, riscv.T6, riscv.T6, 1)
+		b.I(riscv.Inst{Op: riscv.FCVTDL, Rd: 0, Rs1: riscv.T6})
+		b.Store(riscv.FSD, 0, riscv.T2, 0)
+		b.Imm(riscv.ADDI, riscv.T2, riscv.T2, 8)
+		b.Imm(riscv.ADDI, riscv.T4, riscv.T4, 1)
+		b.Bne(riscv.T4, riscv.T3, loop)
+	}
+	fill("matA", 7)
+	fill("matB", 5)
+
+	// for i, j: C[i][j] = dot(A[i,:], B[j,:])
+	b.La(riscv.S2, "matA")
+	b.La(riscv.S6, "matC")
+	b.Li(riscv.S4, 0) // i
+	b.Label("iloop")
+	b.La(riscv.S3, "matB")
+	b.Li(riscv.S5, 0) // j
+	b.Label("jloop")
+	b.Mv(riscv.A0, riscv.S2)
+	b.Mv(riscv.A1, riscv.S3)
+	b.Li(riscv.A2, n)
+	b.I(riscv.Inst{Op: riscv.FCVTDL, Rd: 10, Rs1: riscv.Zero}) // fa0 = 0
+	if vector {
+		emitVectorDot(b, "dot")
+	} else {
+		emitScalarDot(b, "dot")
+	}
+	b.Store(riscv.FSD, 10, riscv.S6, 0)
+	b.Imm(riscv.ADDI, riscv.S6, riscv.S6, 8)
+	b.Li(riscv.T2, 8*n)
+	b.Op(riscv.ADD, riscv.S3, riscv.S3, riscv.T2) // next row of Bᵀ
+	b.Imm(riscv.ADDI, riscv.S5, riscv.S5, 1)
+	b.Li(riscv.T3, n)
+	b.Bne(riscv.S5, riscv.T3, "jloop")
+	b.Op(riscv.ADD, riscv.S2, riscv.S2, riscv.T2) // next row of A
+	b.Imm(riscv.ADDI, riscv.S4, riscv.S4, 1)
+	b.Bne(riscv.S4, riscv.T3, "iloop")
+
+	// Checksum: sum of C as int64, truncated.
+	b.La(riscv.T2, "matC")
+	b.Li(riscv.T3, n*n)
+	b.Li(riscv.A0, 0)
+	b.Label("sum")
+	b.Load(riscv.FLD, 0, riscv.T2, 0)
+	b.I(riscv.Inst{Op: riscv.FCVTLD, Rd: riscv.T4, Rs1: 0})
+	b.Op(riscv.ADD, riscv.A0, riscv.A0, riscv.T4)
+	b.Imm(riscv.ADDI, riscv.T2, riscv.T2, 8)
+	b.Imm(riscv.ADDI, riscv.T3, riscv.T3, -1)
+	b.Bne(riscv.T3, riscv.Zero, "sum")
+	b.Imm(riscv.ANDI, riscv.A0, riscv.A0, 0x7F)
+	exit(b)
+	return b.Build("matmul", "main")
+}
+
+// MatmulPair returns the base and extension versions of the matmul task.
+func MatmulPair(n int64, compress bool) (base, ext *obj.Image, err error) {
+	base, err = Matmul(n, false, compress)
+	if err != nil {
+		return nil, nil, err
+	}
+	ext, err = Matmul(n, true, compress)
+	if err != nil {
+		return nil, nil, err
+	}
+	return base, ext, nil
+}
+
+// FibPair returns identical base and "extension" versions of the Fibonacci
+// task (it has nothing to vectorize).
+func FibPair(rounds int64, compress bool) (base, ext *obj.Image, err error) {
+	base, err = Fibonacci(rounds, riscv.RV64GC, compress)
+	if err != nil {
+		return nil, nil, err
+	}
+	ext, err = Fibonacci(rounds, riscv.RV64GCV, compress)
+	if err != nil {
+		return nil, nil, err
+	}
+	return base, ext, nil
+}

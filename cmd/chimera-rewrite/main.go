@@ -11,7 +11,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"github.com/eurosys26p57/chimera/internal/chbp"
 	"github.com/eurosys26p57/chimera/internal/obj"
@@ -28,12 +27,18 @@ func main() {
 	out := flag.String("o", "", "output image path")
 	flag.Parse()
 	if flag.NArg() != 1 || *out == "" {
-		fmt.Fprintln(os.Stderr, "usage: chimera-rewrite -target ISA -method M -o out.chim in.chim")
-		os.Exit(2)
+		usage("")
 	}
-	isa, err := parseISA(*target)
+	// Validate flag values before touching the input file so bad invocations
+	// fail fast with usage instead of late in the fatal path.
+	isa, err := riscv.ParseISA(*target)
 	if err != nil {
-		fatal(err)
+		usage(fmt.Sprintf("bad -target: %v", err))
+	}
+	switch *method {
+	case "chbp", "strawman", "safer", "armore":
+	default:
+		usage(fmt.Sprintf("bad -method %q (want chbp, strawman, safer, armore)", *method))
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -104,18 +109,12 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 }
 
-func parseISA(s string) (riscv.Ext, error) {
-	switch strings.ToLower(s) {
-	case "rv64g":
-		return riscv.RV64G, nil
-	case "rv64gc":
-		return riscv.RV64GC, nil
-	case "rv64gcv":
-		return riscv.RV64GCV, nil
-	case "rv64gcb":
-		return riscv.RV64GC | riscv.ExtB, nil
+func usage(msg string) {
+	if msg != "" {
+		fmt.Fprintln(os.Stderr, "chimera-rewrite:", msg)
 	}
-	return 0, fmt.Errorf("unknown ISA %q", s)
+	fmt.Fprintln(os.Stderr, "usage: chimera-rewrite -target ISA -method M -o out.chim in.chim")
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"github.com/eurosys26p57/chimera/internal/kernel"
 	"github.com/eurosys26p57/chimera/internal/obj"
@@ -53,7 +52,7 @@ func main() {
 	}
 	isa := img.ISA
 	if *isaFlag != "" {
-		isa, err = parseISA(*isaFlag)
+		isa, err = riscv.ParseISA(*isaFlag)
 		if err != nil {
 			fatal(err)
 		}
@@ -98,20 +97,6 @@ func readImage(path string) (*obj.Image, error) {
 	}
 	defer f.Close()
 	return obj.ReadImage(f)
-}
-
-func parseISA(s string) (riscv.Ext, error) {
-	switch strings.ToLower(s) {
-	case "rv64g":
-		return riscv.RV64G, nil
-	case "rv64gc":
-		return riscv.RV64GC, nil
-	case "rv64gcv":
-		return riscv.RV64GCV, nil
-	case "rv64gcb":
-		return riscv.RV64GC | riscv.ExtB, nil
-	}
-	return 0, fmt.Errorf("unknown ISA %q", s)
 }
 
 func fatal(err error) {

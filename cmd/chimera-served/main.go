@@ -1,0 +1,72 @@
+// chimera-served runs the Chimera rewrite service: a long-running daemon
+// that rewrites images for target core classes over an HTTP JSON API, with
+// a content-addressed rewrite cache, singleflight deduplication, and a
+// bounded worker pool. See README.md "Serving mode".
+//
+// Usage:
+//
+//	chimera-served -addr :8080 -workers 8 -cache-mb 256
+//
+// Endpoints: POST /rewrite, POST /run, GET /healthz, GET /stats.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/eurosys26p57/chimera/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "pending-request queue depth (0 = 4x workers)")
+	cacheMB := flag.Int64("cache-mb", 256, "rewrite cache budget in MiB")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheBytes: *cacheMB << 20,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "chimera-served: listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "chimera-served: %v, draining\n", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections first, then drain the worker pool so every
+	// accepted request finishes before the process exits.
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "chimera-served: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "chimera-served: drained; %d served, cache hit ratio %.2f\n",
+		st.Completed, st.Cache.HitRatio)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chimera-served:", err)
+	os.Exit(1)
+}

@@ -22,9 +22,11 @@ const CPUHz = 1.6e9
 // Seconds converts cycles to seconds.
 func Seconds(cycles uint64) float64 { return float64(cycles) / CPUHz }
 
-// runProcess drives a process to completion on a single core of the given
-// ISA, returning total consumed cycles (guest + kernel).
-func runProcess(p *kernel.Process, isa riscv.Ext) (uint64, error) {
+// RunOnCore drives a process to completion on a single core of the given
+// ISA, returning total consumed cycles (guest + kernel). Exported because
+// the rewrite service's /run endpoint executes requests through the same
+// loop the experiments use.
+func RunOnCore(p *kernel.Process, isa riscv.Ext) (uint64, error) {
 	if err := p.MigrateTo(isa); err != nil {
 		return 0, err
 	}
@@ -55,7 +57,7 @@ func nativeCycles(img *obj.Image) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return runProcess(p, img.ISA)
+	return RunOnCore(p, img.ISA)
 }
 
 // exitOf runs an image natively and returns its exit code, for correctness
@@ -65,7 +67,7 @@ func exitOf(img *obj.Image) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if _, err := runProcess(p, img.ISA); err != nil {
+	if _, err := RunOnCore(p, img.ISA); err != nil {
 		return 0, err
 	}
 	return p.ExitCode, nil

@@ -43,7 +43,7 @@ func runRewritten(method string, img *obj.Image, tables *chbp.Tables,
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	cycles, err := runProcess(p, riscv.RV64GCV)
+	cycles, err := RunOnCore(p, riscv.RV64GCV)
 	if err != nil {
 		return 0, 0, 0, err
 	}

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"github.com/eurosys26p57/chimera/internal/obj"
 )
@@ -62,9 +63,17 @@ func (t *Tables) InTargetSection(addr uint64) bool {
 
 func writeMap(buf *bytes.Buffer, m map[uint64]uint64) {
 	binary.Write(buf, binary.LittleEndian, uint64(len(m)))
-	for k, v := range m {
+	// Sorted keys: Go map iteration order is randomized, and Marshal's
+	// output is embedded in the image, whose bytes are a content address
+	// for the rewrite cache — serialization must be deterministic.
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
 		binary.Write(buf, binary.LittleEndian, k)
-		binary.Write(buf, binary.LittleEndian, v)
+		binary.Write(buf, binary.LittleEndian, m[k])
 	}
 }
 

@@ -19,6 +19,13 @@ import (
 const (
 	fileMagic   = "CHIM"
 	fileVersion = 1
+
+	// Decode limits. The wire format is the rewrite service's request body,
+	// so ReadImage must fail cleanly on hostile counts instead of attempting
+	// multi-gigabyte allocations.
+	maxSectionSize = 1 << 30
+	maxSections    = 1 << 16
+	maxSymbols     = 1 << 20
 )
 
 func writeString(w io.Writer, s string) error {
@@ -114,6 +121,9 @@ func ReadImage(r io.Reader) (*Image, error) {
 	if err := binary.Read(r, binary.LittleEndian, &nsec); err != nil {
 		return nil, err
 	}
+	if nsec > maxSections {
+		return nil, fmt.Errorf("obj: unreasonable section count %d", nsec)
+	}
 	for i := uint32(0); i < nsec; i++ {
 		s := &Section{}
 		if s.Name, err = readString(r); err != nil {
@@ -130,7 +140,7 @@ func ReadImage(r io.Reader) (*Image, error) {
 		if err := binary.Read(r, binary.LittleEndian, &size); err != nil {
 			return nil, err
 		}
-		if size > 1<<32 {
+		if size > maxSectionSize {
 			return nil, fmt.Errorf("obj: unreasonable section size %d", size)
 		}
 		s.Perm = Perm(perm)
@@ -143,6 +153,9 @@ func ReadImage(r io.Reader) (*Image, error) {
 	var nsym uint32
 	if err := binary.Read(r, binary.LittleEndian, &nsym); err != nil {
 		return nil, err
+	}
+	if nsym > maxSymbols {
+		return nil, fmt.Errorf("obj: unreasonable symbol count %d", nsym)
 	}
 	for i := uint32(0); i < nsym; i++ {
 		var sym Symbol

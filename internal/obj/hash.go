@@ -1,0 +1,30 @@
+package obj
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// SHA256 returns the SHA-256 digest of the image's serialized (WriteTo)
+// form. Two images hash equal iff their wire forms are byte-identical, so
+// the digest is a content address: the rewrite service keys its cache on it
+// (§4.2 amortizes rewrite cost by reusing one rewrite across every process
+// that runs the binary).
+func (img *Image) SHA256() ([sha256.Size]byte, error) {
+	h := sha256.New()
+	if _, err := img.WriteTo(h); err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out, nil
+}
+
+// ContentID returns the hex form of SHA256, for cache keys and logs.
+func (img *Image) ContentID() (string, error) {
+	sum, err := img.SHA256()
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -9,7 +9,10 @@
 //     are reserved by the C extension and likewise raise a fault.
 package riscv
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Reg is an integer register number x0..x31. The same 5-bit index space is
 // used for floating-point (f0..f31) and vector (v0..v31) registers; the
@@ -103,6 +106,25 @@ func (e Ext) String() string {
 		}
 	}
 	return s
+}
+
+// ParseISA parses the ISA names the CLI tools and the rewrite service
+// accept. It is the inverse of the common-set spellings, not of String():
+// only the core classes of the paper's machines are nameable.
+func ParseISA(s string) (Ext, error) {
+	switch strings.ToLower(s) {
+	case "rv64g":
+		return RV64G, nil
+	case "rv64gc":
+		return RV64GC, nil
+	case "rv64gcv":
+		return RV64GCV, nil
+	case "rv64gcb":
+		return RV64GC | ExtB, nil
+	case "rv64gcbv", "rv64gcvb":
+		return RV64GCV | ExtB, nil
+	}
+	return 0, fmt.Errorf("riscv: unknown ISA %q (want rv64g, rv64gc, rv64gcv, rv64gcb, rv64gcbv)", s)
 }
 
 // VLEN is the vector register length in bits, matching the SpacemiT K1 cores

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/workload"
+)
+
+// benchImages builds scaled-down instances of the SPEC-shaped suite: same
+// generator, same per-benchmark control-flow character, code size capped so
+// a closed-loop benchmark completes in seconds.
+func benchImages(b *testing.B, n int) []*obj.Image {
+	b.Helper()
+	suite := workload.SpecSuite()
+	if n > len(suite) {
+		n = len(suite)
+	}
+	var out []*obj.Image
+	for _, c := range suite[:n] {
+		p := c.Params
+		if p.CodeKB > 64 {
+			p.CodeKB = 64
+		}
+		p.Rounds = 1
+		img, err := workload.BuildSpec(p, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, img)
+	}
+	return out
+}
+
+func reportServiceMetrics(b *testing.B, st Stats) {
+	b.ReportMetric(st.Cache.HitRatio, "hit-ratio")
+	if rw, ok := st.Endpoints["rewrite"]; ok {
+		b.ReportMetric(rw.P50US, "p50-µs")
+		b.ReportMetric(rw.P99US, "p99-µs")
+		if b.Elapsed() > 0 {
+			b.ReportMetric(float64(rw.Count)/b.Elapsed().Seconds(), "req/s")
+		}
+	}
+}
+
+// BenchmarkServiceRewrite hammers the in-process API from b.RunParallel's
+// goroutine pool with the mixed method/target matrix over the SPEC-shaped
+// suite — the closed-loop load generator of the serving-mode evaluation.
+// Reported extras: sustained throughput, p50/p99 latency, cache hit ratio.
+func BenchmarkServiceRewrite(b *testing.B) {
+	images := benchImages(b, 4)
+	reqs := combos(images)
+	srv := New(Config{})
+	defer srv.Shutdown(context.Background())
+
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r := reqs[int(next.Add(1))%len(reqs)]
+			if _, err := srv.Rewrite(context.Background(), r); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	reportServiceMetrics(b, srv.Stats())
+}
+
+// BenchmarkServiceRewriteCold measures the uncached path: a one-entry
+// cache budget forces nearly every request through the worker pool.
+func BenchmarkServiceRewriteCold(b *testing.B) {
+	images := benchImages(b, 2)
+	reqs := combos(images)
+	srv := New(Config{CacheBytes: 1})
+	defer srv.Shutdown(context.Background())
+
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r := reqs[int(next.Add(1))%len(reqs)]
+			if _, err := srv.Rewrite(context.Background(), r); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	reportServiceMetrics(b, srv.Stats())
+}
+
+// BenchmarkServiceHTTP drives the same load through the full HTTP stack
+// (JSON envelope, base64 image, mux, handlers).
+func BenchmarkServiceHTTP(b *testing.B) {
+	images := benchImages(b, 2)
+	reqs := combos(images)
+	srv := New(Config{})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	bodies := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		var buf bytes.Buffer
+		if _, err := r.Image.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		body, err := json.Marshal(rewriteHTTPRequest{
+			Method: r.Method, Target: r.Target, EmptyPatch: r.EmptyPatch, Image: buf.Bytes(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = body
+	}
+
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			body := bodies[int(next.Add(1))%len(bodies)]
+			resp, err := http.Post(ts.URL+"/rewrite", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			var res RewriteResult
+			err = json.NewDecoder(resp.Body).Decode(&res)
+			resp.Body.Close()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	reportServiceMetrics(b, srv.Stats())
+}

@@ -1,0 +1,105 @@
+package service
+
+import "container/list"
+
+// CacheStats is a point-in-time snapshot of the rewrite cache's counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Budget    int64  `json:"budget_bytes"`
+	// HitRatio is Hits / (Hits + Misses), 0 when no lookups happened.
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// cacheEntry is one cached rewrite: the serialized output image plus the
+// stats the rewriter reported when it was produced.
+type cacheEntry struct {
+	key   string
+	value *RewriteResult
+	size  int64
+}
+
+// rewriteCache is a content-addressed LRU cache under a byte budget. Keys
+// are the canonical request digest (image SHA-256 + canonicalized options);
+// values hold the serialized rewritten image, so a hit is byte-identical to
+// the cold rewrite that populated it. Not goroutine-safe; the Server guards
+// it with its own mutex so hit accounting and LRU reordering stay atomic
+// with respect to concurrent lookups.
+type rewriteCache struct {
+	budget    int64
+	ll        *list.List // front = most recently used
+	entries   map[string]*list.Element
+	bytes     int64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+func newRewriteCache(budget int64) *rewriteCache {
+	return &rewriteCache{
+		budget:  budget,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key, promoting it to most recently
+// used, and records a hit or miss.
+func (c *rewriteCache) get(key string) (*RewriteResult, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// add inserts a result, evicting least-recently-used entries until the
+// byte budget holds. An entry larger than the whole budget is still kept
+// (alone) — dropping it would make identical requests miss forever.
+func (c *rewriteCache) add(key string, value *RewriteResult) {
+	if el, ok := c.entries[key]; ok {
+		// Concurrent cold rewrites of the same key can both reach add;
+		// keep the first, refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	e := &cacheEntry{key: key, value: value, size: int64(len(value.ImageBytes)) + int64(len(key))}
+	c.entries[key] = c.ll.PushFront(e)
+	c.bytes += e.size
+	for c.bytes > c.budget && c.ll.Len() > 1 {
+		c.evictOldest()
+	}
+}
+
+func (c *rewriteCache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+	c.evictions++
+}
+
+func (c *rewriteCache) stats() CacheStats {
+	s := CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		Budget:    c.budget,
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRatio = float64(s.Hits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/eurosys26p57/chimera/internal/obj"
+)
+
+// maxBodyBytes bounds request bodies. The wire format already caps section
+// sizes; this caps the envelope before any decoding happens.
+const maxBodyBytes = 64 << 20
+
+// rewriteHTTPRequest is the POST /rewrite JSON body. Image is the obj wire
+// format (WriteTo/ReadImage), base64-encoded by encoding/json.
+type rewriteHTTPRequest struct {
+	Method           string `json:"method"`
+	Target           string `json:"target"`
+	EmptyPatch       bool   `json:"empty_patch,omitempty"`
+	DisableExitShift bool   `json:"disable_exit_shift,omitempty"`
+	DisableBatching  bool   `json:"disable_batching,omitempty"`
+	DisableUpgrade   bool   `json:"disable_upgrade,omitempty"`
+	Image            []byte `json:"image"`
+}
+
+// runHTTPRequest is the POST /run JSON body.
+type runHTTPRequest struct {
+	ISA   string `json:"isa,omitempty"`
+	Image []byte `json:"image"`
+	With  []byte `json:"with,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /rewrite  rewrite an image (JSON in/out, image in the obj wire format)
+//	POST /run      execute an image on a simulated core
+//	GET  /healthz  liveness probe
+//	GET  /stats    counters, cache state, latency histograms
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rewrite", s.handleRewrite)
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrShuttingDown):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decodeBody decodes a bounded JSON body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: decoding body: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// decodeImage parses wire-format bytes into an image, mapping failures to
+// a clean 400 (the round-trip tests assert ReadImage never panics on
+// malformed input, so hostile bodies die here).
+func decodeImage(field string, raw []byte) (*obj.Image, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("%w: missing %q", ErrBadRequest, field)
+	}
+	img, err := obj.ReadImage(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrBadRequest, field, err)
+	}
+	return img, nil
+}
+
+func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var body rewriteHTTPRequest
+	if err := decodeBody(w, r, &body); err != nil {
+		writeError(w, err)
+		return
+	}
+	img, err := decodeImage("image", body.Image)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.Rewrite(r.Context(), &RewriteRequest{
+		Method:           body.Method,
+		Target:           body.Target,
+		EmptyPatch:       body.EmptyPatch,
+		DisableExitShift: body.DisableExitShift,
+		DisableBatching:  body.DisableBatching,
+		DisableUpgrade:   body.DisableUpgrade,
+		Image:            img,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var body runHTTPRequest
+	if err := decodeBody(w, r, &body); err != nil {
+		writeError(w, err)
+		return
+	}
+	img, err := decodeImage("image", body.Image)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	req := &RunRequest{ISA: body.ISA, Image: img}
+	if len(body.With) > 0 {
+		if req.With, err = decodeImage("with", body.With); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	res, err := s.Run(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

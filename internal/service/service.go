@@ -1,0 +1,515 @@
+// Package service turns the rewriters into a long-running, concurrent
+// "Chimera-as-a-service" daemon. The paper's deployment story (§4.2) is
+// that a binary is rewritten once per target ISA and the result is reused
+// by every process and core that runs it; this package is that amortization
+// made explicit: a content-addressed rewrite cache (SHA-256 of the image's
+// wire form + canonicalized options) with LRU eviction under a byte budget,
+// singleflight deduplication so N concurrent identical requests share one
+// rewrite, a bounded worker pool with per-request context cancellation and
+// graceful drain, and an HTTP JSON front end (cmd/chimera-served).
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/eurosys26p57/chimera/internal/bench"
+	"github.com/eurosys26p57/chimera/internal/chbp"
+	"github.com/eurosys26p57/chimera/internal/kernel"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/rewriters"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// Errors the server returns for request-shaped problems. The HTTP layer
+// maps ErrBadRequest-wrapped errors to 400 and ErrShuttingDown to 503.
+var (
+	ErrBadRequest   = errors.New("service: bad request")
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// Methods lists the rewriters the service exposes, in the paper's
+// presentation order.
+var Methods = []string{"strawman", "safer", "armore", "chbp"}
+
+// Config sizes the server. Zero values pick defaults.
+type Config struct {
+	// Workers is the number of rewrite/run worker goroutines
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending-request queue (default 4×Workers).
+	// When the queue is full, Rewrite/Run block until a slot frees or the
+	// request's context ends — closed-loop backpressure, not load shedding.
+	QueueDepth int
+	// CacheBytes is the rewrite cache budget (default 256 MiB).
+	CacheBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	return c
+}
+
+// RewriteRequest asks for one image to be rewritten for one target core
+// class. Image is the service's unit of content addressing: two requests
+// with byte-identical wire forms and equal canonicalized options share one
+// cache entry.
+type RewriteRequest struct {
+	Method           string // chbp, strawman, safer, armore
+	Target           string // rv64g, rv64gc, rv64gcv, rv64gcb, rv64gcbv
+	EmptyPatch       bool   // §6.2 methodology: replicate sources
+	DisableExitShift bool   // ablation A2
+	DisableBatching  bool   // ablation A3
+	DisableUpgrade   bool   // no idiom upgrading
+	Image            *obj.Image
+}
+
+// RewriteStats carries the per-method rewrite counters. Fields are a union
+// across methods; unset ones are zero.
+type RewriteStats struct {
+	TotalInsts      int     `json:"total_insts,omitempty"`
+	SourceInsts     int     `json:"source_insts,omitempty"`
+	ExtPct          float64 `json:"ext_pct,omitempty"`
+	Sites           int     `json:"sites,omitempty"`
+	SmileEntries    int     `json:"smile_entries,omitempty"`
+	TrapEntries     int     `json:"trap_entries,omitempty"`
+	TrapExits       int     `json:"trap_exits,omitempty"`
+	UpgradeSites    int     `json:"upgrade_sites,omitempty"`
+	TargetBytes     int     `json:"target_bytes,omitempty"`
+	Trampolines     int     `json:"trampolines,omitempty"`
+	TrapTrampolines int     `json:"trap_trampolines,omitempty"`
+	Insts           int     `json:"insts,omitempty"`
+	NewCodeBytes    int     `json:"new_code_bytes,omitempty"`
+}
+
+// RewriteResult is a completed rewrite. ImageBytes is the rewritten image
+// in the obj wire format — a cache hit returns the exact bytes the cold
+// rewrite produced. Callers must not mutate ImageBytes: it is shared with
+// the cache and with concurrent requests.
+type RewriteResult struct {
+	Key        string       `json:"key"` // canonical content address
+	Method     string       `json:"method"`
+	Target     string       `json:"target"`
+	ImageBytes []byte       `json:"image"`
+	Stats      RewriteStats `json:"stats"`
+	CacheHit   bool         `json:"cache_hit"`
+	Deduped    bool         `json:"deduped"` // shared an in-flight identical rewrite
+}
+
+// RunRequest asks for an image to be executed on a simulated core.
+type RunRequest struct {
+	ISA   string     // core ISA; empty means the image's own
+	Image *obj.Image // program to run
+	With  *obj.Image // optional sibling variant loaded as a second MMView
+}
+
+// RunResult reports one completed execution.
+type RunResult struct {
+	ExitCode   uint64          `json:"exit_code"`
+	Cycles     uint64          `json:"cycles"`
+	Instret    uint64          `json:"instret"`
+	SimSeconds float64         `json:"sim_seconds"` // cycles at the paper's 1.6GHz clock
+	Output     string          `json:"output"`
+	Counters   kernel.Counters `json:"counters"`
+}
+
+// job is one unit of pool work. done is buffered so a worker never blocks
+// on a caller that abandoned the request.
+type job struct {
+	ctx  context.Context
+	fn   func() (any, error)
+	done chan jobResult
+}
+
+type jobResult struct {
+	val any
+	err error
+}
+
+// Server is the rewrite-as-a-service daemon: a bounded worker pool in
+// front of the rewriters, with the cache and singleflight layered above it.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	queue   chan *job
+	workers sync.WaitGroup
+	drained chan struct{}
+	stopped sync.Once
+
+	// mu gates submission against shutdown: submitters hold the read side
+	// while enqueueing, so once Shutdown acquires the write side every
+	// accepted job is already in the queue and closing it is race-free.
+	mu     sync.RWMutex
+	closed bool
+
+	cacheMu sync.Mutex
+	cache   *rewriteCache
+
+	flight flightGroup
+	met    *metrics
+
+	accepted  atomic.Uint64
+	completed atomic.Uint64
+	rejected  atomic.Uint64
+	deduped   atomic.Uint64
+	running   atomic.Int64
+}
+
+// New starts a server with cfg's worker pool already running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		start:   time.Now(),
+		queue:   make(chan *job, cfg.QueueDepth),
+		drained: make(chan struct{}),
+		cache:   newRewriteCache(cfg.CacheBytes),
+		met:     newMetrics(),
+	}
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		select {
+		case <-j.ctx.Done():
+			// Canceled while queued: don't burn a worker on it.
+			j.done <- jobResult{err: j.ctx.Err()}
+			continue
+		default:
+		}
+		s.running.Add(1)
+		v, err := j.fn()
+		s.running.Add(-1)
+		s.completed.Add(1)
+		j.done <- jobResult{val: v, err: err}
+	}
+}
+
+// submit queues fn and waits for its result or ctx. Accepted jobs always
+// execute (or are marked canceled) even if this caller stops waiting.
+func (s *Server) submit(ctx context.Context, fn func() (any, error)) (any, error) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		s.rejected.Add(1)
+		return nil, ErrShuttingDown
+	}
+	j := &job{ctx: ctx, fn: fn, done: make(chan jobResult, 1)}
+	var accepted bool
+	select {
+	case s.queue <- j:
+		accepted = true
+	case <-ctx.Done():
+	}
+	s.mu.RUnlock()
+	if !accepted {
+		return nil, ctx.Err()
+	}
+	s.accepted.Add(1)
+	select {
+	case r := <-j.done:
+		return r.val, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Shutdown stops accepting requests and drains: every job accepted before
+// the gate flipped runs to completion. It returns once the pool is idle or
+// ctx ends (the pool keeps draining in the background either way).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopped.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		close(s.queue)
+		go func() {
+			s.workers.Wait()
+			close(s.drained)
+		}()
+	})
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// cacheKey canonicalizes a request into its content address. The target is
+// keyed by its parsed extension set so spelling variants ("rv64gcbv" vs
+// "rv64gcvb") share entries.
+func cacheKey(req *RewriteRequest, isa riscv.Ext) (string, error) {
+	id, err := req.Image.ContentID()
+	if err != nil {
+		return "", fmt.Errorf("service: hashing image: %w", err)
+	}
+	return fmt.Sprintf("m=%s;t=%x;empty=%t;noshift=%t;nobatch=%t;noupg=%t;img=%s",
+		req.Method, uint32(isa), req.EmptyPatch, req.DisableExitShift,
+		req.DisableBatching, req.DisableUpgrade, id), nil
+}
+
+func validateRewrite(req *RewriteRequest) (riscv.Ext, error) {
+	known := false
+	for _, m := range Methods {
+		if req.Method == m {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return 0, fmt.Errorf("%w: unknown method %q (want one of %v)", ErrBadRequest, req.Method, Methods)
+	}
+	isa, err := riscv.ParseISA(req.Target)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if req.Image == nil {
+		return 0, fmt.Errorf("%w: no image", ErrBadRequest)
+	}
+	if err := req.Image.Validate(); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return isa, nil
+}
+
+// Rewrite serves one rewrite request: cache lookup, then singleflight, then
+// the worker pool. The returned result is a per-request copy; its
+// ImageBytes are shared and must be treated as read-only.
+func (s *Server) Rewrite(ctx context.Context, req *RewriteRequest) (*RewriteResult, error) {
+	startAt := time.Now()
+	isa, err := validateRewrite(req)
+	if err != nil {
+		s.met.countError("rewrite")
+		return nil, err
+	}
+	key, err := cacheKey(req, isa)
+	if err != nil {
+		s.met.countError("rewrite")
+		return nil, err
+	}
+
+	s.cacheMu.Lock()
+	cached, hit := s.cache.get(key)
+	s.cacheMu.Unlock()
+	if hit {
+		s.met.observeEndpoint("rewrite", time.Since(startAt))
+		out := *cached
+		out.CacheHit = true
+		return &out, nil
+	}
+
+	val, err, shared := s.flight.do(ctx, key, func() (*RewriteResult, error) {
+		v, err := s.submit(ctx, func() (any, error) {
+			return doRewrite(req, isa, key)
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := v.(*RewriteResult)
+		s.cacheMu.Lock()
+		s.cache.add(key, res)
+		s.cacheMu.Unlock()
+		return res, nil
+	})
+	if shared {
+		s.deduped.Add(1)
+	}
+	if err != nil {
+		s.met.countError("rewrite")
+		return nil, err
+	}
+	s.met.observeEndpoint("rewrite", time.Since(startAt))
+	s.met.observeMethod(req.Method, time.Since(startAt))
+	out := *val
+	out.Deduped = shared
+	return &out, nil
+}
+
+// doRewrite performs the actual rewrite on a worker. The rewriters clone
+// the input internally, so req.Image may be shared across requests.
+func doRewrite(req *RewriteRequest, isa riscv.Ext, key string) (*RewriteResult, error) {
+	out := &RewriteResult{Key: key, Method: req.Method, Target: isa.String()}
+	var img *obj.Image
+	switch req.Method {
+	case "chbp", "strawman":
+		opts := chbp.Options{
+			TargetISA:        isa,
+			EmptyPatch:       req.EmptyPatch,
+			DisableExitShift: req.DisableExitShift,
+			DisableBatching:  req.DisableBatching,
+			DisableUpgrade:   req.DisableUpgrade,
+		}
+		if req.Method == "strawman" {
+			opts.Trampoline = chbp.TrapEntry
+		}
+		res, err := chbp.Rewrite(req.Image, opts)
+		if err != nil {
+			return nil, err
+		}
+		img = res.Image
+		st := res.Stats
+		out.Stats = RewriteStats{
+			TotalInsts: st.TotalInsts, SourceInsts: st.SourceInsts, ExtPct: st.ExtPct,
+			Sites: st.Sites, SmileEntries: st.SmileEntries, TrapEntries: st.TrapEntries,
+			TrapExits: st.TrapExits, UpgradeSites: st.UpgradeSites, TargetBytes: st.TargetBytes,
+		}
+	case "safer":
+		res, err := rewriters.Safer(req.Image, isa, req.EmptyPatch)
+		if err != nil {
+			return nil, err
+		}
+		img = res.Image
+		out.Stats = RewriteStats{Insts: res.Stats.Insts, NewCodeBytes: res.Stats.NewCodeBytes}
+	case "armore":
+		res, err := rewriters.ARMore(req.Image, isa, req.EmptyPatch)
+		if err != nil {
+			return nil, err
+		}
+		img = res.Image
+		out.Stats = RewriteStats{
+			Insts: res.Stats.Insts, NewCodeBytes: res.Stats.NewCodeBytes,
+			Trampolines: res.Stats.Trampolines, TrapTrampolines: res.Stats.TrapTrampolines,
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown method %q", ErrBadRequest, req.Method)
+	}
+	var buf bytes.Buffer
+	if _, err := img.WriteTo(&buf); err != nil {
+		return nil, fmt.Errorf("service: serializing result: %w", err)
+	}
+	out.ImageBytes = buf.Bytes()
+	return out, nil
+}
+
+// Run executes an image on a simulated core through the worker pool.
+func (s *Server) Run(ctx context.Context, req *RunRequest) (*RunResult, error) {
+	startAt := time.Now()
+	res, err := s.run(ctx, req)
+	if err != nil {
+		s.met.countError("run")
+		return nil, err
+	}
+	s.met.observeEndpoint("run", time.Since(startAt))
+	return res, nil
+}
+
+func (s *Server) run(ctx context.Context, req *RunRequest) (*RunResult, error) {
+	if req.Image == nil {
+		return nil, fmt.Errorf("%w: no image", ErrBadRequest)
+	}
+	if err := req.Image.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	isa := req.Image.ISA
+	if req.ISA != "" {
+		var err error
+		if isa, err = riscv.ParseISA(req.ISA); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	v, err := s.submit(ctx, func() (any, error) { return doRun(req, isa) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*RunResult), nil
+}
+
+// doRun executes on a worker. Images are cloned so in-process callers may
+// share one parsed image across concurrent runs.
+func doRun(req *RunRequest, isa riscv.Ext) (*RunResult, error) {
+	variants := make([]kernel.Variant, 0, 2)
+	v, err := kernel.VariantFromImage(req.Image.Clone())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	variants = append(variants, v)
+	if req.With != nil {
+		if err := req.With.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		wv, err := kernel.VariantFromImage(req.With.Clone())
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		variants = append(variants, wv)
+	}
+	p, err := kernel.NewProcess(req.Image.Name, variants)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	cycles, err := bench.RunOnCore(p, isa)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return &RunResult{
+		ExitCode:   p.ExitCode,
+		Cycles:     cycles,
+		Instret:    p.CPU.Instret,
+		SimSeconds: bench.Seconds(cycles),
+		Output:     string(p.Output),
+		Counters:   p.Counters,
+	}, nil
+}
+
+// Stats is the /stats payload: cache counters, pool gauges, and latency
+// histograms per endpoint and per rewriter method.
+type Stats struct {
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Workers       int                       `json:"workers"`
+	QueueDepth    int                       `json:"queue_depth"`
+	QueueCap      int                       `json:"queue_cap"`
+	Running       int64                     `json:"running"`
+	Accepted      uint64                    `json:"accepted"`
+	Completed     uint64                    `json:"completed"`
+	Rejected      uint64                    `json:"rejected"`
+	Deduped       uint64                    `json:"deduped"`
+	Cache         CacheStats                `json:"cache"`
+	Endpoints     map[string]LatencySummary `json:"endpoints"`
+	PerMethod     map[string]LatencySummary `json:"per_method"`
+	Errors        map[string]uint64         `json:"errors"`
+}
+
+// Stats snapshots the server's observables.
+func (s *Server) Stats() Stats {
+	s.cacheMu.Lock()
+	cs := s.cache.stats()
+	s.cacheMu.Unlock()
+	eps, methods, errs := s.met.snapshot()
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    len(s.queue),
+		QueueCap:      s.cfg.QueueDepth,
+		Running:       s.running.Load(),
+		Accepted:      s.accepted.Load(),
+		Completed:     s.completed.Load(),
+		Rejected:      s.rejected.Load(),
+		Deduped:       s.deduped.Load(),
+		Cache:         cs,
+		Endpoints:     eps,
+		PerMethod:     methods,
+		Errors:        errs,
+	}
+}

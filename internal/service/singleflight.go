@@ -1,0 +1,53 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent work by key: while one rewrite of a
+// given content address is in flight, later identical requests wait for its
+// result instead of queueing duplicate work. A minimal stdlib-only take on
+// golang.org/x/sync/singleflight (the container bakes no external deps).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  *RewriteResult
+	err  error
+}
+
+// do runs fn once per key among concurrent callers. Followers wait for the
+// leader's result but abandon the wait if their own context ends; the
+// leader always runs fn to completion so the result can still be cached.
+// The third return value reports whether this caller shared (or tried to
+// share) another caller's execution.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*RewriteResult, error)) (*RewriteResult, error, bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Pre-PR gate: vet, build, and the full test suite under the race detector.
+# Run from anywhere; it anchors itself at the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "== ok"

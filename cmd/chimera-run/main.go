@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/eurosys26p57/chimera/internal/kernel"
 	"github.com/eurosys26p57/chimera/internal/obj"
@@ -24,6 +25,7 @@ func main() {
 	isaFlag := flag.String("isa", "", "core ISA to run on (default: the image's)")
 	with := flag.String("with", "", "additional variant image to load as a sibling MMView")
 	verbose := flag.Bool("v", false, "print kernel counters")
+	stats := flag.Bool("stats", false, "print emulator throughput and block-cache statistics")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: chimera-run [-isa rv64gc] [-with other.chim] prog.chim")
@@ -67,6 +69,7 @@ func main() {
 	p.CPU.ISA = isa
 
 	var total uint64
+	startAt := time.Now()
 	for !p.Exited {
 		cycles, st, err := p.Run(10_000_000)
 		total += cycles
@@ -77,6 +80,7 @@ func main() {
 			fatal(fmt.Errorf("image needs a core with more extensions than %v", isa))
 		}
 	}
+	wall := time.Since(startAt)
 	os.Stdout.Write(p.Output)
 	fmt.Printf("[%s on %v: exit %d, %d cycles (%.3fms at 1.6GHz), %d instructions]\n",
 		img.Name, isa, p.ExitCode, total, float64(total)/1.6e6, p.CPU.Instret)
@@ -84,6 +88,17 @@ func main() {
 		c := p.Counters
 		fmt.Printf("[faults recovered: %d, traps: %d, checks: %d, runtime rewrites: %d, syscalls: %d]\n",
 			c.FaultRecoveries, c.Traps, c.Checks, c.RuntimeRewrites, c.Syscalls)
+	}
+	if *stats {
+		b := p.CPU.Blocks
+		mips := 0.0
+		if s := wall.Seconds(); s > 0 {
+			mips = float64(p.CPU.Instret) / s / 1e6
+		}
+		fmt.Printf("[retired: %d insts, %d cycles, %.1f emulated MIPS]\n",
+			p.CPU.Instret, p.CPU.Cycles, mips)
+		fmt.Printf("[blocks: %d built, %d hits (%.1f%% hit ratio), %d invalidations, %.1f insts/dispatch]\n",
+			b.Built, b.Hits, 100*b.HitRatio(), b.Invalidations, b.RetiredPerDispatch())
 	}
 	if p.ExitCode >= 128 {
 		os.Exit(int(p.ExitCode - 128))

@@ -380,11 +380,15 @@ func (b *Builder) Build(name, entry string) (*obj.Image, error) {
 		sym.Addr += textAddr
 		img.Symbols = append(img.Symbols, sym)
 	}
-	for name, addr := range roAddrs {
-		img.Symbols = append(img.Symbols, obj.Symbol{Name: name, Addr: addr, Kind: obj.SymObject})
+	// Emit data symbols in declaration order, not map order: the image's
+	// wire form must be reproducible byte-for-byte — the service's rewrite
+	// cache content-addresses images, so two builds of the same program
+	// must hash identically.
+	for _, it := range b.rodata {
+		img.Symbols = append(img.Symbols, obj.Symbol{Name: it.name, Addr: roAddrs[it.name], Kind: obj.SymObject})
 	}
-	for name, addr := range dAddrs {
-		img.Symbols = append(img.Symbols, obj.Symbol{Name: name, Addr: addr, Kind: obj.SymObject})
+	for _, it := range b.data {
+		img.Symbols = append(img.Symbols, obj.Symbol{Name: it.name, Addr: dAddrs[it.name], Kind: obj.SymObject})
 	}
 	if err := img.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,706 @@
+package emu
+
+// Basic-block translation engine.
+//
+// The per-instruction Step loop pays a decoded-icache probe, an ISA
+// extension check and full operand re-extraction for every retired
+// instruction. The block engine decodes a straight-line run once into a
+// predecoded µop vector (ending at a control transfer, the page boundary,
+// or maxBlockInsts), hoists the extension check to build time — a block
+// only ever contains instructions its core's ISA implements — and
+// dispatches the whole block from a direct-mapped cache keyed on
+// (pc, address space, Memory generation, core ISA, cost model). Block
+// exits chain to their successor blocks, so a steady-state hot loop runs
+// block-to-block without touching the cache index.
+//
+// The engine is required to be architecturally indistinguishable from
+// stepping: identical X/F/V/PC/Instret/Cycles trajectories, identical
+// precise faults mid-block, and the runtime-rewriting contract intact —
+// Poke/Map/MapPage/ShareFrom all bump the Memory generation, which
+// invalidates every cached block of that address space at the next
+// dispatch boundary.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+const (
+	// blockCacheSize is the number of direct-mapped block cache entries.
+	blockCacheSize = 1024
+	// maxBlockInsts bounds a block's µop count.
+	maxBlockInsts = 64
+)
+
+// BlockStats counts basic-block translation cache events, cumulative over
+// the CPU's lifetime. They are the emulator-side observables the service
+// exposes on /stats and chimera-run prints with -stats.
+type BlockStats struct {
+	Built         uint64 `json:"built"`         // blocks decoded and cached
+	Hits          uint64 `json:"hits"`          // dispatches served from cache (incl. chained)
+	Invalidations uint64 `json:"invalidations"` // cached blocks dropped for a stale generation/ISA
+	Dispatches    uint64 `json:"dispatches"`    // block executions
+	Retired       uint64 `json:"retired"`       // instructions retired via block dispatch
+}
+
+// HitRatio is the fraction of block lookups served from the cache
+// (chained successors count as hits).
+func (s BlockStats) HitRatio() float64 {
+	total := s.Hits + s.Built
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// RetiredPerDispatch is the average number of instructions retired per
+// block dispatch — the engine's amortization factor over stepping.
+func (s BlockStats) RetiredPerDispatch() float64 {
+	if s.Dispatches == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Dispatches)
+}
+
+// Add accumulates o into s (for service-level aggregation across runs).
+func (s *BlockStats) Add(o BlockStats) {
+	s.Built += o.Built
+	s.Hits += o.Hits
+	s.Invalidations += o.Invalidations
+	s.Dispatches += o.Dispatches
+	s.Retired += o.Retired
+}
+
+// uop is one predecoded instruction: operands extracted, static targets and
+// cycle costs resolved at build time so dispatch touches no decoder state.
+type uop struct {
+	op           riscv.Op
+	rd, rs1, rs2 riscv.Reg
+	rs3          riscv.Reg
+	imm          int64
+	pc           uint64 // this instruction's address
+	next         uint64 // pc + length
+	target       uint64 // branch/JAL target; LUI/AUIPC result
+	costN, costT uint64 // cycle charge not-taken / taken
+	inst         riscv.Inst
+}
+
+// block is one translated basic block plus its exit chain.
+type block struct {
+	pc   uint64
+	gen  uint64
+	mem  *Memory
+	isa  riscv.Ext
+	cost *CostModel
+	uops []uop
+
+	// Exit chaining: successors patched in by runBlocks on first use.
+	// succFall is the fallthrough / branch-not-taken successor, succTake
+	// the taken-branch / JAL successor, and jSucc a one-entry inline cache
+	// for the last JALR target.
+	succFall *block
+	succTake *block
+	jTarget  uint64
+	jSucc    *block
+}
+
+// Exit codes from execBlock, used to pick the chain slot to follow/patch.
+const (
+	exitNone = iota
+	exitFall // fell through the block end / branch not taken
+	exitTake // taken branch or JAL
+	exitJalr // indirect jump
+	exitPart // budget exhausted mid-block, or halted
+)
+
+// blockValid reports whether b may run at pc on the CPU's current address
+// space, generation, ISA and cost model.
+func (c *CPU) blockValid(b *block, pc uint64) bool {
+	return b.pc == pc && b.mem == c.Mem && b.gen == c.Mem.gen &&
+		b.isa == c.ISA && b.cost == c.Cost
+}
+
+// blockFor returns the cached block at pc, building and caching it on a
+// miss. It returns nil when even the first instruction cannot become part
+// of a block (fetch fault, undecodable encoding, unsupported extension);
+// the caller steps once so the precise fault is raised exactly as the
+// interpreter would.
+func (c *CPU) blockFor(pc uint64) *block {
+	idx := (pc >> 1) & (blockCacheSize - 1)
+	if b := c.bcache[idx]; b != nil {
+		if c.blockValid(b, pc) {
+			c.Blocks.Hits++
+			return b
+		}
+		if b.pc == pc {
+			c.Blocks.Invalidations++
+		}
+	}
+	b := c.buildBlock(pc)
+	if b == nil {
+		return nil
+	}
+	c.Blocks.Built++
+	c.bcache[idx] = b
+	return b
+}
+
+// decodeOne fetches and decodes the instruction at pc for the block
+// builder. Failures are not classified — the stepping path re-derives the
+// precise fault when the block engine cannot make progress.
+func (c *CPU) decodeOne(pc uint64) (riscv.Inst, bool) {
+	parcel, ok := c.Mem.fetchU16(pc)
+	if !ok {
+		var b [2]byte
+		if _, ok := c.Mem.Fetch(pc, b[:]); !ok {
+			return riscv.Inst{}, false
+		}
+		parcel = binary.LittleEndian.Uint16(b[:])
+	}
+	ilen, err := riscv.ParcelLen(parcel)
+	if err != nil {
+		return riscv.Inst{}, false
+	}
+	if ilen == 2 {
+		if !c.ISA.Has(riscv.ExtC) {
+			return riscv.Inst{}, false
+		}
+		inst, err := riscv.DecodeCompressed(parcel)
+		if err != nil {
+			return riscv.Inst{}, false
+		}
+		return inst, true
+	}
+	hi, ok := c.Mem.fetchU16(pc + 2)
+	if !ok {
+		var b [2]byte
+		if _, ok := c.Mem.Fetch(pc+2, b[:]); !ok {
+			return riscv.Inst{}, false
+		}
+		hi = binary.LittleEndian.Uint16(b[:])
+	}
+	inst, err := riscv.Decode32(uint32(parcel) | uint32(hi)<<16)
+	if err != nil {
+		return riscv.Inst{}, false
+	}
+	return inst, true
+}
+
+// makeUop predecodes one instruction at pc: operands, static jump/branch
+// targets, LUI/AUIPC results, and both cycle charges.
+func makeUop(inst riscv.Inst, pc uint64, cost *CostModel) uop {
+	u := uop{
+		op: inst.Op, rd: inst.Rd, rs1: inst.Rs1, rs2: inst.Rs2, rs3: inst.Rs3,
+		imm: inst.Imm, pc: pc, next: pc + uint64(inst.Len),
+		costN: cost.Cost(inst, false), costT: cost.Cost(inst, true),
+		inst: inst,
+	}
+	switch inst.Op {
+	case riscv.JAL, riscv.BEQ, riscv.BNE, riscv.BLT, riscv.BGE, riscv.BLTU, riscv.BGEU:
+		u.target = pc + uint64(inst.Imm)
+	case riscv.LUI:
+		u.target = uint64(inst.Imm << 12)
+	case riscv.AUIPC:
+		u.target = pc + uint64(inst.Imm<<12)
+	}
+	return u
+}
+
+// buildBlock decodes the straight-line run starting at pc. The block ends
+// at a control transfer, the first instruction outside the core's ISA
+// (hoisting the per-instruction extension check to build time), a page
+// boundary, or maxBlockInsts.
+func (c *CPU) buildBlock(start uint64) *block {
+	b := &block{pc: start, gen: c.Mem.gen, mem: c.Mem, isa: c.ISA, cost: c.Cost}
+	pc := start
+	for len(b.uops) < maxBlockInsts {
+		inst, ok := c.decodeOne(pc)
+		if !ok || !c.ISA.Has(inst.Extension()) {
+			break
+		}
+		b.uops = append(b.uops, makeUop(inst, pc, c.Cost))
+		pc += uint64(inst.Len)
+		if inst.IsControl() {
+			break
+		}
+		if pageOf(pc) != pageOf(start) {
+			break
+		}
+	}
+	if len(b.uops) == 0 {
+		return nil
+	}
+	return b
+}
+
+// runBlocks is Run's block-dispatch loop: look up (or chain to) the block
+// at PC, execute it, follow the exit.
+func (c *CPU) runBlocks(limit uint64) Stop {
+	remaining := limit
+	var prev *block
+	prevExit := exitNone
+	for remaining > 0 {
+		pc := c.PC
+		var blk *block
+		if prev != nil {
+			var cand *block
+			switch prevExit {
+			case exitFall:
+				cand = prev.succFall
+			case exitTake:
+				cand = prev.succTake
+			case exitJalr:
+				if prev.jTarget == pc {
+					cand = prev.jSucc
+				}
+			}
+			if cand != nil && c.blockValid(cand, pc) {
+				blk = cand
+				c.Blocks.Hits++
+			}
+		}
+		if blk == nil {
+			blk = c.blockFor(pc)
+			if blk == nil {
+				// No block can start here: step once so the interpreter
+				// raises the precise fault (or executes the odd straggler).
+				stop, halted := c.Step()
+				if halted {
+					return stop
+				}
+				remaining--
+				prev, prevExit = nil, exitNone
+				continue
+			}
+			if prev != nil {
+				switch prevExit {
+				case exitFall:
+					prev.succFall = blk
+				case exitTake:
+					prev.succTake = blk
+				case exitJalr:
+					prev.jTarget, prev.jSucc = pc, blk
+				}
+			}
+		}
+		before := c.Instret
+		stop, halted, exit := c.execBlock(blk, remaining)
+		retired := c.Instret - before
+		c.Blocks.Dispatches++
+		c.Blocks.Retired += retired
+		remaining -= retired
+		if halted {
+			return stop
+		}
+		prev, prevExit = blk, exit
+	}
+	return Stop{Kind: StopLimit}
+}
+
+// blockFlush publishes locally-accumulated retirement state: uops
+// [base, k) retired since the last flush, plus the accumulated cycles, and
+// moves the architectural PC to pc.
+func (c *CPU) blockFlush(b *block, base, k int, cycles, pc uint64) {
+	if k > base {
+		c.Instret += uint64(k - base)
+		c.LastInst = b.uops[k-1].inst
+	}
+	c.Cycles += cycles
+	c.X[0] = 0
+	c.PC = pc
+}
+
+// execBlock executes up to max instructions of b. Architectural state
+// (PC/Instret/Cycles/X[0]) is maintained in locals between flush points;
+// every exit — block end, taken control transfer, halt, fault, budget —
+// flushes before returning, so faults are exactly as precise as stepping.
+func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
+	x := &c.X
+	mem := c.Mem
+	n := len(b.uops)
+	partial := false
+	if max < uint64(n) {
+		n = int(max)
+		partial = true
+	}
+	var cycles uint64
+	base := 0
+	for i := 0; i < n; i++ {
+		u := &b.uops[i]
+		switch u.op {
+		case riscv.ADDI:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1] + uint64(u.imm)
+			}
+		case riscv.ADD:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1] + x[u.rs2]
+			}
+		case riscv.SUB:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1] - x[u.rs2]
+			}
+		case riscv.LUI, riscv.AUIPC:
+			if u.rd != 0 {
+				x[u.rd] = u.target
+			}
+		case riscv.ANDI:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1] & uint64(u.imm)
+			}
+		case riscv.ORI:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1] | uint64(u.imm)
+			}
+		case riscv.XORI:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1] ^ uint64(u.imm)
+			}
+		case riscv.AND:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1] & x[u.rs2]
+			}
+		case riscv.OR:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1] | x[u.rs2]
+			}
+		case riscv.XOR:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1] ^ x[u.rs2]
+			}
+		case riscv.SLLI:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1] << uint(u.imm)
+			}
+		case riscv.SRLI:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1] >> uint(u.imm)
+			}
+		case riscv.SRAI:
+			if u.rd != 0 {
+				x[u.rd] = uint64(int64(x[u.rs1]) >> uint(u.imm))
+			}
+		case riscv.SLL:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1] << (x[u.rs2] & 63)
+			}
+		case riscv.SRL:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1] >> (x[u.rs2] & 63)
+			}
+		case riscv.SRA:
+			if u.rd != 0 {
+				x[u.rd] = uint64(int64(x[u.rs1]) >> (x[u.rs2] & 63))
+			}
+		case riscv.SLT:
+			if u.rd != 0 {
+				if int64(x[u.rs1]) < int64(x[u.rs2]) {
+					x[u.rd] = 1
+				} else {
+					x[u.rd] = 0
+				}
+			}
+		case riscv.SLTU:
+			if u.rd != 0 {
+				if x[u.rs1] < x[u.rs2] {
+					x[u.rd] = 1
+				} else {
+					x[u.rd] = 0
+				}
+			}
+		case riscv.SLTI:
+			if u.rd != 0 {
+				if int64(x[u.rs1]) < u.imm {
+					x[u.rd] = 1
+				} else {
+					x[u.rd] = 0
+				}
+			}
+		case riscv.SLTIU:
+			if u.rd != 0 {
+				if x[u.rs1] < uint64(u.imm) {
+					x[u.rd] = 1
+				} else {
+					x[u.rd] = 0
+				}
+			}
+		case riscv.ADDIW:
+			if u.rd != 0 {
+				x[u.rd] = uint64(int64(int32(int64(x[u.rs1]) + u.imm)))
+			}
+		case riscv.ADDW:
+			if u.rd != 0 {
+				x[u.rd] = uint64(int64(int32(x[u.rs1] + x[u.rs2])))
+			}
+		case riscv.SUBW:
+			if u.rd != 0 {
+				x[u.rd] = uint64(int64(int32(x[u.rs1] - x[u.rs2])))
+			}
+		case riscv.SLLIW:
+			if u.rd != 0 {
+				x[u.rd] = uint64(int64(int32(x[u.rs1]) << uint(u.imm)))
+			}
+		case riscv.SRLIW:
+			if u.rd != 0 {
+				x[u.rd] = uint64(int64(int32(uint32(x[u.rs1]) >> uint(u.imm))))
+			}
+		case riscv.SRAIW:
+			if u.rd != 0 {
+				x[u.rd] = uint64(int64(int32(x[u.rs1]) >> uint(u.imm)))
+			}
+		case riscv.MUL:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1] * x[u.rs2]
+			}
+		case riscv.SH1ADD:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1]<<1 + x[u.rs2]
+			}
+		case riscv.SH2ADD:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1]<<2 + x[u.rs2]
+			}
+		case riscv.SH3ADD:
+			if u.rd != 0 {
+				x[u.rd] = x[u.rs1]<<3 + x[u.rs2]
+			}
+		case riscv.FENCE:
+			// no architectural effect
+
+		case riscv.LD:
+			addr := x[u.rs1] + uint64(u.imm)
+			if v, ok := mem.loadU64(addr); ok {
+				if u.rd != 0 {
+					x[u.rd] = v
+				}
+			} else {
+				v, fa, ok := c.memLoad(addr, 8, true)
+				if !ok {
+					c.blockFlush(b, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("load %d bytes", 8))
+					return stop, h, exitPart
+				}
+				if u.rd != 0 {
+					x[u.rd] = v
+				}
+			}
+		case riscv.LW:
+			addr := x[u.rs1] + uint64(u.imm)
+			if v, ok := mem.loadU32(addr); ok {
+				if u.rd != 0 {
+					x[u.rd] = uint64(int64(int32(v)))
+				}
+			} else {
+				v, fa, ok := c.memLoad(addr, 4, true)
+				if !ok {
+					c.blockFlush(b, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("load %d bytes", 4))
+					return stop, h, exitPart
+				}
+				if u.rd != 0 {
+					x[u.rd] = v
+				}
+			}
+		case riscv.LWU:
+			addr := x[u.rs1] + uint64(u.imm)
+			if v, ok := mem.loadU32(addr); ok {
+				if u.rd != 0 {
+					x[u.rd] = uint64(v)
+				}
+			} else {
+				v, fa, ok := c.memLoad(addr, 4, false)
+				if !ok {
+					c.blockFlush(b, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("load %d bytes", 4))
+					return stop, h, exitPart
+				}
+				if u.rd != 0 {
+					x[u.rd] = v
+				}
+			}
+		case riscv.LB, riscv.LH, riscv.LBU, riscv.LHU:
+			nbytes, signed := 1, true
+			switch u.op {
+			case riscv.LH:
+				nbytes = 2
+			case riscv.LBU:
+				signed = false
+			case riscv.LHU:
+				nbytes, signed = 2, false
+			}
+			v, fa, ok := c.memLoad(x[u.rs1]+uint64(u.imm), nbytes, signed)
+			if !ok {
+				c.blockFlush(b, base, i, cycles, u.pc)
+				stop, h := c.fault(FaultAccess, fa, fmt.Errorf("load %d bytes", nbytes))
+				return stop, h, exitPart
+			}
+			if u.rd != 0 {
+				x[u.rd] = v
+			}
+		case riscv.SD:
+			addr := x[u.rs1] + uint64(u.imm)
+			if !mem.storeU64(addr, x[u.rs2]) {
+				if fa, ok := c.memStore(addr, x[u.rs2], 8); !ok {
+					c.blockFlush(b, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("store %d bytes", 8))
+					return stop, h, exitPart
+				}
+			}
+		case riscv.SW:
+			addr := x[u.rs1] + uint64(u.imm)
+			if !mem.storeU32(addr, uint32(x[u.rs2])) {
+				if fa, ok := c.memStore(addr, x[u.rs2], 4); !ok {
+					c.blockFlush(b, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("store %d bytes", 4))
+					return stop, h, exitPart
+				}
+			}
+		case riscv.SB, riscv.SH:
+			nbytes := 1
+			if u.op == riscv.SH {
+				nbytes = 2
+			}
+			if fa, ok := c.memStore(x[u.rs1]+uint64(u.imm), x[u.rs2], nbytes); !ok {
+				c.blockFlush(b, base, i, cycles, u.pc)
+				stop, h := c.fault(FaultAccess, fa, fmt.Errorf("store %d bytes", nbytes))
+				return stop, h, exitPart
+			}
+
+		case riscv.FLD:
+			addr := x[u.rs1] + uint64(u.imm)
+			if v, ok := mem.loadU64(addr); ok {
+				c.F[u.rd] = v
+			} else {
+				v, fa, ok := c.memLoad(addr, 8, false)
+				if !ok {
+					c.blockFlush(b, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("fld"))
+					return stop, h, exitPart
+				}
+				c.F[u.rd] = v
+			}
+		case riscv.FSD:
+			addr := x[u.rs1] + uint64(u.imm)
+			if !mem.storeU64(addr, c.F[u.rs2]) {
+				if fa, ok := c.memStore(addr, c.F[u.rs2], 8); !ok {
+					c.blockFlush(b, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("fsd"))
+					return stop, h, exitPart
+				}
+			}
+		case riscv.FLW:
+			addr := x[u.rs1] + uint64(u.imm)
+			if v, ok := mem.loadU32(addr); ok {
+				c.F[u.rd] = 0xFFFFFFFF_00000000 | uint64(v)
+			} else {
+				v, fa, ok := c.memLoad(addr, 4, false)
+				if !ok {
+					c.blockFlush(b, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("flw"))
+					return stop, h, exitPart
+				}
+				c.F[u.rd] = 0xFFFFFFFF_00000000 | v
+			}
+		case riscv.FSW:
+			addr := x[u.rs1] + uint64(u.imm)
+			if !mem.storeU32(addr, uint32(c.F[u.rs2])) {
+				if fa, ok := c.memStore(addr, c.F[u.rs2]&0xFFFFFFFF, 4); !ok {
+					c.blockFlush(b, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("fsw"))
+					return stop, h, exitPart
+				}
+			}
+
+		case riscv.FADDD:
+			c.F[u.rd] = f64b(f64(c.F[u.rs1]) + f64(c.F[u.rs2]))
+		case riscv.FSUBD:
+			c.F[u.rd] = f64b(f64(c.F[u.rs1]) - f64(c.F[u.rs2]))
+		case riscv.FMULD:
+			c.F[u.rd] = f64b(f64(c.F[u.rs1]) * f64(c.F[u.rs2]))
+		case riscv.FDIVD:
+			c.F[u.rd] = f64b(f64(c.F[u.rs1]) / f64(c.F[u.rs2]))
+		case riscv.FMADDD:
+			c.F[u.rd] = f64b(f64(c.F[u.rs1])*f64(c.F[u.rs2]) + f64(c.F[u.rs3]))
+		case riscv.FMADDS:
+			c.F[u.rd] = f32b(f32of(c.F[u.rs1])*f32of(c.F[u.rs2]) + f32of(c.F[u.rs3]))
+		case riscv.FCVTDL:
+			c.F[u.rd] = f64b(float64(int64(x[u.rs1])))
+		case riscv.FCVTLD:
+			if u.rd != 0 {
+				x[u.rd] = uint64(int64(f64(c.F[u.rs1])))
+			}
+
+		case riscv.BEQ:
+			if x[u.rs1] == x[u.rs2] {
+				c.blockFlush(b, base, i+1, cycles+u.costT, u.target)
+				return Stop{}, false, exitTake
+			}
+		case riscv.BNE:
+			if x[u.rs1] != x[u.rs2] {
+				c.blockFlush(b, base, i+1, cycles+u.costT, u.target)
+				return Stop{}, false, exitTake
+			}
+		case riscv.BLT:
+			if int64(x[u.rs1]) < int64(x[u.rs2]) {
+				c.blockFlush(b, base, i+1, cycles+u.costT, u.target)
+				return Stop{}, false, exitTake
+			}
+		case riscv.BGE:
+			if int64(x[u.rs1]) >= int64(x[u.rs2]) {
+				c.blockFlush(b, base, i+1, cycles+u.costT, u.target)
+				return Stop{}, false, exitTake
+			}
+		case riscv.BLTU:
+			if x[u.rs1] < x[u.rs2] {
+				c.blockFlush(b, base, i+1, cycles+u.costT, u.target)
+				return Stop{}, false, exitTake
+			}
+		case riscv.BGEU:
+			if x[u.rs1] >= x[u.rs2] {
+				c.blockFlush(b, base, i+1, cycles+u.costT, u.target)
+				return Stop{}, false, exitTake
+			}
+		case riscv.JAL:
+			if u.rd != 0 {
+				x[u.rd] = u.next
+			}
+			c.blockFlush(b, base, i+1, cycles+u.costT, u.target)
+			return Stop{}, false, exitTake
+		case riscv.JALR:
+			target := (x[u.rs1] + uint64(u.imm)) &^ 1
+			if c.IndirectHook != nil {
+				nt, extra := c.IndirectHook(u.pc, target)
+				target = nt
+				cycles += extra
+				c.HookCount++
+			}
+			if u.rd != 0 {
+				x[u.rd] = u.next
+			}
+			c.blockFlush(b, base, i+1, cycles+u.costT, target)
+			return Stop{}, false, exitJalr
+
+		default:
+			// Anything else — ECALL/EBREAK, division, the FP/vector long
+			// tail — runs through the interpreter's exec after flushing, so
+			// stops and faults observe exact architectural state.
+			c.blockFlush(b, base, i, cycles, u.pc)
+			cycles = 0
+			stop, halted := c.exec(u.inst)
+			if halted {
+				return stop, true, exitPart
+			}
+			base = i + 1
+			continue
+		}
+		cycles += u.costN
+	}
+	last := &b.uops[n-1]
+	c.blockFlush(b, base, n, cycles, last.next)
+	if partial {
+		return Stop{}, false, exitPart
+	}
+	return Stop{}, false, exitFall
+}

@@ -95,9 +95,20 @@ type CPU struct {
 	// LastInst is the most recently retired instruction (diagnostics).
 	LastInst riscv.Inst
 
+	// Interp forces Run through the historical per-instruction loop instead
+	// of the basic-block engine. The two are architecturally identical; the
+	// flag exists for differential testing and baseline benchmarks.
+	Interp bool
+
+	// Blocks tallies basic-block translation cache events (block.go).
+	Blocks BlockStats
+
 	// icache is a direct-mapped decoded-instruction cache, invalidated by
 	// the memory generation counter (code patching bumps it).
 	icache [4096]icacheEntry
+
+	// bcache is the direct-mapped basic-block cache (block.go).
+	bcache [blockCacheSize]*block
 }
 
 type icacheEntry struct {
@@ -181,7 +192,19 @@ func (c *CPU) Step() (Stop, bool) {
 }
 
 // Run executes until a stop condition or until limit instructions retire.
+// The hot path dispatches whole predecoded basic blocks (block.go); setting
+// Interp forces the per-instruction reference loop instead.
 func (c *CPU) Run(limit uint64) Stop {
+	if c.Interp {
+		return c.RunInterp(limit)
+	}
+	return c.runBlocks(limit)
+}
+
+// RunInterp is the per-instruction reference loop — the pre-block-engine
+// Run. The block engine is required to be architecturally indistinguishable
+// from it (same X/F/V/PC/Instret/Cycles trajectory, same faults).
+func (c *CPU) RunInterp(limit uint64) Stop {
 	for n := uint64(0); n < limit; n++ {
 		if stop, halted := c.Step(); halted {
 			return stop
@@ -200,173 +223,205 @@ func (c *CPU) retire(inst riscv.Inst, nextPC uint64, taken bool) (Stop, bool) {
 	return Stop{}, false
 }
 
+// memLoad performs a checked n-byte little-endian load at addr, returning
+// the (optionally sign-extended) value or the faulting address.
+func (c *CPU) memLoad(addr uint64, n int, signed bool) (v, fa uint64, ok bool) {
+	var buf [8]byte
+	if fa, ok := c.Mem.Read(addr, buf[:n]); !ok {
+		return 0, fa, false
+	}
+	v = binary.LittleEndian.Uint64(buf[:])
+	if signed {
+		shift := uint(64 - 8*n)
+		v = uint64(int64(v<<shift) >> shift)
+	}
+	return v, 0, true
+}
+
+// memStore performs a checked n-byte little-endian store at addr.
+func (c *CPU) memStore(addr, val uint64, n int) (fa uint64, ok bool) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], val)
+	return c.Mem.Write(addr, buf[:n])
+}
+
+// The exec helpers below used to be per-call closures; they are methods so
+// the interpreter and the block engine share one allocation-free hot path.
+
+// alu writes an ALU result and retires.
+func (c *CPU) alu(inst riscv.Inst, next uint64, v uint64) (Stop, bool) {
+	c.X[inst.Rd] = v
+	return c.retire(inst, next, false)
+}
+
+// aluW writes a sign-extended 32-bit result and retires.
+func (c *CPU) aluW(inst riscv.Inst, next uint64, v int64) (Stop, bool) {
+	c.X[inst.Rd] = uint64(int64(int32(v)))
+	return c.retire(inst, next, false)
+}
+
+// branch retires a conditional branch.
+func (c *CPU) branch(inst riscv.Inst, next uint64, cond bool) (Stop, bool) {
+	if cond {
+		return c.retire(inst, c.PC+uint64(inst.Imm), true)
+	}
+	return c.retire(inst, next, false)
+}
+
+// execLoad retires a scalar load.
+func (c *CPU) execLoad(inst riscv.Inst, next uint64, n int, signed bool) (Stop, bool) {
+	addr := c.X[inst.Rs1] + uint64(inst.Imm)
+	v, fa, ok := c.memLoad(addr, n, signed)
+	if !ok {
+		return c.fault(FaultAccess, fa, fmt.Errorf("load %d bytes", n))
+	}
+	c.X[inst.Rd] = v
+	return c.retire(inst, next, false)
+}
+
+// execStore retires a scalar store.
+func (c *CPU) execStore(inst riscv.Inst, next uint64, n int) (Stop, bool) {
+	addr := c.X[inst.Rs1] + uint64(inst.Imm)
+	if fa, ok := c.memStore(addr, c.X[inst.Rs2], n); !ok {
+		return c.fault(FaultAccess, fa, fmt.Errorf("store %d bytes", n))
+	}
+	return c.retire(inst, next, false)
+}
+
+// execJALR retires an indirect jump, routing through the IndirectHook.
+func (c *CPU) execJALR(inst riscv.Inst, next uint64) (Stop, bool) {
+	target := (c.X[inst.Rs1] + uint64(inst.Imm)) &^ 1
+	if c.IndirectHook != nil {
+		newTarget, extra := c.IndirectHook(c.PC, target)
+		target = newTarget
+		c.Cycles += extra
+		c.HookCount++
+	}
+	c.X[inst.Rd] = next
+	return c.retire(inst, target, true)
+}
+
 func (c *CPU) exec(inst riscv.Inst) (Stop, bool) {
 	x := &c.X
-	rd, rs1, rs2 := inst.Rd, inst.Rs1, inst.Rs2
+	rs1, rs2 := inst.Rs1, inst.Rs2
 	imm := inst.Imm
 	next := c.PC + uint64(inst.Len)
 	s1, s2 := int64(x[rs1]), int64(x[rs2])
 	u1, u2 := x[rs1], x[rs2]
 
-	load := func(n int, signed bool) (Stop, bool) {
-		var buf [8]byte
-		addr := u1 + uint64(imm)
-		if fa, ok := c.Mem.Read(addr, buf[:n]); !ok {
-			return c.fault(FaultAccess, fa, fmt.Errorf("load %d bytes", n))
-		}
-		v := binary.LittleEndian.Uint64(buf[:])
-		if signed {
-			shift := uint(64 - 8*n)
-			v = uint64(int64(v<<shift) >> shift)
-		}
-		x[rd] = v
-		return c.retire(inst, next, false)
-	}
-	store := func(n int) (Stop, bool) {
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], u2)
-		addr := u1 + uint64(imm)
-		if fa, ok := c.Mem.Write(addr, buf[:n]); !ok {
-			return c.fault(FaultAccess, fa, fmt.Errorf("store %d bytes", n))
-		}
-		return c.retire(inst, next, false)
-	}
-	branch := func(cond bool) (Stop, bool) {
-		if cond {
-			return c.retire(inst, c.PC+uint64(imm), true)
-		}
-		return c.retire(inst, next, false)
-	}
-	aluW := func(v int64) (Stop, bool) {
-		x[rd] = uint64(int64(int32(v)))
-		return c.retire(inst, next, false)
-	}
-	alu := func(v uint64) (Stop, bool) {
-		x[rd] = v
-		return c.retire(inst, next, false)
-	}
-
 	switch inst.Op {
 	case riscv.LUI:
-		return alu(uint64(imm << 12))
+		return c.alu(inst, next, uint64(imm<<12))
 	case riscv.AUIPC:
-		return alu(c.PC + uint64(imm<<12))
+		return c.alu(inst, next, c.PC+uint64(imm<<12))
 	case riscv.JAL:
 		target := c.PC + uint64(imm)
-		x[rd] = next
+		x[inst.Rd] = next
 		return c.retire(inst, target, true)
 	case riscv.JALR:
-		target := (u1 + uint64(imm)) &^ 1
-		if c.IndirectHook != nil {
-			newTarget, extra := c.IndirectHook(c.PC, target)
-			target = newTarget
-			c.Cycles += extra
-			c.HookCount++
-		}
-		x[rd] = next
-		return c.retire(inst, target, true)
+		return c.execJALR(inst, next)
 	case riscv.BEQ:
-		return branch(u1 == u2)
+		return c.branch(inst, next, u1 == u2)
 	case riscv.BNE:
-		return branch(u1 != u2)
+		return c.branch(inst, next, u1 != u2)
 	case riscv.BLT:
-		return branch(s1 < s2)
+		return c.branch(inst, next, s1 < s2)
 	case riscv.BGE:
-		return branch(s1 >= s2)
+		return c.branch(inst, next, s1 >= s2)
 	case riscv.BLTU:
-		return branch(u1 < u2)
+		return c.branch(inst, next, u1 < u2)
 	case riscv.BGEU:
-		return branch(u1 >= u2)
+		return c.branch(inst, next, u1 >= u2)
 	case riscv.LB:
-		return load(1, true)
+		return c.execLoad(inst, next, 1, true)
 	case riscv.LH:
-		return load(2, true)
+		return c.execLoad(inst, next, 2, true)
 	case riscv.LW:
-		return load(4, true)
+		return c.execLoad(inst, next, 4, true)
 	case riscv.LD:
-		return load(8, true)
+		return c.execLoad(inst, next, 8, true)
 	case riscv.LBU:
-		return load(1, false)
+		return c.execLoad(inst, next, 1, false)
 	case riscv.LHU:
-		return load(2, false)
+		return c.execLoad(inst, next, 2, false)
 	case riscv.LWU:
-		return load(4, false)
+		return c.execLoad(inst, next, 4, false)
 	case riscv.SB:
-		return store(1)
+		return c.execStore(inst, next, 1)
 	case riscv.SH:
-		return store(2)
+		return c.execStore(inst, next, 2)
 	case riscv.SW:
-		return store(4)
+		return c.execStore(inst, next, 4)
 	case riscv.SD:
-		return store(8)
+		return c.execStore(inst, next, 8)
 	case riscv.ADDI:
-		return alu(u1 + uint64(imm))
+		return c.alu(inst, next, u1+uint64(imm))
 	case riscv.SLTI:
 		if s1 < imm {
-			return alu(1)
+			return c.alu(inst, next, 1)
 		}
-		return alu(0)
+		return c.alu(inst, next, 0)
 	case riscv.SLTIU:
 		if u1 < uint64(imm) {
-			return alu(1)
+			return c.alu(inst, next, 1)
 		}
-		return alu(0)
+		return c.alu(inst, next, 0)
 	case riscv.XORI:
-		return alu(u1 ^ uint64(imm))
+		return c.alu(inst, next, u1^uint64(imm))
 	case riscv.ORI:
-		return alu(u1 | uint64(imm))
+		return c.alu(inst, next, u1|uint64(imm))
 	case riscv.ANDI:
-		return alu(u1 & uint64(imm))
+		return c.alu(inst, next, u1&uint64(imm))
 	case riscv.SLLI:
-		return alu(u1 << uint(imm))
+		return c.alu(inst, next, u1<<uint(imm))
 	case riscv.SRLI:
-		return alu(u1 >> uint(imm))
+		return c.alu(inst, next, u1>>uint(imm))
 	case riscv.SRAI:
-		return alu(uint64(s1 >> uint(imm)))
+		return c.alu(inst, next, uint64(s1>>uint(imm)))
 	case riscv.ADD:
-		return alu(u1 + u2)
+		return c.alu(inst, next, u1+u2)
 	case riscv.SUB:
-		return alu(u1 - u2)
+		return c.alu(inst, next, u1-u2)
 	case riscv.SLL:
-		return alu(u1 << (u2 & 63))
+		return c.alu(inst, next, u1<<(u2&63))
 	case riscv.SLT:
 		if s1 < s2 {
-			return alu(1)
+			return c.alu(inst, next, 1)
 		}
-		return alu(0)
+		return c.alu(inst, next, 0)
 	case riscv.SLTU:
 		if u1 < u2 {
-			return alu(1)
+			return c.alu(inst, next, 1)
 		}
-		return alu(0)
+		return c.alu(inst, next, 0)
 	case riscv.XOR:
-		return alu(u1 ^ u2)
+		return c.alu(inst, next, u1^u2)
 	case riscv.SRL:
-		return alu(u1 >> (u2 & 63))
+		return c.alu(inst, next, u1>>(u2&63))
 	case riscv.SRA:
-		return alu(uint64(s1 >> (u2 & 63)))
+		return c.alu(inst, next, uint64(s1>>(u2&63)))
 	case riscv.OR:
-		return alu(u1 | u2)
+		return c.alu(inst, next, u1|u2)
 	case riscv.AND:
-		return alu(u1 & u2)
+		return c.alu(inst, next, u1&u2)
 	case riscv.ADDIW:
-		return aluW(s1 + imm)
+		return c.aluW(inst, next, s1+imm)
 	case riscv.SLLIW:
-		return aluW(int64(int32(u1) << uint(imm)))
+		return c.aluW(inst, next, int64(int32(u1)<<uint(imm)))
 	case riscv.SRLIW:
-		return aluW(int64(int32(uint32(u1) >> uint(imm))))
+		return c.aluW(inst, next, int64(int32(uint32(u1)>>uint(imm))))
 	case riscv.SRAIW:
-		return aluW(int64(int32(u1) >> uint(imm)))
+		return c.aluW(inst, next, int64(int32(u1)>>uint(imm)))
 	case riscv.ADDW:
-		return aluW(s1 + s2)
+		return c.aluW(inst, next, s1+s2)
 	case riscv.SUBW:
-		return aluW(s1 - s2)
+		return c.aluW(inst, next, s1-s2)
 	case riscv.SLLW:
-		return aluW(int64(int32(u1) << (u2 & 31)))
+		return c.aluW(inst, next, int64(int32(u1)<<(u2&31)))
 	case riscv.SRLW:
-		return aluW(int64(int32(uint32(u1) >> (u2 & 31))))
+		return c.aluW(inst, next, int64(int32(uint32(u1)>>(u2&31))))
 	case riscv.SRAW:
-		return aluW(int64(int32(u1) >> (u2 & 31)))
+		return c.aluW(inst, next, int64(int32(u1)>>(u2&31)))
 	case riscv.FENCE:
 		return c.retire(inst, next, false)
 	case riscv.ECALL:
@@ -376,87 +431,87 @@ func (c *CPU) exec(inst riscv.Inst) (Stop, bool) {
 		return Stop{Kind: StopBreak}, true
 
 	case riscv.MUL:
-		return alu(u1 * u2)
+		return c.alu(inst, next, u1*u2)
 	case riscv.MULH:
 		hi, _ := mul64(s1, s2)
-		return alu(uint64(hi))
+		return c.alu(inst, next, uint64(hi))
 	case riscv.MULHU:
 		hi, _ := mulu64(u1, u2)
-		return alu(hi)
+		return c.alu(inst, next, hi)
 	case riscv.MULHSU:
 		hi := mulhsu(s1, u2)
-		return alu(uint64(hi))
+		return c.alu(inst, next, uint64(hi))
 	case riscv.DIV:
 		if s2 == 0 {
-			return alu(^uint64(0))
+			return c.alu(inst, next, ^uint64(0))
 		}
 		if s1 == math.MinInt64 && s2 == -1 {
-			return alu(uint64(s1))
+			return c.alu(inst, next, uint64(s1))
 		}
-		return alu(uint64(s1 / s2))
+		return c.alu(inst, next, uint64(s1/s2))
 	case riscv.DIVU:
 		if u2 == 0 {
-			return alu(^uint64(0))
+			return c.alu(inst, next, ^uint64(0))
 		}
-		return alu(u1 / u2)
+		return c.alu(inst, next, u1/u2)
 	case riscv.REM:
 		if s2 == 0 {
-			return alu(uint64(s1))
+			return c.alu(inst, next, uint64(s1))
 		}
 		if s1 == math.MinInt64 && s2 == -1 {
-			return alu(0)
+			return c.alu(inst, next, 0)
 		}
-		return alu(uint64(s1 % s2))
+		return c.alu(inst, next, uint64(s1%s2))
 	case riscv.REMU:
 		if u2 == 0 {
-			return alu(u1)
+			return c.alu(inst, next, u1)
 		}
-		return alu(u1 % u2)
+		return c.alu(inst, next, u1%u2)
 	case riscv.MULW:
-		return aluW(int64(int32(u1) * int32(u2)))
+		return c.aluW(inst, next, int64(int32(u1)*int32(u2)))
 	case riscv.DIVW:
 		a, b := int32(u1), int32(u2)
 		if b == 0 {
-			return alu(^uint64(0))
+			return c.alu(inst, next, ^uint64(0))
 		}
 		if a == math.MinInt32 && b == -1 {
-			return aluW(int64(a))
+			return c.aluW(inst, next, int64(a))
 		}
-		return aluW(int64(a / b))
+		return c.aluW(inst, next, int64(a/b))
 	case riscv.DIVUW:
 		a, b := uint32(u1), uint32(u2)
 		if b == 0 {
-			return alu(^uint64(0))
+			return c.alu(inst, next, ^uint64(0))
 		}
-		return aluW(int64(int32(a / b)))
+		return c.aluW(inst, next, int64(int32(a/b)))
 	case riscv.REMW:
 		a, b := int32(u1), int32(u2)
 		if b == 0 {
-			return aluW(int64(a))
+			return c.aluW(inst, next, int64(a))
 		}
 		if a == math.MinInt32 && b == -1 {
-			return aluW(0)
+			return c.aluW(inst, next, 0)
 		}
-		return aluW(int64(a % b))
+		return c.aluW(inst, next, int64(a%b))
 	case riscv.REMUW:
 		a, b := uint32(u1), uint32(u2)
 		if b == 0 {
-			return aluW(int64(int32(a)))
+			return c.aluW(inst, next, int64(int32(a)))
 		}
-		return aluW(int64(int32(a % b)))
+		return c.aluW(inst, next, int64(int32(a%b)))
 
 	case riscv.SH1ADD:
-		return alu(u1<<1 + u2)
+		return c.alu(inst, next, u1<<1+u2)
 	case riscv.SH2ADD:
-		return alu(u1<<2 + u2)
+		return c.alu(inst, next, u1<<2+u2)
 	case riscv.SH3ADD:
-		return alu(u1<<3 + u2)
+		return c.alu(inst, next, u1<<3+u2)
 	case riscv.ANDN:
-		return alu(u1 &^ u2)
+		return c.alu(inst, next, u1&^u2)
 	case riscv.ORN:
-		return alu(u1 | ^u2)
+		return c.alu(inst, next, u1|^u2)
 	case riscv.XNOR:
-		return alu(^(u1 ^ u2))
+		return c.alu(inst, next, ^(u1 ^ u2))
 
 	default:
 		return c.execFPV(inst, next)

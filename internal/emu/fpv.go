@@ -7,23 +7,32 @@ import (
 	"github.com/eurosys26p57/chimera/internal/riscv"
 )
 
+// The FP retire helpers mirror the integer ones in cpu.go: methods rather
+// than per-call closures so the hot path never allocates.
+
+// fd writes a double result and retires.
+func (c *CPU) fd(inst riscv.Inst, next uint64, v float64) (Stop, bool) {
+	c.F[inst.Rd] = f64b(v)
+	return c.retire(inst, next, false)
+}
+
+// fs writes a NaN-boxed single result and retires.
+func (c *CPU) fs(inst riscv.Inst, next uint64, v float32) (Stop, bool) {
+	c.F[inst.Rd] = f32b(v)
+	return c.retire(inst, next, false)
+}
+
+// xv writes an integer-register result and retires.
+func (c *CPU) xv(inst riscv.Inst, next uint64, v uint64) (Stop, bool) {
+	c.X[inst.Rd] = v
+	return c.retire(inst, next, false)
+}
+
 // execFPV implements the floating-point and vector subset.
 func (c *CPU) execFPV(inst riscv.Inst, next uint64) (Stop, bool) {
 	rd, rs1, rs2, rs3 := inst.Rd, inst.Rs1, inst.Rs2, inst.Rs3
 	imm := inst.Imm
 
-	fd := func(v float64) (Stop, bool) {
-		c.F[rd] = f64b(v)
-		return c.retire(inst, next, false)
-	}
-	fs := func(v float32) (Stop, bool) {
-		c.F[rd] = f32b(v)
-		return c.retire(inst, next, false)
-	}
-	xv := func(v uint64) (Stop, bool) {
-		c.X[rd] = v
-		return c.retire(inst, next, false)
-	}
 	d1, d2, d3 := f64(c.F[rs1]), f64(c.F[rs2]), f64(c.F[rs3])
 	s1f, s2f, s3f := f32of(c.F[rs1]), f32of(c.F[rs2]), f32of(c.F[rs3])
 
@@ -62,25 +71,25 @@ func (c *CPU) execFPV(inst riscv.Inst, next uint64) (Stop, bool) {
 		return c.retire(inst, next, false)
 
 	case riscv.FADDS:
-		return fs(s1f + s2f)
+		return c.fs(inst, next, s1f+s2f)
 	case riscv.FSUBS:
-		return fs(s1f - s2f)
+		return c.fs(inst, next, s1f-s2f)
 	case riscv.FMULS:
-		return fs(s1f * s2f)
+		return c.fs(inst, next, s1f*s2f)
 	case riscv.FDIVS:
-		return fs(s1f / s2f)
+		return c.fs(inst, next, s1f/s2f)
 	case riscv.FMADDS:
-		return fs(s1f*s2f + s3f)
+		return c.fs(inst, next, s1f*s2f+s3f)
 	case riscv.FADDD:
-		return fd(d1 + d2)
+		return c.fd(inst, next, d1+d2)
 	case riscv.FSUBD:
-		return fd(d1 - d2)
+		return c.fd(inst, next, d1-d2)
 	case riscv.FMULD:
-		return fd(d1 * d2)
+		return c.fd(inst, next, d1*d2)
 	case riscv.FDIVD:
-		return fd(d1 / d2)
+		return c.fd(inst, next, d1/d2)
 	case riscv.FMADDD:
-		return fd(d1*d2 + d3)
+		return c.fd(inst, next, d1*d2+d3)
 	case riscv.FSGNJS:
 		v := uint32(c.F[rs1])&0x7FFFFFFF | uint32(c.F[rs2])&0x80000000
 		c.F[rd] = 0xFFFFFFFF_00000000 | uint64(v)
@@ -89,36 +98,36 @@ func (c *CPU) execFPV(inst riscv.Inst, next uint64) (Stop, bool) {
 		c.F[rd] = c.F[rs1]&0x7FFFFFFF_FFFFFFFF | c.F[rs2]&0x80000000_00000000
 		return c.retire(inst, next, false)
 	case riscv.FCVTSL:
-		return fs(float32(int64(c.X[rs1])))
+		return c.fs(inst, next, float32(int64(c.X[rs1])))
 	case riscv.FCVTDL:
-		return fd(float64(int64(c.X[rs1])))
+		return c.fd(inst, next, float64(int64(c.X[rs1])))
 	case riscv.FCVTLD:
-		return xv(uint64(int64(d1)))
+		return c.xv(inst, next, uint64(int64(d1)))
 	case riscv.FMVXD:
-		return xv(c.F[rs1])
+		return c.xv(inst, next, c.F[rs1])
 	case riscv.FMVDX:
 		c.F[rd] = c.X[rs1]
 		return c.retire(inst, next, false)
 	case riscv.FMVXW:
-		return xv(uint64(int64(int32(uint32(c.F[rs1])))))
+		return c.xv(inst, next, uint64(int64(int32(uint32(c.F[rs1])))))
 	case riscv.FMVWX:
 		c.F[rd] = 0xFFFFFFFF_00000000 | uint64(uint32(c.X[rs1]))
 		return c.retire(inst, next, false)
 	case riscv.FEQD:
 		if d1 == d2 {
-			return xv(1)
+			return c.xv(inst, next, 1)
 		}
-		return xv(0)
+		return c.xv(inst, next, 0)
 	case riscv.FLTD:
 		if d1 < d2 {
-			return xv(1)
+			return c.xv(inst, next, 1)
 		}
-		return xv(0)
+		return c.xv(inst, next, 0)
 	case riscv.FLED:
 		if d1 <= d2 {
-			return xv(1)
+			return c.xv(inst, next, 1)
 		}
-		return xv(0)
+		return c.xv(inst, next, 0)
 	}
 	return c.execVector(inst, next)
 }
@@ -153,12 +162,14 @@ func (c *CPU) execVector(inst riscv.Inst, next uint64) (Stop, bool) {
 		if inst.Op == riscv.VLE64V {
 			size = 8
 		}
+		// n never exceeds VLenBytes (VL is capped at VLMAX), so a fixed
+		// buffer keeps the vector hot loop allocation-free.
+		var buf [riscv.VLenBytes]byte
 		n := int(c.VL) * size
-		buf := make([]byte, n)
-		if fa, ok := c.Mem.Read(c.X[rs1], buf); !ok {
+		if fa, ok := c.Mem.Read(c.X[rs1], buf[:n]); !ok {
 			return c.fault(FaultAccess, fa, fmt.Errorf("vector load"))
 		}
-		copy(c.V[rd][:], buf)
+		copy(c.V[rd][:], buf[:n])
 		return c.retire(inst, next, false)
 
 	case riscv.VSE32V, riscv.VSE64V:

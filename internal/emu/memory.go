@@ -46,13 +46,21 @@ func (m *Memory) Gen() uint64 { return m.gen }
 
 // Poke writes bytes bypassing page permissions — the kernel's code-patching
 // primitive (runtime rewriting, §4.3). It bumps the generation so decoded
-// instruction caches drop stale entries.
+// instruction and basic-block caches drop stale entries. The whole range is
+// validated before any byte is written: a poke that touches an unmapped page
+// writes nothing, so a false return never leaves half-patched code behind a
+// stale generation.
 func (m *Memory) Poke(addr uint64, data []byte) bool {
-	for len(data) > 0 {
-		p, ok := m.pages[pageOf(addr)]
-		if !ok {
+	if len(data) == 0 {
+		return true
+	}
+	for pn := pageOf(addr); pn <= pageOf(addr+uint64(len(data))-1); pn++ {
+		if _, ok := m.pages[pn]; !ok {
 			return false
 		}
+	}
+	for len(data) > 0 {
+		p := m.pages[pageOf(addr)]
 		off := addr & (obj.PageSize - 1)
 		n := copy(p.Data[off:], data)
 		data = data[n:]
@@ -164,6 +172,76 @@ func (m *Memory) access(addr uint64, buf []byte, write bool, need obj.Perm) (uin
 		a += uint64(n)
 	}
 	return 0, true
+}
+
+// The loadU/storeU/fetchU helpers are the in-page fast paths the block
+// engine dispatches through: when an access lies entirely inside one page
+// (which every aligned access does), they go straight through the one-entry
+// translation cache to the frame bytes, skipping access()'s multi-page copy
+// loop and the intermediate buffer. They return ok=false for any access
+// that crosses a page, is unmapped, or lacks permission — callers fall back
+// to Read/Write/Fetch, which re-derive the precise faulting address.
+
+func (m *Memory) loadU64(addr uint64) (uint64, bool) {
+	off := addr & (obj.PageSize - 1)
+	if off > obj.PageSize-8 {
+		return 0, false
+	}
+	p, ok := m.lookup(pageOf(addr), false)
+	if !ok || p.Perm&obj.PermR == 0 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(p.Data[off:]), true
+}
+
+func (m *Memory) loadU32(addr uint64) (uint32, bool) {
+	off := addr & (obj.PageSize - 1)
+	if off > obj.PageSize-4 {
+		return 0, false
+	}
+	p, ok := m.lookup(pageOf(addr), false)
+	if !ok || p.Perm&obj.PermR == 0 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(p.Data[off:]), true
+}
+
+func (m *Memory) storeU64(addr uint64, v uint64) bool {
+	off := addr & (obj.PageSize - 1)
+	if off > obj.PageSize-8 {
+		return false
+	}
+	p, ok := m.lookup(pageOf(addr), false)
+	if !ok || p.Perm&obj.PermW == 0 {
+		return false
+	}
+	binary.LittleEndian.PutUint64(p.Data[off:], v)
+	return true
+}
+
+func (m *Memory) storeU32(addr uint64, v uint32) bool {
+	off := addr & (obj.PageSize - 1)
+	if off > obj.PageSize-4 {
+		return false
+	}
+	p, ok := m.lookup(pageOf(addr), false)
+	if !ok || p.Perm&obj.PermW == 0 {
+		return false
+	}
+	binary.LittleEndian.PutUint32(p.Data[off:], v)
+	return true
+}
+
+func (m *Memory) fetchU16(addr uint64) (uint16, bool) {
+	off := addr & (obj.PageSize - 1)
+	if off > obj.PageSize-2 {
+		return 0, false
+	}
+	p, ok := m.lookup(pageOf(addr), true)
+	if !ok || p.Perm&obj.PermX == 0 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint16(p.Data[off:]), true
 }
 
 // Read copies n bytes at addr into buf, checking read permission.

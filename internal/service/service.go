@@ -21,6 +21,7 @@ import (
 
 	"github.com/eurosys26p57/chimera/internal/bench"
 	"github.com/eurosys26p57/chimera/internal/chbp"
+	"github.com/eurosys26p57/chimera/internal/emu"
 	"github.com/eurosys26p57/chimera/internal/kernel"
 	"github.com/eurosys26p57/chimera/internal/obj"
 	"github.com/eurosys26p57/chimera/internal/rewriters"
@@ -125,6 +126,11 @@ type RunResult struct {
 	SimSeconds float64         `json:"sim_seconds"` // cycles at the paper's 1.6GHz clock
 	Output     string          `json:"output"`
 	Counters   kernel.Counters `json:"counters"`
+	// EmulatedMIPS is host-side throughput: instructions retired per
+	// wall-clock second on the worker, in millions.
+	EmulatedMIPS float64 `json:"emulated_mips"`
+	// Blocks is the hart's basic-block translation cache tally for this run.
+	Blocks emu.BlockStats `json:"blocks"`
 }
 
 // job is one unit of pool work. done is buffered so a worker never blocks
@@ -168,6 +174,38 @@ type Server struct {
 	rejected  atomic.Uint64
 	deduped   atomic.Uint64
 	running   atomic.Int64
+
+	// emuMu guards the aggregated emulator observables below.
+	emuMu sync.Mutex
+	emu   EmuStats
+}
+
+// EmuStats aggregates the emulator-side observables of every completed /run:
+// how fast the simulated harts execute (emulated MIPS) and how the
+// basic-block translation cache is behaving.
+type EmuStats struct {
+	Runs       uint64  `json:"runs"`
+	Instret    uint64  `json:"instret"`
+	Cycles     uint64  `json:"cycles"`
+	RunSeconds float64 `json:"run_seconds"`
+	// EmulatedMIPS is Instret/RunSeconds/1e6 across all runs.
+	EmulatedMIPS float64        `json:"emulated_mips"`
+	Blocks       emu.BlockStats `json:"blocks"`
+	// BlockHitRatio / RetiredPerDispatch summarize Blocks (see
+	// emu.BlockStats) so dashboards don't recompute them.
+	BlockHitRatio      float64 `json:"block_hit_ratio"`
+	RetiredPerDispatch float64 `json:"retired_per_dispatch"`
+}
+
+// recordRun folds one completed execution into the aggregate.
+func (s *Server) recordRun(res *RunResult, wall time.Duration) {
+	s.emuMu.Lock()
+	defer s.emuMu.Unlock()
+	s.emu.Runs++
+	s.emu.Instret += res.Instret
+	s.emu.Cycles += res.Cycles
+	s.emu.RunSeconds += wall.Seconds()
+	s.emu.Blocks.Add(res.Blocks)
 }
 
 // New starts a server with cfg's worker pool already running.
@@ -429,7 +467,14 @@ func (s *Server) run(ctx context.Context, req *RunRequest) (*RunResult, error) {
 			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
 	}
-	v, err := s.submit(ctx, func() (any, error) { return doRun(req, isa) })
+	v, err := s.submit(ctx, func() (any, error) {
+		res, wall, err := doRun(req, isa)
+		if err != nil {
+			return nil, err
+		}
+		s.recordRun(res, wall)
+		return res, nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -437,40 +482,49 @@ func (s *Server) run(ctx context.Context, req *RunRequest) (*RunResult, error) {
 }
 
 // doRun executes on a worker. Images are cloned so in-process callers may
-// share one parsed image across concurrent runs.
-func doRun(req *RunRequest, isa riscv.Ext) (*RunResult, error) {
+// share one parsed image across concurrent runs. The returned duration is
+// the wall-clock execution time (queue wait excluded), the denominator of
+// the emulated-MIPS metric.
+func doRun(req *RunRequest, isa riscv.Ext) (*RunResult, time.Duration, error) {
 	variants := make([]kernel.Variant, 0, 2)
 	v, err := kernel.VariantFromImage(req.Image.Clone())
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	variants = append(variants, v)
 	if req.With != nil {
 		if err := req.With.Validate(); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			return nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
 		wv, err := kernel.VariantFromImage(req.With.Clone())
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			return nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
 		variants = append(variants, wv)
 	}
 	p, err := kernel.NewProcess(req.Image.Name, variants)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	startAt := time.Now()
 	cycles, err := bench.RunOnCore(p, isa)
+	wall := time.Since(startAt)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	return &RunResult{
+	res := &RunResult{
 		ExitCode:   p.ExitCode,
 		Cycles:     cycles,
 		Instret:    p.CPU.Instret,
 		SimSeconds: bench.Seconds(cycles),
 		Output:     string(p.Output),
 		Counters:   p.Counters,
-	}, nil
+		Blocks:     p.CPU.Blocks,
+	}
+	if s := wall.Seconds(); s > 0 {
+		res.EmulatedMIPS = float64(res.Instret) / s / 1e6
+	}
+	return res, wall, nil
 }
 
 // Stats is the /stats payload: cache counters, pool gauges, and latency
@@ -486,6 +540,7 @@ type Stats struct {
 	Rejected      uint64                    `json:"rejected"`
 	Deduped       uint64                    `json:"deduped"`
 	Cache         CacheStats                `json:"cache"`
+	Emulator      EmuStats                  `json:"emulator"`
 	Endpoints     map[string]LatencySummary `json:"endpoints"`
 	PerMethod     map[string]LatencySummary `json:"per_method"`
 	Errors        map[string]uint64         `json:"errors"`
@@ -496,6 +551,14 @@ func (s *Server) Stats() Stats {
 	s.cacheMu.Lock()
 	cs := s.cache.stats()
 	s.cacheMu.Unlock()
+	s.emuMu.Lock()
+	es := s.emu
+	s.emuMu.Unlock()
+	if es.RunSeconds > 0 {
+		es.EmulatedMIPS = float64(es.Instret) / es.RunSeconds / 1e6
+	}
+	es.BlockHitRatio = es.Blocks.HitRatio()
+	es.RetiredPerDispatch = es.Blocks.RetiredPerDispatch()
 	eps, methods, errs := s.met.snapshot()
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -508,6 +571,7 @@ func (s *Server) Stats() Stats {
 		Rejected:      s.rejected.Load(),
 		Deduped:       s.deduped.Load(),
 		Cache:         cs,
+		Emulator:      es,
 		Endpoints:     eps,
 		PerMethod:     methods,
 		Errors:        errs,

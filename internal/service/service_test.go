@@ -242,14 +242,20 @@ func TestServiceShutdownDrains(t *testing.T) {
 		t.Errorf("in-flight request dropped: %v", err)
 	}
 
-	// The gate is down now.
-	if _, err := srv.Rewrite(context.Background(), reqs[0]); err == nil {
-		// A cache hit is allowed post-shutdown (no pool work); force a miss.
-		fresh := testImages(t, 1)[0]
-		if _, err := srv.Rewrite(context.Background(),
-			&RewriteRequest{Method: "armore", Target: "rv64gcv", EmptyPatch: true, Image: fresh}); !errors.Is(err, ErrShuttingDown) {
-			t.Errorf("post-shutdown cold request: got %v, want ErrShuttingDown", err)
-		}
+	// The gate is down now. A cache hit is allowed post-shutdown (no pool
+	// work); builds are reproducible, so force a genuine miss with an image
+	// no earlier request could have cached.
+	fresh, err := workload.BuildSpec(workload.SpecParams{
+		Name: "svc-post-shutdown", CodeKB: 32, Funcs: 5,
+		VecFuncs: 3, BodyInsts: 20, IndirectEvery: 3, ErrEntryEvery: 10,
+		PressureFuncs: 1, HardPressureFuncs: 1, Rounds: 3, Seed: 4242,
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Rewrite(context.Background(),
+		&RewriteRequest{Method: "armore", Target: "rv64gcv", EmptyPatch: true, Image: fresh}); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("post-shutdown cold request: got %v, want ErrShuttingDown", err)
 	}
 }
 
@@ -347,6 +353,25 @@ func TestServiceRunHTTP(t *testing.T) {
 	}
 	if res.Cycles != wantCycles {
 		t.Errorf("cycles %d, want %d", res.Cycles, wantCycles)
+	}
+
+	// The run must report the hart's block-cache activity, and /stats must
+	// aggregate it.
+	if res.Blocks.Dispatches == 0 || res.Blocks.Retired == 0 {
+		t.Errorf("run result block counters empty: %+v", res.Blocks)
+	}
+	if res.EmulatedMIPS <= 0 {
+		t.Errorf("emulated MIPS not reported: %v", res.EmulatedMIPS)
+	}
+	st := srv.Stats()
+	if st.Emulator.Runs != 1 || st.Emulator.Instret != res.Instret {
+		t.Errorf("stats emulator aggregate %+v, want 1 run with instret %d", st.Emulator, res.Instret)
+	}
+	if st.Emulator.Blocks != res.Blocks {
+		t.Errorf("stats blocks %+v != run blocks %+v", st.Emulator.Blocks, res.Blocks)
+	}
+	if st.Emulator.BlockHitRatio <= 0 || st.Emulator.RetiredPerDispatch <= 0 {
+		t.Errorf("derived block metrics not populated: %+v", st.Emulator)
 	}
 }
 

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Emulator benchmark harness: runs the BenchmarkCPURun* emulated-MIPS
+# benchmarks and the BenchmarkService* suite, and distills the results into
+# BENCH_emu.json (per benchmark: ns/op, emulated MIPS, ns per retired
+# instruction, allocs/op). Run from anywhere; writes to the repo root.
+#
+#   scripts/bench.sh                # default -benchtime
+#   BENCHTIME=5s scripts/bench.sh   # longer runs for stable numbers
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench CPURun (internal/emu, -benchtime $BENCHTIME)"
+go test -run=- -bench='BenchmarkCPURun' -benchmem -benchtime "$BENCHTIME" \
+    ./internal/emu/ | tee "$RAW"
+
+echo "== go test -bench Service (internal/service)"
+go test -run=- -bench='BenchmarkService' -benchmem -benchtime 1x \
+    ./internal/service/ | tee -a "$RAW"
+
+# Distill `go test -bench` lines into JSON. Lines look like:
+#   BenchmarkCPURunFib/blocks-8  865  3062081 ns/op  148.6 Minst/s  6.730 ns/inst  7 B/op  0 allocs/op
+awk '
+BEGIN { print "{"; print "  \"benchmarks\": ["; n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    nsop = ""; mips = ""; nsinst = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")      nsop = $i
+        if ($(i+1) == "Minst/s")    mips = $i
+        if ($(i+1) == "ns/inst")    nsinst = $i
+        if ($(i+1) == "allocs/op")  allocs = $i
+    }
+    if (nsop == "") next
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, nsop
+    if (mips != "")   printf ", \"emulated_mips\": %s", mips
+    if (nsinst != "") printf ", \"ns_per_inst\": %s", nsinst
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n  ]"; print "}" }
+' "$RAW" > BENCH_emu.json
+
+echo "== wrote BENCH_emu.json"
+cat BENCH_emu.json

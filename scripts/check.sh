@@ -10,4 +10,6 @@ echo "== go build ./..."
 go build ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== bench smoke (1 iteration)"
+go test -run=- -bench=. -benchtime=1x ./... >/dev/null
 echo "== ok"

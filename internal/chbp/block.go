@@ -279,104 +279,10 @@ func buildSiteBlock(site *patchSite, gp uint64, env *exitEnv, ctx *translate.Con
 		return nil
 	}
 
-	if site.upgrade != nil {
-		// Upgrade site (Fig. 6b): translated replacement, normal exit to the
-		// region end, then relocated copies of the overwritten sources for
-		// erroneous entries, exiting to the first intact original address.
-		for _, in := range site.upgrade.Replacement {
-			bb.emit(in)
-		}
-		last := site.region[len(site.region)-1]
-		if err := endExit(last.addr, site.regionEnd); err != nil {
-			return nil, err
-		}
-		// Erroneous-entry chain. Overwritten extension instructions cannot
-		// be copied verbatim (the block must run on the target core): they
-		// are translated instruction-by-instruction; execution continuing
-		// past the space into untouched extension instructions is caught by
-		// the kernel's runtime-rewriting net.
-		overwritten := overwrittenItems(site)
-		if len(overwritten) > 0 {
-			for _, it := range overwritten {
-				bb.key(it.addr)
-				if !emptyPatch && it.inst.IsVector() {
-					seq, err := translate.Downgrade(it.inst, it.sew, ctx)
-					if err != nil {
-						return nil, err
-					}
-					for _, in := range seq {
-						bb.emit(in)
-					}
-					continue
-				}
-				if c := bb.relocate(it.inst, it.addr); c != nil {
-					return nil, fmt.Errorf("chbp: control flow inside trampoline space at %#x", it.addr)
-				}
-			}
-			// Resume at the first non-overwritten original instruction; the
-			// exit register must be dead at that point.
-			lastOv := overwritten[len(overwritten)-1]
-			reg, newResume, extra, res := chooseExit(env, lastOv.addr, site.spaceEnd)
-			agg.deadRegFailTraditional = agg.deadRegFailTraditional || res.deadRegFailTraditional
-			agg.deadRegFailShifted = agg.deadRegFailShifted || res.deadRegFailShifted
-			agg.exitShifted += res.exitShifted
-			for _, it := range extra {
-				bb.relocate(it.inst, it.addr)
-			}
-			if res.deadRegFailShifted {
-				agg.trapExits++
-				bb.exitTrap(site.spaceEnd)
-			} else {
-				bb.exitJump(newResume, reg)
-			}
-		}
-		site.block = bb.b
-		return agg, nil
-	}
-
-	// Downgrade / empty-patch site (Fig. 6a): walk the region in original
-	// order, translating sources and relocating everything else. Overwritten
-	// instructions get fault-table keys pointing at their copies, whose
-	// continuation in the block matches the original program order.
-	for i, it := range site.region {
-		bb.b.pos[it.addr] = len(bb.b.insts)
-		if it.addr > site.start && it.addr < site.spaceEnd {
-			bb.key(it.addr)
-		}
-		if it.isSource {
-			if err := translateSource(it); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		c := bb.relocate(it.inst, it.addr)
-		if c == nil {
-			continue
-		}
-		if i != len(site.region)-1 {
-			return nil, fmt.Errorf("chbp: control flow in the middle of a region at %#x", it.addr)
-		}
-		// The region ends in relocated control flow.
-		last := it
-		// A back edge whose target the region itself covers becomes an
-		// intra-block branch: the loop spins inside the target block with
-		// no per-iteration trampoline crossing (the full benefit of the
-		// §4.2 batching optimization).
-		if tgtIdx, ok := bb.b.pos[c.taken]; ok && c.conditional {
-			brIdx := len(bb.b.insts)
-			delta := int64(tgtIdx-brIdx) * 4
-			if delta >= -4000 && delta < 4000 {
-				br := last.inst
-				br.Len = 4
-				br.Imm = delta
-				bb.emit(br)
-				if err := endExit(last.addr, site.regionEnd); err != nil {
-					return nil, err
-				}
-				site.block = bb.b
-				return agg, nil
-			}
-		}
+	// terminalExit emits the exit legs for a relocated control-flow
+	// instruction ending a copy sequence (shared by the normal region walk
+	// and the erroneous-entry chain).
+	terminalExit := func(last regionItem, c *control) error {
 		switch {
 		case c.conditional:
 			// Branch: two exits with independently scavenged registers. The
@@ -416,8 +322,7 @@ func buildSiteBlock(site *patchSite, gp uint64, env *exitEnv, ctx *translate.Con
 			}
 			bb.b.insts[brIdx].Imm = int64(takenIdx-brIdx) * 4
 			bb.b.normalResume = fallthrough_
-			site.block = bb.b
-			return agg, nil
+			return nil
 		case c.call:
 			// relocate() already set ra to the original return address; jump
 			// to the callee through a register dead before the call.
@@ -429,8 +334,7 @@ func buildSiteBlock(site *patchSite, gp uint64, env *exitEnv, ctx *translate.Con
 				bb.exitJump(c.taken, reg)
 			}
 			bb.b.normalResume = 0 // control left the block
-			site.block = bb.b
-			return agg, nil
+			return nil
 		default:
 			// Unconditional direct jump.
 			reg, ok := env.la.DeadAfter(last.addr)
@@ -444,17 +348,154 @@ func buildSiteBlock(site *patchSite, gp uint64, env *exitEnv, ctx *translate.Con
 				bb.exitJump(c.taken, reg)
 			}
 			bb.b.normalResume = 0
-			site.block = bb.b
-			return agg, nil
+			return nil
 		}
+	}
+
+	// emitErroneousChain appends the upgrade site's erroneous-entry chain
+	// (Fig. 6b): verbatim relocated copies of every overwritten instruction,
+	// so a mid-space entry (P1/P2) re-executes the original semantics and
+	// exits at the first intact address. Overwritten extension instructions
+	// cannot be copied verbatim (the block must run on the target core);
+	// they are translated instruction-by-instruction.
+	emitErroneousChain := func() error {
+		overwritten := overwrittenItems(site)
+		if len(overwritten) == 0 {
+			return nil
+		}
+		// The chain's exits must not disturb the block's recorded normal
+		// resume point (the §4.3 migration probe).
+		savedResume := bb.b.normalResume
+		defer func() { bb.b.normalResume = savedResume }()
+		for i, it := range overwritten {
+			bb.key(it.addr)
+			if !emptyPatch && it.inst.IsVector() {
+				seq, err := translate.Downgrade(it.inst, it.sew, ctx)
+				if err != nil {
+					return err
+				}
+				for _, in := range seq {
+					bb.emit(in)
+				}
+				continue
+			}
+			c := bb.relocate(it.inst, it.addr)
+			if c == nil {
+				continue
+			}
+			if i != len(overwritten)-1 {
+				return fmt.Errorf("chbp: control flow inside trampoline space at %#x", it.addr)
+			}
+			// Trampoline space ending in control flow (a branch completing
+			// the 8 bytes): exit through its legs like the normal walk.
+			return terminalExit(it, c)
+		}
+		// Resume at the first non-overwritten original instruction; the
+		// exit register must be dead at that point.
+		lastOv := overwritten[len(overwritten)-1]
+		reg, newResume, extra, res := chooseExit(env, lastOv.addr, site.spaceEnd)
+		agg.deadRegFailTraditional = agg.deadRegFailTraditional || res.deadRegFailTraditional
+		agg.deadRegFailShifted = agg.deadRegFailShifted || res.deadRegFailShifted
+		agg.exitShifted += res.exitShifted
+		for _, it := range extra {
+			bb.relocate(it.inst, it.addr)
+		}
+		if res.deadRegFailShifted {
+			agg.trapExits++
+			bb.exitTrap(site.spaceEnd)
+		} else {
+			bb.exitJump(newResume, reg)
+		}
+		return nil
+	}
+
+	// finish seals the block, appending the erroneous-entry chain for
+	// upgrade sites (their normal path holds the idiom replacement, which a
+	// mid-space entry must never land in).
+	finish := func() (*buildResult, error) {
+		if site.upgrade != nil {
+			if err := emitErroneousChain(); err != nil {
+				return nil, err
+			}
+		}
+		site.block = bb.b
+		return agg, nil
+	}
+
+	// Walk the region in original order, translating sources and relocating
+	// everything else (Fig. 6a). Overwritten instructions get fault-table
+	// keys pointing at their copies, whose continuation in the block matches
+	// the original program order. For an upgrade site (Fig. 6b) the idiom
+	// instructions collapse into their translated replacement; any other
+	// region instructions — leading ones claimed by a general-register pair,
+	// trailing ones when the idiom is shorter than the 8-byte trampoline (a
+	// compressed slli+add pair, say) — are still part of the normal path and
+	// are copied in order around the replacement.
+	var idiomStart, idiomLast uint64
+	if site.upgrade != nil {
+		idiomStart = site.upgrade.Addrs[0]
+		idiomLast = site.upgrade.Addrs[len(site.upgrade.Addrs)-1]
+	}
+	for i, it := range site.region {
+		if site.upgrade != nil && it.addr >= idiomStart && it.addr <= idiomLast {
+			// Mid-idiom entries redirect into the erroneous chain, never the
+			// replacement, so only the idiom head records a position.
+			if it.addr == idiomStart {
+				bb.b.pos[it.addr] = len(bb.b.insts)
+				for _, in := range site.upgrade.Replacement {
+					bb.emit(in)
+				}
+			}
+			continue
+		}
+		bb.b.pos[it.addr] = len(bb.b.insts)
+		if it.addr > site.start && it.addr < site.spaceEnd {
+			bb.key(it.addr)
+		}
+		if it.isSource {
+			if err := translateSource(it); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		c := bb.relocate(it.inst, it.addr)
+		if c == nil {
+			continue
+		}
+		if i != len(site.region)-1 {
+			return nil, fmt.Errorf("chbp: control flow in the middle of a region at %#x", it.addr)
+		}
+		// The region ends in relocated control flow.
+		last := it
+		// A back edge whose target the region itself covers becomes an
+		// intra-block branch: the loop spins inside the target block with
+		// no per-iteration trampoline crossing (the full benefit of the
+		// §4.2 batching optimization).
+		if tgtIdx, ok := bb.b.pos[c.taken]; ok && c.conditional {
+			brIdx := len(bb.b.insts)
+			delta := int64(tgtIdx-brIdx) * 4
+			if delta >= -4000 && delta < 4000 {
+				br := last.inst
+				br.Len = 4
+				br.Imm = delta
+				bb.emit(br)
+				if err := endExit(last.addr, site.regionEnd); err != nil {
+					return nil, err
+				}
+				return finish()
+			}
+		}
+		if err := terminalExit(last, c); err != nil {
+			return nil, err
+		}
+		return finish()
 	}
 
 	last := site.region[len(site.region)-1]
 	if err := endExit(last.addr, site.regionEnd); err != nil {
 		return nil, err
 	}
-	site.block = bb.b
-	return agg, nil
+	return finish()
 }
 
 // overwrittenItems returns the region items whose original bytes the

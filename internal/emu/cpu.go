@@ -45,6 +45,16 @@ func (f Fault) String() string {
 	return fmt.Sprintf("%v at pc=%#x addr=%#x (%v)", f.Kind, f.PC, f.Addr, f.Err)
 }
 
+// IllegalInst returns the typed illegal-encoding error behind the fault, if
+// any, so reports can show the raw offending bits rather than a message.
+func (f Fault) IllegalInst() (*riscv.IllegalInstError, bool) {
+	var ie *riscv.IllegalInstError
+	if errors.As(f.Err, &ie) {
+		return ie, true
+	}
+	return nil, false
+}
+
 // StopKind says why CPU.Run returned.
 type StopKind uint8
 
@@ -172,7 +182,10 @@ func (c *CPU) Step() (Stop, bool) {
 	if ilen == 2 {
 		inst, err = riscv.DecodeCompressed(parcel)
 		if err == nil && !c.ISA.Has(riscv.ExtC) {
-			err = fmt.Errorf("%w: compressed instruction on core without C", riscv.ErrIllegal)
+			err = &riscv.IllegalInstError{
+				Raw: uint32(parcel), Width: 2, Reason: riscv.ErrIllegal,
+				Detail: "compressed instruction on core without C",
+			}
 		}
 	} else {
 		if fa, ok := c.Mem.Fetch(c.PC+2, ibuf[2:4]); !ok {

@@ -1,0 +1,76 @@
+package emu_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/asm"
+	"github.com/eurosys26p57/chimera/internal/emu"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// TestFaultCarriesEncoding checks that an illegal encoding reaching the
+// fetch path faults with a typed IllegalInstError exposing the raw bits —
+// the contract fuzz divergence reports rely on.
+func TestFaultCarriesEncoding(t *testing.T) {
+	const badWord = 0x0000002F // AMO opcode, not in the supported subset
+	b := asm.NewBuilder(riscv.RV64GC)
+	b.Func("main")
+	b.Nop()
+	b.Raw(badWord)
+	img, err := b.Build("fault-test", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, interp := range []bool{true, false} {
+		mem := emu.NewMemory()
+		mem.MapImage(img)
+		cpu := emu.NewCPU(mem, riscv.RV64GC)
+		cpu.Interp = interp
+		cpu.Reset(img)
+		stop := cpu.Run(100)
+		if stop.Kind != emu.StopFault || stop.Fault.Kind != emu.FaultIllegal {
+			t.Fatalf("interp=%v: stop %+v, want illegal-instruction fault", interp, stop)
+		}
+		ie, ok := stop.Fault.IllegalInst()
+		if !ok {
+			t.Fatalf("interp=%v: fault err %v (%T) is not an IllegalInstError",
+				interp, stop.Fault.Err, stop.Fault.Err)
+		}
+		if ie.Raw != badWord || ie.Width != 4 {
+			t.Errorf("interp=%v: Raw=%#x Width=%d, want Raw=%#x Width=4", interp, ie.Raw, ie.Width, badWord)
+		}
+		if !errors.Is(stop.Fault.Err, riscv.ErrIllegal) {
+			t.Errorf("interp=%v: fault err %v does not wrap ErrIllegal", interp, stop.Fault.Err)
+		}
+		if !strings.Contains(stop.Fault.String(), "0x0000002f") {
+			t.Errorf("interp=%v: fault string %q does not show the encoding", interp, stop.Fault)
+		}
+	}
+}
+
+// TestFaultCompressedWithoutC checks the no-C fault also carries the parcel.
+func TestFaultCompressedWithoutC(t *testing.T) {
+	b := asm.NewBuilder(riscv.RV64GC)
+	b.Compress = true
+	b.Func("main")
+	b.Imm(riscv.ADDI, riscv.A0, riscv.A0, 1) // compressible: c.addi
+	b.Ecall()
+	img, err := b.Build("noc-test", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := emu.NewMemory()
+	mem.MapImage(img)
+	cpu := emu.NewCPU(mem, riscv.RV64G) // no C extension
+	cpu.Reset(img)
+	stop := cpu.Run(100)
+	if stop.Kind != emu.StopFault || stop.Fault.Kind != emu.FaultIllegal {
+		t.Fatalf("stop %+v, want illegal-instruction fault", stop)
+	}
+	ie, ok := stop.Fault.IllegalInst()
+	if !ok || ie.Width != 2 {
+		t.Fatalf("fault err %v: want a 2-byte IllegalInstError", stop.Fault.Err)
+	}
+}

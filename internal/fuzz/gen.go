@@ -1,0 +1,131 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config bounds the shape of generated programs. The defaults keep single
+// seeds cheap enough that `chimera-fuzz -n 500` runs all three oracle axes
+// in seconds, while still covering every adversarial construct.
+type Config struct {
+	MaxFuncs int // functions per program (≥1)
+	MaxSteps int // steps per function body
+	MaxRound int // main-loop rounds (≥1)
+}
+
+// DefaultConfig is the chimera-fuzz and go-test default.
+func DefaultConfig() Config {
+	return Config{MaxFuncs: 3, MaxSteps: 18, MaxRound: 3}
+}
+
+var genAlu = []string{
+	"add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+	"mul", "mulh", "mulhu", "div", "divu", "rem", "remu",
+	"addw", "subw", "sllw", "srlw", "sraw", "mulw", "divw", "remw",
+}
+var genAluImm = []string{
+	"addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli", "srai",
+	"addiw", "slliw", "srliw", "sraiw",
+}
+var genLoad = []string{"lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"}
+var genStore = []string{"sb", "sh", "sw", "sd"}
+var genBranch = []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+
+// Generate derives a program spec deterministically from the seed. The same
+// (seed, cfg) always yields the same spec, which is what makes JSON corpus
+// entries and minimized reproducers reproducible from the seed alone.
+func Generate(seed int64, cfg Config) Spec {
+	if cfg.MaxFuncs < 1 {
+		cfg = DefaultConfig()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := Spec{
+		Name:     fmt.Sprintf("fuzz-%d", seed),
+		Seed:     seed,
+		Compress: rng.Intn(2) == 0,
+		Vector:   rng.Intn(3) > 0, // 2/3 of specs carry vector blocks
+		Rounds:   1 + int64(rng.Intn(cfg.MaxRound)),
+		Indirect: rng.Intn(2) == 0,
+	}
+	nf := 1 + rng.Intn(cfg.MaxFuncs)
+	for i := 0; i < nf; i++ {
+		s.Funcs = append(s.Funcs, genFunc(rng, cfg, s.Vector))
+	}
+	if s.Vector {
+		// Publish one vector block head as a legal mid-region entry point
+		// half the time (the P1 erroneous-execution path).
+		if rng.Intn(2) == 0 {
+			for i := range s.Funcs {
+				if hasVec(&s.Funcs[i]) {
+					s.Funcs[i].MidEntry = true
+					break
+				}
+			}
+		}
+	}
+	return s
+}
+
+func hasVec(f *FuncSpec) bool {
+	for _, st := range f.Body {
+		if st.Kind == StepVec {
+			return true
+		}
+	}
+	return false
+}
+
+func genFunc(rng *rand.Rand, cfg Config, vector bool) FuncSpec {
+	var f FuncSpec
+	n := rng.Intn(cfg.MaxSteps + 1)
+	for j := 0; j < n; j++ {
+		f.Body = append(f.Body, genStep(rng, vector))
+	}
+	return f
+}
+
+func genStep(rng *rand.Rand, vector bool) Step {
+	regs := func(s *Step) {
+		s.Rd, s.Rs1, s.Rs2 = rng.Intn(8), rng.Intn(8), rng.Intn(8)
+	}
+	w := rng.Intn(100)
+	var s Step
+	switch {
+	case w < 28:
+		s = Step{Kind: StepALU, Op: genAlu[rng.Intn(len(genAlu))]}
+		regs(&s)
+	case w < 46:
+		s = Step{Kind: StepALUImm, Op: genAluImm[rng.Intn(len(genAluImm))], Imm: int64(rng.Intn(4096) - 2048)}
+		regs(&s)
+	case w < 56:
+		s = Step{Kind: StepLoad, Op: genLoad[rng.Intn(len(genLoad))], Imm: int64(rng.Intn(arenaInts * 8))}
+		regs(&s)
+	case w < 66:
+		s = Step{Kind: StepStore, Op: genStore[rng.Intn(len(genStore))], Imm: int64(rng.Intn(arenaInts * 8))}
+		regs(&s)
+	case w < 70:
+		s = Step{Kind: StepGPLoad, Imm: int64(rng.Intn(4096) - 2048)}
+		regs(&s)
+	case w < 74:
+		s = Step{Kind: StepGPStore, Imm: int64(rng.Intn(4096) - 2048)}
+		regs(&s)
+	case w < 82:
+		s = Step{Kind: StepBranch, Op: genBranch[rng.Intn(len(genBranch))], N: 1 + rng.Intn(4)}
+		regs(&s)
+	case w < 88:
+		s = Step{Kind: StepLoop, N: 1 + rng.Intn(4), Imm: int64(2 + rng.Intn(4))}
+	case w < 93:
+		s = Step{Kind: StepShadd, Imm: int64(1 + rng.Intn(3))}
+		regs(&s)
+	case w < 96:
+		s = Step{Kind: StepDot}
+	default:
+		if vector {
+			s = Step{Kind: StepVec, N: 4 * (1 + rng.Intn(vecElems/4))}
+		} else {
+			s = Step{Kind: StepDot}
+		}
+	}
+	return s
+}

@@ -1,0 +1,182 @@
+package fuzz
+
+// Minimize delta-debugs a diverging spec: it shrinks the structured program
+// description (never raw bytes) while the keep predicate still reproduces
+// the divergence. keep must return true when the candidate spec still
+// exhibits the failure; candidates that fail to assemble are never passed
+// to keep.
+//
+// The reduction loop runs to a fixpoint: drop whole functions, strip the
+// global knobs (indirect dispatch, mid entry, rounds), ddmin-remove chunks
+// of each function body, and shrink vector blocks to their minimal
+// non-looped form. Evaluations are capped so a flaky predicate cannot spin
+// forever.
+func Minimize(spec Spec, keep func(Spec) bool) Spec {
+	m := &minimizer{keep: keep, budget: 2000}
+	cur := spec
+	for {
+		next, changed := m.pass(cur)
+		if !changed || m.budget <= 0 {
+			return next
+		}
+		cur = next
+	}
+}
+
+type minimizer struct {
+	keep   func(Spec) bool
+	budget int
+}
+
+// try reports whether the candidate still reproduces, charging the
+// evaluation budget. Unassemblable candidates are rejected for free.
+func (m *minimizer) try(s Spec) bool {
+	if m.budget <= 0 {
+		return false
+	}
+	if _, _, err := s.Assemble(); err != nil {
+		return false
+	}
+	m.budget--
+	return m.keep(s)
+}
+
+// pass runs one full reduction sweep. It returns the (possibly) smaller
+// spec and whether anything shrank.
+func (m *minimizer) pass(cur Spec) (Spec, bool) {
+	changed := false
+
+	// Drop whole functions, largest index first so earlier indices stay
+	// stable while iterating.
+	for i := len(cur.Funcs) - 1; i >= 0; i-- {
+		if len(cur.Funcs) == 1 {
+			break
+		}
+		cand := cloneSpec(cur)
+		cand.Funcs = append(cand.Funcs[:i], cand.Funcs[i+1:]...)
+		if m.try(cand) {
+			cur = cand
+			changed = true
+		}
+	}
+
+	// Strip global knobs.
+	for _, mutate := range []func(*Spec) bool{
+		func(s *Spec) bool {
+			if !s.Indirect {
+				return false
+			}
+			s.Indirect = false
+			return true
+		},
+		func(s *Spec) bool {
+			any := false
+			for i := range s.Funcs {
+				if s.Funcs[i].MidEntry {
+					s.Funcs[i].MidEntry = false
+					any = true
+				}
+			}
+			return any
+		},
+		func(s *Spec) bool {
+			if s.Rounds <= 1 {
+				return false
+			}
+			s.Rounds = 1
+			return true
+		},
+		func(s *Spec) bool {
+			if !s.Compress {
+				return false
+			}
+			s.Compress = false
+			return true
+		},
+	} {
+		cand := cloneSpec(cur)
+		if !mutate(&cand) {
+			continue
+		}
+		if m.try(cand) {
+			cur = cand
+			changed = true
+		}
+	}
+
+	// ddmin over each function body: remove chunks, halving the chunk size
+	// down to single steps.
+	for i := range cur.Funcs {
+		body, shrunk := m.ddmin(cur, i)
+		if shrunk {
+			cur.Funcs[i].Body = body
+			changed = true
+		}
+	}
+
+	// Shrink vector blocks to the non-looped 4-element form and zero out
+	// incidental immediates (smaller JSON, stabler reproducers).
+	for i := range cur.Funcs {
+		for j := range cur.Funcs[i].Body {
+			st := cur.Funcs[i].Body[j]
+			if st.Kind == StepVec && st.N > 4 {
+				cand := cloneSpec(cur)
+				cand.Funcs[i].Body[j].N = 4
+				if m.try(cand) {
+					cur = cand
+					changed = true
+				}
+			}
+			if st.Kind == StepLoop && st.Imm > 1 {
+				cand := cloneSpec(cur)
+				cand.Funcs[i].Body[j].Imm = 1
+				if m.try(cand) {
+					cur = cand
+					changed = true
+				}
+			}
+		}
+	}
+	return cur, changed
+}
+
+// ddmin removes chunks from one function body while the divergence holds.
+func (m *minimizer) ddmin(cur Spec, fi int) ([]Step, bool) {
+	body := cur.Funcs[fi].Body
+	shrunk := false
+	for chunk := (len(body) + 1) / 2; chunk >= 1; {
+		removedAny := false
+		for start := 0; start < len(body); {
+			end := start + chunk
+			if end > len(body) {
+				end = len(body)
+			}
+			cand := cloneSpec(cur)
+			nb := append(append([]Step(nil), body[:start]...), body[end:]...)
+			cand.Funcs[fi].Body = nb
+			if m.try(cand) {
+				body = nb
+				cur.Funcs[fi].Body = nb
+				shrunk, removedAny = true, true
+				// Do not advance: the next chunk slid into this position.
+			} else {
+				start = end
+			}
+		}
+		if !removedAny {
+			chunk /= 2
+		}
+	}
+	return body, shrunk
+}
+
+// cloneSpec deep-copies a spec so candidate mutations never alias the
+// current best reproducer.
+func cloneSpec(s Spec) Spec {
+	out := s
+	out.Funcs = make([]FuncSpec, len(s.Funcs))
+	for i, f := range s.Funcs {
+		out.Funcs[i] = FuncSpec{MidEntry: f.MidEntry, Body: append([]Step(nil), f.Body...)}
+	}
+	return out
+}

@@ -1,0 +1,527 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"github.com/eurosys26p57/chimera/internal/chbp"
+	"github.com/eurosys26p57/chimera/internal/emu"
+	"github.com/eurosys26p57/chimera/internal/kernel"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/rewriters"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// Oracle axis names.
+const (
+	AxisEngines   = "engines"   // interpreter vs. block engine, lockstep
+	AxisRewriters = "rewriters" // original vs. rewritten images, end state
+	AxisMigration = "migration" // fault-and-migrate vs. single-core reference
+)
+
+// TraceEntry is one retired instruction (or kernel event) in an execution
+// trace attached to a divergence report.
+type TraceEntry struct {
+	PC      uint64 `json:"pc"`
+	Instret uint64 `json:"instret"`
+	Inst    string `json:"inst"`
+}
+
+// ExecReport is the observable outcome of one execution, attached to both
+// sides of a divergence.
+type ExecReport struct {
+	Label    string       `json:"label"`
+	Exited   bool         `json:"exited"`
+	ExitCode uint64       `json:"exitcode"`
+	Output   string       `json:"output,omitempty"`
+	PC       uint64       `json:"pc"`
+	Instret  uint64       `json:"instret"`
+	Cycles   uint64       `json:"cycles"`
+	DataHash uint64       `json:"datahash"`
+	Hang     bool         `json:"hang,omitempty"`     // exceeded the spec budget
+	SimError string       `json:"simerror,omitempty"` // simulator-level failure
+	Trace    []TraceEntry `json:"trace,omitempty"`    // tail of the execution
+}
+
+// Divergence is one oracle finding: two executions of the same spec that
+// should agree but do not. It serializes to JSON for chimera-fuzz reports.
+type Divergence struct {
+	Axis   string      `json:"axis"`
+	Seed   int64       `json:"seed"`
+	Detail string      `json:"detail"`
+	Spec   *Spec       `json:"spec"`
+	A      *ExecReport `json:"a,omitempty"`
+	B      *ExecReport `json:"b,omitempty"`
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf("[%s] seed=%d: %s", d.Axis, d.Seed, d.Detail)
+}
+
+// traceLen bounds the retained execution-trace tail in divergence reports.
+const traceLen = 48
+
+// runSlice is the scheduling quantum for non-lockstep oracle runs.
+const runSlice = 100_000
+
+// lockSlice is the lockstep comparison quantum: a prime, so slice
+// boundaries drift across loop iterations instead of resonating with them.
+const lockSlice = 1021
+
+// newProc loads a single variant and pins the hart to the given core ISA.
+func newProc(v kernel.Variant, coreISA riscv.Ext, interp bool) (*kernel.Process, error) {
+	p, err := kernel.NewProcess(v.Image.Name, []kernel.Variant{v})
+	if err != nil {
+		return nil, err
+	}
+	p.CPU.ISA = coreISA
+	p.CPU.Interp = interp
+	return p, nil
+}
+
+// runToEnd drives a process until exit or until the instruction budget is
+// exceeded (reported as a hang — generated programs terminate by
+// construction, so only a broken rewrite or engine can loop).
+func runToEnd(p *kernel.Process, budget uint64) (hang bool, simErr error) {
+	for !p.Exited {
+		if p.CPU.Instret >= budget {
+			return true, nil
+		}
+		_, st, err := p.Run(runSlice)
+		if err != nil {
+			return false, err
+		}
+		switch st {
+		case kernel.StatusExited:
+			return false, nil
+		case kernel.StatusNeedMigration:
+			return false, fmt.Errorf("unexpected migration request at %#x", p.CPU.PC)
+		}
+	}
+	return false, nil
+}
+
+// report snapshots a process into an ExecReport. The data hash always walks
+// the ORIGINAL image's writable sections (rewriters preserve data
+// placement), so hashes are comparable across variants.
+func report(label string, p *kernel.Process, orig *obj.Image, hang bool, simErr error) *ExecReport {
+	r := &ExecReport{
+		Label:    label,
+		Exited:   p.Exited,
+		ExitCode: p.ExitCode,
+		Output:   string(p.Output),
+		PC:       p.CPU.PC,
+		Instret:  p.CPU.Instret,
+		Cycles:   p.CPU.Cycles,
+		DataHash: dataHash(p.CPU.Mem, orig),
+		Hang:     hang,
+	}
+	if simErr != nil {
+		r.SimError = simErr.Error()
+	}
+	return r
+}
+
+// dataHash FNV-1a-hashes the final contents of the original image's
+// writable sections as seen by the given memory.
+func dataHash(m *emu.Memory, orig *obj.Image) uint64 {
+	h := uint64(14695981039346656037)
+	for _, s := range orig.Sections {
+		if s.Perm&obj.PermW == 0 || len(s.Data) == 0 {
+			continue
+		}
+		buf := make([]byte, len(s.Data))
+		if _, ok := m.Read(s.Addr, buf); !ok {
+			continue
+		}
+		for _, b := range buf {
+			h ^= uint64(b)
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// capture re-runs a fresh process one instruction at a time and returns the
+// trace tail ending at the divergence point.
+func capture(mk func() (*kernel.Process, error), until uint64, budget uint64) []TraceEntry {
+	p, err := mk()
+	if err != nil {
+		return nil
+	}
+	var ring []TraceEntry
+	push := func(e TraceEntry) {
+		if len(ring) == traceLen {
+			copy(ring, ring[1:])
+			ring = ring[:traceLen-1]
+		}
+		ring = append(ring, e)
+	}
+	for steps := uint64(0); !p.Exited && p.CPU.Instret <= until && steps < budget*4+1000; steps++ {
+		pc := p.CPU.PC
+		before := p.CPU.Instret
+		if _, st, err := p.Run(1); err != nil || st == kernel.StatusNeedMigration {
+			push(TraceEntry{PC: pc, Instret: p.CPU.Instret, Inst: "(simulator stop)"})
+			break
+		}
+		if p.CPU.Instret == before {
+			// A fault, trap, or signal was serviced without retiring.
+			push(TraceEntry{PC: pc, Instret: p.CPU.Instret, Inst: "(kernel event)"})
+			continue
+		}
+		push(TraceEntry{PC: pc, Instret: p.CPU.Instret, Inst: p.CPU.LastInst.String()})
+	}
+	return ring
+}
+
+// stateDiff compares full architectural state plus process observables.
+// Empty means identical.
+func stateDiff(a, b *kernel.Process) string {
+	ca, cb := a.CPU, b.CPU
+	switch {
+	case a.Exited != b.Exited:
+		return fmt.Sprintf("exited %v vs %v", a.Exited, b.Exited)
+	case a.ExitCode != b.ExitCode:
+		return fmt.Sprintf("exit code %d vs %d", a.ExitCode, b.ExitCode)
+	case string(a.Output) != string(b.Output):
+		return fmt.Sprintf("output %q vs %q", a.Output, b.Output)
+	case ca.PC != cb.PC:
+		return fmt.Sprintf("pc %#x vs %#x", ca.PC, cb.PC)
+	case ca.Instret != cb.Instret:
+		return fmt.Sprintf("instret %d vs %d", ca.Instret, cb.Instret)
+	case ca.Cycles != cb.Cycles:
+		return fmt.Sprintf("cycles %d vs %d", ca.Cycles, cb.Cycles)
+	case ca.VL != cb.VL || ca.VT != cb.VT:
+		return fmt.Sprintf("vl/vtype (%d,%#x) vs (%d,%#x)", ca.VL, ca.VT, cb.VL, cb.VT)
+	}
+	for i := 0; i < 32; i++ {
+		if ca.X[i] != cb.X[i] {
+			return fmt.Sprintf("x%d %#x vs %#x", i, ca.X[i], cb.X[i])
+		}
+	}
+	for i := 0; i < 32; i++ {
+		if ca.F[i] != cb.F[i] {
+			return fmt.Sprintf("f%d %#x vs %#x", i, ca.F[i], cb.F[i])
+		}
+	}
+	if ca.V != cb.V {
+		return "vector register files differ"
+	}
+	return ""
+}
+
+// DiffEngines is oracle axis A: the per-instruction interpreter and the
+// basic-block engine must produce bit-identical state trajectories on the
+// same image. Compared at every lockstep slice boundary.
+func (s *Spec) DiffEngines() (*Divergence, error) {
+	img, budget, err := s.Assemble()
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: assemble: %w", err)
+	}
+	v, err := kernel.VariantFromImage(img)
+	if err != nil {
+		return nil, err
+	}
+	isa := img.ISA
+	mk := func(interp bool) func() (*kernel.Process, error) {
+		return func() (*kernel.Process, error) { return newProc(v, isa, interp) }
+	}
+	a, err := mk(true)()
+	if err != nil {
+		return nil, err
+	}
+	b, err := mk(false)()
+	if err != nil {
+		return nil, err
+	}
+	for !a.Exited || !b.Exited {
+		if a.CPU.Instret >= budget || b.CPU.Instret >= budget {
+			break
+		}
+		if _, _, err := a.Run(lockSlice); err != nil {
+			return nil, fmt.Errorf("fuzz: interpreter: %w", err)
+		}
+		if _, _, err := b.Run(lockSlice); err != nil {
+			return nil, fmt.Errorf("fuzz: block engine: %w", err)
+		}
+		if diff := stateDiff(a, b); diff != "" {
+			until := a.CPU.Instret
+			if b.CPU.Instret > until {
+				until = b.CPU.Instret
+			}
+			ra := report("interpreter", a, img, false, nil)
+			rb := report("block-engine", b, img, false, nil)
+			ra.Trace = capture(mk(true), until, budget)
+			rb.Trace = capture(mk(false), until, budget)
+			return &Divergence{
+				Axis: AxisEngines, Seed: s.Seed, Spec: s,
+				Detail: "engine state divergence: " + diff,
+				A:      ra, B: rb,
+			}, nil
+		}
+	}
+	hangA, hangB := !a.Exited, !b.Exited
+	if hangA || hangB {
+		return &Divergence{
+			Axis: AxisEngines, Seed: s.Seed, Spec: s,
+			Detail: fmt.Sprintf("budget %d exceeded (interp hang=%v, blocks hang=%v)", budget, hangA, hangB),
+			A:      report("interpreter", a, img, hangA, nil),
+			B:      report("block-engine", b, img, hangB, nil),
+		}, nil
+	}
+	return nil, nil
+}
+
+// candidate is one rewritten execution configuration for axis B.
+type candidate struct {
+	name    string
+	variant kernel.Variant
+	coreISA riscv.Ext
+}
+
+// rewriteCandidates builds every rewriter configuration the spec can
+// exercise: downgrade rewrites of vector images for base cores (CHBP with
+// SMILE, trap-entry, and general-register trampolines; Safer and ARMore
+// regeneration baselines) and an upgrade rewrite toward a richer ISA. A
+// rewriter returning an error is itself reported as a divergence by the
+// caller, so failures come back as (nil variant, error) pairs.
+func rewriteCandidates(img *obj.Image, vector bool) []struct {
+	c   candidate
+	err error
+} {
+	var out []struct {
+		c   candidate
+		err error
+	}
+	add := func(name string, v kernel.Variant, core riscv.Ext, err error) {
+		out = append(out, struct {
+			c   candidate
+			err error
+		}{candidate{name, v, core}, err})
+	}
+	fromCHBP := func(name string, res *chbp.Result, err error, core riscv.Ext) {
+		if err != nil {
+			add(name, kernel.Variant{}, core, err)
+			return
+		}
+		add(name, kernel.Variant{ISA: res.Image.ISA, Image: res.Image, Tables: res.Tables}, core, nil)
+	}
+	if vector {
+		base := riscv.RV64GC
+		res, err := rewriters.CHBP(img, base, false)
+		fromCHBP("chbp-smile", res, err, base)
+		res, err = rewriters.Strawman(img, base, false)
+		fromCHBP("chbp-trapentry", res, err, base)
+		res, err = chbp.Rewrite(img, chbp.Options{TargetISA: base, Trampoline: chbp.GeneralReg})
+		fromCHBP("chbp-generalreg", res, err, base)
+		if rw, err := rewriters.Safer(img, base, false); err != nil {
+			add("safer", kernel.Variant{}, base, err)
+		} else {
+			add("safer", kernel.Variant{
+				ISA: rw.Image.ISA, Image: rw.Image, Tables: rw.Tables,
+				AddrMap: rw.AddrMap, SaferChecks: true,
+			}, base, nil)
+		}
+		if rw, err := rewriters.ARMore(img, base, false); err != nil {
+			add("armore", kernel.Variant{}, base, err)
+		} else {
+			add("armore", kernel.Variant{
+				ISA: rw.Image.ISA, Image: rw.Image, Tables: rw.Tables, AddrMap: rw.AddrMap,
+			}, base, nil)
+		}
+	}
+	// Upgrade direction: rewrite toward a richer ISA (idiom vectorization,
+	// Zba folding) and run on a core that has it.
+	rich := img.ISA | riscv.ExtV | riscv.ExtB
+	res, err := chbp.Rewrite(img, chbp.Options{TargetISA: rich})
+	fromCHBP("chbp-upgrade", res, err, rich)
+	return out
+}
+
+// DiffRewriters is oracle axis B: every rewriter configuration must
+// preserve the program's observable behavior — exit code, output, and final
+// writable-data contents — against the original image on a matching core.
+func (s *Spec) DiffRewriters() (*Divergence, error) {
+	img, budget, err := s.Assemble()
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: assemble: %w", err)
+	}
+	v, err := kernel.VariantFromImage(img)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := newProc(v, img.ISA, false)
+	if err != nil {
+		return nil, err
+	}
+	hang, simErr := runToEnd(ref, budget)
+	rref := report("original", ref, img, hang, simErr)
+	if simErr != nil || hang {
+		return &Divergence{
+			Axis: AxisRewriters, Seed: s.Seed, Spec: s,
+			Detail: "reference execution did not exit cleanly", A: rref,
+		}, nil
+	}
+	for _, cand := range rewriteCandidates(img, s.Vector) {
+		if d, err := s.diffOneRewrite(img, budget, rref, cand.c, cand.err); d != nil || err != nil {
+			return d, err
+		}
+	}
+	return nil, nil
+}
+
+// CandidateNames lists the axis-B configurations the spec exercises
+// (diagnostics for chimera-fuzz -v and tests).
+func (s *Spec) CandidateNames() []string {
+	var names []string
+	img, _, err := s.Assemble()
+	if err != nil {
+		return nil
+	}
+	for _, c := range rewriteCandidates(img, s.Vector) {
+		names = append(names, c.c.name)
+	}
+	return names
+}
+
+func (s *Spec) diffOneRewrite(orig *obj.Image, budget uint64, rref *ExecReport, c candidate, rwErr error) (*Divergence, error) {
+	if rwErr != nil {
+		return &Divergence{
+			Axis: AxisRewriters, Seed: s.Seed, Spec: s,
+			Detail: fmt.Sprintf("%s: rewriter failed: %v", c.name, rwErr),
+			A:      rref,
+		}, nil
+	}
+	return diffVariantRun(s, orig, budget, rref, c)
+}
+
+// diffVariantRun runs one rewritten candidate and compares end-state
+// observables against the reference report. Split out so tests can diff a
+// hand-built (e.g. deliberately corrupted) variant directly.
+func diffVariantRun(s *Spec, orig *obj.Image, budget uint64, rref *ExecReport, c candidate) (*Divergence, error) {
+	p, err := newProc(c.variant, c.coreISA, false)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: loading %s: %w", c.name, err)
+	}
+	hang, simErr := runToEnd(p, budget)
+	rc := report(c.name, p, orig, hang, simErr)
+	var detail string
+	switch {
+	case simErr != nil:
+		detail = fmt.Sprintf("%s: simulator error: %v", c.name, simErr)
+	case hang:
+		detail = fmt.Sprintf("%s: exceeded budget %d (hang)", c.name, budget)
+	case !p.Exited || rc.ExitCode != rref.ExitCode:
+		detail = fmt.Sprintf("%s: exit code %d vs original %d", c.name, rc.ExitCode, rref.ExitCode)
+	case rc.Output != rref.Output:
+		detail = fmt.Sprintf("%s: output diverged", c.name)
+	case rc.DataHash != rref.DataHash:
+		detail = fmt.Sprintf("%s: final writable-data hash %#x vs original %#x", c.name, rc.DataHash, rref.DataHash)
+	default:
+		return nil, nil
+	}
+	rc.Trace = capture(func() (*kernel.Process, error) {
+		return newProc(c.variant, c.coreISA, false)
+	}, rc.Instret, budget)
+	return &Divergence{
+		Axis: AxisRewriters, Seed: s.Seed, Spec: s,
+		Detail: detail, A: rref, B: rc,
+	}, nil
+}
+
+// DiffMigration is oracle axis C: a task scheduled under fault-and-migrate
+// on a heterogeneous machine (one base, one extension core) must finish in
+// the same architectural state as a single-core reference. Faults do not
+// retire instructions and FAM keeps a single view, so even Instret and
+// Cycles match exactly.
+func (s *Spec) DiffMigration() (*Divergence, error) {
+	img, budget, err := s.Assemble()
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: assemble: %w", err)
+	}
+	v, err := kernel.VariantFromImage(img)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := newProc(v, img.ISA, false)
+	if err != nil {
+		return nil, err
+	}
+	hang, simErr := runToEnd(ref, budget)
+	rref := report("single-core", ref, img, hang, simErr)
+	if simErr != nil || hang {
+		return &Divergence{
+			Axis: AxisMigration, Seed: s.Seed, Spec: s,
+			Detail: "reference execution did not exit cleanly", A: rref,
+		}, nil
+	}
+
+	// Candidate: same binary, scheduled across a base + extension machine.
+	// Submitting to the base pool forces vector specs through the
+	// illegal-instruction fault and a FAM migration mid-run.
+	img2, _, err := s.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	v2, err := kernel.VariantFromImage(img2)
+	if err != nil {
+		return nil, err
+	}
+	p, err := kernel.NewProcess(img2.Name, []kernel.Variant{v2})
+	if err != nil {
+		return nil, err
+	}
+	p.FAM = true
+	sched := kernel.NewScheduler(kernel.NewMachine(1, 1))
+	task := &kernel.Task{Proc: p, NeedsExt: false}
+	sched.Submit(task)
+	if _, err := sched.Run(); err != nil {
+		return &Divergence{
+			Axis: AxisMigration, Seed: s.Seed, Spec: s,
+			Detail: fmt.Sprintf("scheduler error: %v", err),
+			A:      rref, B: report("fault-and-migrate", p, img2, false, err),
+		}, nil
+	}
+	rc := report("fault-and-migrate", p, img2, false, nil)
+	if diff := stateDiff(ref, p); diff != "" {
+		return &Divergence{
+			Axis: AxisMigration, Seed: s.Seed, Spec: s,
+			Detail: "migrated state divergence: " + diff,
+			A:      rref, B: rc,
+		}, nil
+	}
+	if rc.DataHash != rref.DataHash {
+		return &Divergence{
+			Axis: AxisMigration, Seed: s.Seed, Spec: s,
+			Detail: fmt.Sprintf("final writable-data hash %#x vs reference %#x", rc.DataHash, rref.DataHash),
+			A:      rref, B: rc,
+		}, nil
+	}
+	return nil, nil
+}
+
+// Check runs the requested oracle axes in order and returns the first
+// divergence. Axes is a subset of {AxisEngines, AxisRewriters,
+// AxisMigration}; nil means all three.
+func (s *Spec) Check(axes []string) (*Divergence, error) {
+	if axes == nil {
+		axes = []string{AxisEngines, AxisRewriters, AxisMigration}
+	}
+	for _, ax := range axes {
+		var d *Divergence
+		var err error
+		switch ax {
+		case AxisEngines:
+			d, err = s.DiffEngines()
+		case AxisRewriters:
+			d, err = s.DiffRewriters()
+		case AxisMigration:
+			d, err = s.DiffMigration()
+		default:
+			return nil, fmt.Errorf("fuzz: unknown axis %q", ax)
+		}
+		if err != nil || d != nil {
+			return d, err
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,686 @@
+// Package fuzz is Chimera's correctness backbone: a seeded random RV64GC(V)
+// program generator, a lockstep differential oracle with three comparison
+// axes (engine equivalence, rewriter soundness, migration transparency), and
+// a spec-level divergence minimizer.
+//
+// The unit of fuzzing is a Spec — a structured program description, not raw
+// bytes — so every mutation and every delta-debugging step still assembles
+// into a well-formed, terminating image. Specs serialize to JSON with
+// mnemonic opcodes, which is what the regression corpus under testdata/
+// stores.
+package fuzz
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/eurosys26p57/chimera/internal/asm"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// StepKind names one generator construct. A Step is deliberately coarser
+// than one instruction: structured constructs (bounded loops, vector blocks,
+// the upgradable dot idiom) keep every generated program terminating by
+// construction while still producing the adversarial shapes rewriters
+// mishandle — mid-block branch targets, batched vector regions, compressed
+// and uncompressed mixes, gp-relative addressing.
+type StepKind string
+
+// Step kinds.
+const (
+	StepALU     StepKind = "alu"     // R-type op over the scratch pool, folded into a0
+	StepALUImm  StepKind = "alui"    // I-type op over the scratch pool, folded into a0
+	StepLoad    StepKind = "load"    // load from the integer arena
+	StepStore   StepKind = "store"   // store to the integer arena
+	StepGPLoad  StepKind = "gpload"  // ld rd, off(gp): gp-relative addressing
+	StepGPStore StepKind = "gpstore" // sd rs2, off(gp)
+	StepBranch  StepKind = "branch"  // forward conditional branch over the next N steps
+	StepLoop    StepKind = "loop"    // bounded loop around the next N steps, Imm iterations
+	StepVec     StepKind = "vec"     // RVV strip block over the float arena (Vector specs)
+	StepDot     StepKind = "dot"     // the canonical scalar dot loop (upgrade fodder)
+	StepShadd   StepKind = "shadd"   // slli+add pair (Zba upgrade fodder)
+)
+
+// Step is one generator construct. Rd/Rs1/Rs2 index the 8-register scratch
+// pool, not architectural registers. The meaning of Imm and N depends on
+// Kind (immediate / arena offset / skip distance / trip count / element
+// count); the assembler clamps every field into its safe range, so any
+// mutation of a Step still assembles.
+type Step struct {
+	Kind StepKind `json:"kind"`
+	Op   string   `json:"op,omitempty"`
+	Rd   int      `json:"rd,omitempty"`
+	Rs1  int      `json:"rs1,omitempty"`
+	Rs2  int      `json:"rs2,omitempty"`
+	Imm  int64    `json:"imm,omitempty"`
+	N    int      `json:"n,omitempty"`
+}
+
+// FuncSpec is one generated leaf function.
+type FuncSpec struct {
+	Body []Step `json:"body"`
+	// MidEntry publishes the function's first vector-block head as a legal
+	// indirect entry point which main enters every round — the paper's
+	// erroneous-execution (P1) path that lands inside rewritten regions.
+	MidEntry bool `json:"midentry,omitempty"`
+}
+
+// Spec is a complete generated program.
+type Spec struct {
+	Name     string     `json:"name"`
+	Seed     int64      `json:"seed"`
+	Compress bool       `json:"compress"`
+	Vector   bool       `json:"vector"`
+	Rounds   int64      `json:"rounds"`
+	Indirect bool       `json:"indirect"` // main calls one function per round via the pointer table
+	Funcs    []FuncSpec `json:"funcs"`
+}
+
+// Arena geometry. The integer arena absorbs scalar loads/stores; the float
+// arenas hold small integers only, so FP results are exact and reassociation
+// by the upgrade/downgrade translators cannot change a single bit.
+const (
+	arenaInts = 64
+	vecElems  = 32
+	dotElems  = 8
+)
+
+// scratch is the register pool Step indices select from. Everything else is
+// reserved: a0 carries the per-function checksum, s1/s9/s11 belong to main,
+// s2 anchors the integer arena, s7/s8/s10 are structured-loop counters, and
+// a1/a2/a6/t5/t6 serve the vector and dot blocks.
+var scratch = [8]riscv.Reg{
+	riscv.T0, riscv.T1, riscv.T2, riscv.T3, riscv.T4,
+	riscv.A3, riscv.A4, riscv.A5,
+}
+
+var aluOps = map[string]riscv.Op{}
+var aluImmOps = map[string]riscv.Op{}
+var loadOps = map[string]int{"lb": 1, "lh": 2, "lw": 4, "ld": 8, "lbu": 1, "lhu": 2, "lwu": 4}
+var storeOps = map[string]int{"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+var branchOps = map[string]riscv.Op{}
+
+func init() {
+	for _, m := range []string{
+		"add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+		"mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+		"addw", "subw", "sllw", "srlw", "sraw", "mulw", "divw", "divuw", "remw", "remuw",
+	} {
+		op, ok := riscv.OpFromMnemonic(m)
+		if !ok {
+			panic("fuzz: unknown alu mnemonic " + m)
+		}
+		aluOps[m] = op
+	}
+	for _, m := range []string{
+		"addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli", "srai",
+		"addiw", "slliw", "srliw", "sraiw",
+	} {
+		op, ok := riscv.OpFromMnemonic(m)
+		if !ok {
+			panic("fuzz: unknown alui mnemonic " + m)
+		}
+		aluImmOps[m] = op
+	}
+	for _, m := range []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"} {
+		op, ok := riscv.OpFromMnemonic(m)
+		if !ok {
+			panic("fuzz: unknown branch mnemonic " + m)
+		}
+		branchOps[m] = op
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ISA returns the core ISA the spec's image targets.
+func (s *Spec) ISA() riscv.Ext {
+	if s.Vector {
+		return riscv.RV64GCV
+	}
+	return riscv.RV64GC
+}
+
+// unit is one emission unit: a plain step, or a loop with its captured body.
+type unit struct {
+	s    Step
+	body []unit
+}
+
+// buildUnits folds the flat body into emission units: a loop step captures
+// the following N steps as its body. Loops do not nest — a loop step inside
+// a loop body is dropped (the minimizer relies on any subset of steps being
+// assemblable).
+func buildUnits(steps []Step, inLoop bool) []unit {
+	var out []unit
+	for i := 0; i < len(steps); i++ {
+		s := steps[i]
+		if s.Kind != StepLoop {
+			out = append(out, unit{s: s})
+			continue
+		}
+		if inLoop {
+			continue
+		}
+		n := clamp(s.N, 1, len(steps)-i-1)
+		if n == 0 {
+			continue // trailing loop with no body
+		}
+		out = append(out, unit{s: s, body: buildUnits(steps[i+1:i+1+n], true)})
+		i += n
+	}
+	return out
+}
+
+// emitter tracks label allocation and the static instruction count of
+// emitted step bodies.
+type emitter struct {
+	b      *asm.Builder
+	spec   *Spec
+	labels int
+	insts  int // instructions emitted for step bodies (static count)
+	vecs   int // vec blocks emitted so far in the current function
+}
+
+func (e *emitter) newLabel() string {
+	e.labels++
+	return fmt.Sprintf(".L%d", e.labels)
+}
+
+// emitList emits a unit list, resolving forward-branch targets to unit
+// boundaries within the list (so a skip can land mid-region — between
+// instructions a rewriter batches — but never inside a structured block).
+func (e *emitter) emitList(units []unit, fn *FuncSpec) {
+	pending := make(map[int][]string)
+	for i := 0; i <= len(units); i++ {
+		for _, l := range pending[i] {
+			e.b.Label(l)
+		}
+		if i == len(units) {
+			break
+		}
+		u := units[i]
+		if u.s.Kind == StepBranch {
+			skip := clamp(u.s.N, 1, len(units)-i)
+			op, ok := branchOps[u.s.Op]
+			if !ok {
+				op = riscv.BNE
+			}
+			l := e.newLabel()
+			pending[i+skip] = append(pending[i+skip], l)
+			e.b.Branch(op, scratch[u.s.Rs1&7], scratch[u.s.Rs2&7], l)
+			e.insts++
+			continue
+		}
+		e.emit(u, fn)
+	}
+}
+
+// fold accumulates a result register into the per-function checksum.
+func (e *emitter) fold(r riscv.Reg) {
+	e.b.Op(riscv.ADD, riscv.A0, riscv.A0, r)
+	e.insts++
+}
+
+func (e *emitter) emit(u unit, fn *FuncSpec) {
+	b := e.b
+	s := u.s
+	switch s.Kind {
+	case StepALU:
+		op, ok := aluOps[s.Op]
+		if !ok {
+			op = riscv.ADD
+		}
+		rd := scratch[s.Rd&7]
+		b.Op(op, rd, scratch[s.Rs1&7], scratch[s.Rs2&7])
+		e.insts++
+		e.fold(rd)
+
+	case StepALUImm:
+		op, ok := aluImmOps[s.Op]
+		if !ok {
+			op = riscv.ADDI
+		}
+		imm := s.Imm
+		switch op {
+		case riscv.SLLI, riscv.SRLI, riscv.SRAI:
+			imm &= 63
+		case riscv.SLLIW, riscv.SRLIW, riscv.SRAIW:
+			imm &= 31
+		default:
+			if imm < -2048 || imm > 2047 {
+				imm %= 2048
+			}
+		}
+		rd := scratch[s.Rd&7]
+		b.Imm(op, rd, scratch[s.Rs1&7], imm)
+		e.insts++
+		e.fold(rd)
+
+	case StepLoad:
+		width, ok := loadOps[s.Op]
+		if !ok {
+			s.Op, width = "ld", 8
+		}
+		op, _ := riscv.OpFromMnemonic(s.Op)
+		off := arenaOffset(s.Imm, width)
+		rd := scratch[s.Rd&7]
+		b.Load(op, rd, riscv.S2, off)
+		e.insts++
+		e.fold(rd)
+
+	case StepStore:
+		width, ok := storeOps[s.Op]
+		if !ok {
+			s.Op, width = "sd", 8
+		}
+		op, _ := riscv.OpFromMnemonic(s.Op)
+		off := arenaOffset(s.Imm, width)
+		b.Store(op, scratch[s.Rs2&7], riscv.S2, off)
+		e.insts++
+
+	case StepGPLoad:
+		rd := scratch[s.Rd&7]
+		b.Load(riscv.LD, rd, riscv.GP, gpOffset(s.Imm))
+		e.insts++
+		e.fold(rd)
+
+	case StepGPStore:
+		b.Store(riscv.SD, scratch[s.Rs2&7], riscv.GP, gpOffset(s.Imm))
+		e.insts++
+
+	case StepLoop:
+		trip := clamp(int(s.Imm), 1, 6)
+		b.Li(riscv.S7, int64(trip))
+		head := e.newLabel()
+		b.Label(head)
+		e.insts++
+		e.emitList(u.body, fn)
+		b.Imm(riscv.ADDI, riscv.S7, riscv.S7, -1)
+		b.Bne(riscv.S7, riscv.Zero, head)
+		e.insts += 2
+
+	case StepShadd:
+		k := clamp(int(s.Imm), 1, 3)
+		rd := scratch[s.Rd&7]
+		rs2 := scratch[s.Rs2&7]
+		if rs2 == rd {
+			rs2 = scratch[(s.Rs2+1)&7]
+		}
+		b.Imm(riscv.SLLI, rd, scratch[s.Rs1&7], int64(k))
+		b.Op(riscv.ADD, rd, rd, rs2)
+		e.insts += 2
+		e.fold(rd)
+
+	case StepDot:
+		// The exact 7-instruction loop translate.MatchUpgrades vectorizes:
+		// acc += x[i]*y[i] over dotElems exact small integers.
+		b.La(riscv.A1, "fuzzX")
+		b.La(riscv.A2, "fuzzY")
+		b.Li(riscv.S8, dotElems)
+		b.I(riscv.Inst{Op: riscv.FCVTDL, Rd: 4, Rs1: riscv.Zero}) // f4 = 0.0
+		head := e.newLabel()
+		b.Label(head)
+		b.Load(riscv.FLD, 0, riscv.A1, 0)
+		b.Load(riscv.FLD, 1, riscv.A2, 0)
+		b.I(riscv.Inst{Op: riscv.FMADDD, Rd: 4, Rs1: 0, Rs2: 1, Rs3: 4})
+		b.Imm(riscv.ADDI, riscv.A1, riscv.A1, 8)
+		b.Imm(riscv.ADDI, riscv.A2, riscv.A2, 8)
+		b.Imm(riscv.ADDI, riscv.S8, riscv.S8, -1)
+		b.Bne(riscv.S8, riscv.Zero, head)
+		b.I(riscv.Inst{Op: riscv.FCVTLD, Rd: riscv.T5, Rs1: 4})
+		e.insts += 14
+		e.fold(riscv.T5)
+
+	case StepVec:
+		if !e.spec.Vector {
+			return // vector step in a scalar spec: drop
+		}
+		elems := clamp(s.N, 4, vecElems) &^ 3
+		looped := elems > 4
+		vt := riscv.VType(riscv.E64)
+		b.La(riscv.A1, "fuzzX")
+		b.La(riscv.A6, "fuzzZ")
+		b.Li(riscv.S8, 4)
+		b.I(riscv.Inst{Op: riscv.VSETVLI, Rd: riscv.T5, Rs1: riscv.S8, Imm: vt})
+		e.insts += 6
+		var head string
+		if looped {
+			b.Li(riscv.S10, int64(elems/4))
+			e.insts++
+			head = e.newLabel()
+		}
+		// The loop head sits after the hoisted vsetvli: on a rewritten image
+		// the back-branch (and the published mid entry) target the middle of
+		// a batched source region, exercising Redirect recovery.
+		if fn != nil && fn.MidEntry && e.vecs == 0 {
+			b.Func(e.midName())
+		}
+		if looped {
+			b.Label(head)
+		}
+		b.I(riscv.Inst{Op: riscv.VLE64V, Rd: 1, Rs1: riscv.A1})
+		b.I(riscv.Inst{Op: riscv.VLE64V, Rd: 2, Rs1: riscv.A6})
+		b.I(riscv.Inst{Op: riscv.VFMACCVV, Rd: 2, Rs1: 1, Rs2: 1})
+		b.I(riscv.Inst{Op: riscv.VSE64V, Rd: 2, Rs1: riscv.A6})
+		e.insts += 4
+		if looped {
+			b.Imm(riscv.ADDI, riscv.A1, riscv.A1, 32)
+			b.Imm(riscv.ADDI, riscv.A6, riscv.A6, 32)
+			b.Imm(riscv.ADDI, riscv.S10, riscv.S10, -1)
+			b.Bne(riscv.S10, riscv.Zero, head)
+			e.insts += 4
+		}
+		// Fold one updated element into the checksum.
+		b.La(riscv.T6, "fuzzZ")
+		b.Load(riscv.LD, riscv.T5, riscv.T6, 8)
+		e.insts += 3
+		e.fold(riscv.T5)
+		e.vecs++
+	}
+}
+
+func (e *emitter) midName() string { return "fmid" }
+
+// arenaOffset clamps an arbitrary immediate into an aligned in-bounds offset
+// of the integer arena.
+func arenaOffset(imm int64, width int) int64 {
+	off := imm % int64(arenaInts*8-width+1)
+	if off < 0 {
+		off = -off
+	}
+	return off - off%int64(width)
+}
+
+// gpOffset clamps an arbitrary immediate into an aligned offset within the
+// gp-anchored .sdata page: gp sits GPOffset into the page, so the full
+// 12-bit signed displacement range stays in bounds.
+func gpOffset(imm int64) int64 {
+	off := imm % 256
+	if off < 0 {
+		off += 256
+	}
+	return (off - 128) * 8 // [-1024, 1016], 8-byte aligned
+}
+
+// Assemble builds the spec into an executable image. The second result is
+// the spec's instruction budget: a generous static bound on retired
+// instructions for any conforming execution (original or rewritten).
+func (s *Spec) Assemble() (*obj.Image, uint64, error) {
+	img, _, err := s.assemble()
+	return img, s.Budget(), err
+}
+
+// BodyInsts returns the static instruction count of the spec's step bodies
+// (excluding main and per-function scaffolding) — the size metric minimized
+// reproducers are judged by.
+func (s *Spec) BodyInsts() (int, error) {
+	_, e, err := s.assemble()
+	if err != nil {
+		return 0, err
+	}
+	return e.insts, nil
+}
+
+func (s *Spec) assemble() (*obj.Image, *emitter, error) {
+	isa := s.ISA()
+	b := asm.NewBuilder(isa)
+	b.Compress = s.Compress
+	rounds := s.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	if rounds > 8 {
+		rounds = 8
+	}
+
+	b.DataI64("fuzzI", arenaInitInts(s.Seed))
+	b.DataF64("fuzzX", arenaInitFloats(s.Seed, 3))
+	b.DataF64("fuzzY", arenaInitFloats(s.Seed, 5))
+	b.Zero("fuzzZ", vecElems*8)
+
+	fname := func(i int) string { return fmt.Sprintf("f%03d", i) }
+	midFn := s.midFunc()
+
+	e := &emitter{b: b, spec: s}
+
+	// main ---------------------------------------------------------------
+	b.Func("main")
+	b.Li(riscv.S1, rounds)
+	b.Li(riscv.S11, 0)
+	b.Li(riscv.S9, 0)
+	b.Label("round")
+	for i := range s.Funcs {
+		b.Call(fname(i))
+		b.Op(riscv.ADD, riscv.S11, riscv.S11, riscv.A0)
+	}
+	if s.Indirect && len(s.Funcs) > 0 {
+		b.Li(riscv.T0, int64(len(s.Funcs)))
+		b.Op(riscv.REMU, riscv.T1, riscv.S9, riscv.T0)
+		b.Imm(riscv.SLLI, riscv.T1, riscv.T1, 3)
+		b.La(riscv.T2, "fuzzTab")
+		b.Op(riscv.ADD, riscv.T2, riscv.T2, riscv.T1)
+		b.Load(riscv.LD, riscv.T2, riscv.T2, 0)
+		b.I(riscv.Inst{Op: riscv.JALR, Rd: riscv.RA, Rs1: riscv.T2})
+		b.Op(riscv.ADD, riscv.S11, riscv.S11, riscv.A0)
+	}
+	if midFn >= 0 {
+		// Legal mid-block entry (P1): set up the state the vec-block head
+		// expects, then jump into it through a data pointer.
+		b.La(riscv.A1, "fuzzX")
+		b.La(riscv.A6, "fuzzZ")
+		b.La(riscv.S2, "fuzzI")
+		b.Li(riscv.S8, 4)
+		b.I(riscv.Inst{Op: riscv.VSETVLI, Rd: riscv.T5, Rs1: riscv.S8, Imm: riscv.VType(riscv.E64)})
+		// Re-establish the scratch pool the target function's prologue set:
+		// the body past the entry point may read any of these, and a caller
+		// letting caller-saved registers flow into a call is outside the
+		// psABI contract binary-level liveness soundly assumes. Placed after
+		// the vsetvli so no rewrite site separates them from the call.
+		for k, r := range scratch {
+			b.Li(r, int64(midFn*31+k*7+1))
+		}
+		b.Li(riscv.S10, 1)
+		// The vec head may sit inside a structured loop body; entering there
+		// falls out through the enclosing loop's decrement-and-branch tail,
+		// so the outer trip counter must be pinned to one lap as well.
+		b.Li(riscv.S7, 1)
+		b.La(riscv.T2, "fuzzMid")
+		b.Load(riscv.LD, riscv.T2, riscv.T2, 0)
+		// Enter through an indirect JUMP with an explicit return address,
+		// not a call: the function body past the entry point reads scratch
+		// registers the psABI lets a callee assume nothing about, so a call
+		// here would be liveness-undefined. An unresolved indirect jump pins
+		// every register live, which is the contract this entry relies on.
+		b.La(riscv.RA, "midret")
+		b.I(riscv.Inst{Op: riscv.JALR, Rd: riscv.Zero, Rs1: riscv.T2})
+		// The continuation is only reachable through the materialized ra, so
+		// it needs a function symbol for disassembler discovery — just like a
+		// real toolchain marks indirectly-reached entries.
+		b.Func("midret")
+		b.Op(riscv.ADD, riscv.S11, riscv.S11, riscv.A0)
+	}
+	b.Imm(riscv.ADDI, riscv.S9, riscv.S9, 1)
+	b.Blt(riscv.S9, riscv.S1, "round")
+	// Fold both writable arenas into the exit checksum so stray or missing
+	// stores surface in the exit code, not just in the memory hash.
+	sumRegion(b, "fuzzI", arenaInts, "isum")
+	if s.Vector {
+		sumRegion(b, "fuzzZ", vecElems, "zsum")
+	}
+	b.Mv(riscv.A0, riscv.S11)
+	b.Li(riscv.A7, 93)
+	b.Ecall()
+
+	// functions ----------------------------------------------------------
+	for i := range s.Funcs {
+		fn := &s.Funcs[i]
+		b.Func(fname(i))
+		e.vecs = 0
+		b.Li(riscv.A0, int64(i+1))
+		for k, r := range scratch {
+			b.Li(r, int64(i*31+k*7+1))
+		}
+		b.La(riscv.S2, "fuzzI")
+		var f *FuncSpec
+		if i == midFn {
+			f = fn
+		}
+		e.emitList(buildUnits(fn.Body, false), f)
+		b.Ret()
+	}
+
+	if s.Indirect && len(s.Funcs) > 0 {
+		b.DataI64("fuzzTab", make([]int64, len(s.Funcs)))
+	}
+	if midFn >= 0 {
+		b.DataI64("fuzzMid", []int64{0})
+	}
+	img, err := b.Build(s.name(), "main")
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.Indirect && len(s.Funcs) > 0 {
+		for i := range s.Funcs {
+			if err := fixPointer(img, "fuzzTab", i, fname(i)); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if midFn >= 0 {
+		if err := fixPointer(img, "fuzzMid", 0, e.midName()); err != nil {
+			return nil, nil, err
+		}
+	}
+	return img, e, nil
+}
+
+func (s *Spec) name() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return fmt.Sprintf("fuzz-%d", s.Seed)
+}
+
+// midFunc returns the index of the function whose vec head is published as
+// the mid-entry target, or -1. Only meaningful for vector specs with a
+// MidEntry function that actually contains a vec step.
+func (s *Spec) midFunc() int {
+	if !s.Vector {
+		return -1
+	}
+	for i := range s.Funcs {
+		if !s.Funcs[i].MidEntry {
+			continue
+		}
+		for _, st := range s.Funcs[i].Body {
+			if st.Kind == StepVec {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// sumRegion emits a checksum loop folding n 64-bit words at sym into s11.
+func sumRegion(b *asm.Builder, sym string, n int, label string) {
+	b.La(riscv.T0, sym)
+	b.Li(riscv.T1, int64(n))
+	b.Label(label)
+	b.Load(riscv.LD, riscv.T2, riscv.T0, 0)
+	b.Op(riscv.ADD, riscv.S11, riscv.S11, riscv.T2)
+	b.Imm(riscv.ADDI, riscv.T0, riscv.T0, 8)
+	b.Imm(riscv.ADDI, riscv.T1, riscv.T1, -1)
+	b.Bne(riscv.T1, riscv.Zero, label)
+}
+
+func fixPointer(img *obj.Image, slot string, idx int, target string) error {
+	tsym, ok := img.Lookup(target)
+	if !ok {
+		return fmt.Errorf("fuzz: symbol %q missing", target)
+	}
+	ssym, ok := img.Lookup(slot)
+	if !ok {
+		return fmt.Errorf("fuzz: symbol %q missing", slot)
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], tsym.Addr)
+	return img.WriteAt(ssym.Addr+uint64(8*idx), buf[:])
+}
+
+// dynUnits bounds the retired-instruction count of one execution of a unit
+// list on the original image.
+func dynUnits(units []unit, vector bool) uint64 {
+	var n uint64
+	for _, u := range units {
+		switch u.s.Kind {
+		case StepLoop:
+			trip := uint64(clamp(int(u.s.Imm), 1, 6))
+			n += 2 + trip*(dynUnits(u.body, vector)+2)
+		case StepDot:
+			n += 10 + 7*dotElems
+		case StepVec:
+			if vector {
+				elems := uint64(clamp(u.s.N, 4, vecElems) &^ 3)
+				n += 16 + (elems/4)*8
+			}
+		default:
+			n += 3
+		}
+	}
+	return n
+}
+
+// Budget is a static bound on retired instructions for any conforming
+// execution of the spec: original, block-engine, rewritten (downgraded
+// vector blocks expand heavily), or fault-and-migrate. Exceeding it is
+// reported as a hang divergence.
+func (s *Spec) Budget() uint64 {
+	rounds := uint64(clamp(int(s.Rounds), 1, 8))
+	var perRound uint64 = 60 // main-loop scaffold, indirect and mid-entry setup
+	for i := range s.Funcs {
+		perRound += 15 + dynUnits(buildUnits(s.Funcs[i].Body, false), s.Vector)
+	}
+	if s.midFunc() >= 0 {
+		// The mid entry re-executes a function tail each round.
+		perRound *= 2
+	}
+	total := rounds*perRound + uint64(arenaInts+vecElems)*5 + 100
+	// Headroom for rewritten variants: scalarized vector blocks expand each
+	// vector op into dozens of element ops plus state spills.
+	return total*32 + 50_000
+}
+
+// arenaInitInts derives the integer arena's initial contents from the seed.
+func arenaInitInts(seed int64) []int64 {
+	out := make([]int64, arenaInts)
+	x := seed*2654435761 + 12345
+	for i := range out {
+		x = x*6364136223846793005 + 1442695040888963407
+		out[i] = x
+	}
+	return out
+}
+
+// arenaInitFloats yields small exact integers so every FP computation —
+// scalar, vectorized, or reassociated by vfredusum — is bit-exact.
+func arenaInitFloats(seed int64, mod int64) []float64 {
+	out := make([]float64, vecElems)
+	for i := range out {
+		v := (seed + int64(i)*7) % mod
+		if v < 0 {
+			v = -v
+		}
+		out[i] = float64(v + 1)
+	}
+	return out
+}

@@ -24,9 +24,38 @@ const (
 	// so ReadImage must fail cleanly on hostile counts instead of attempting
 	// multi-gigabyte allocations.
 	maxSectionSize = 1 << 30
+	maxImageSize   = 1 << 30 // cumulative cap across all sections
 	maxSections    = 1 << 16
 	maxSymbols     = 1 << 20
+
+	// readChunk bounds how much a single declared section size can make
+	// ReadImage allocate ahead of the bytes actually arriving, so a crafted
+	// header claiming a huge section on a truncated stream fails after at
+	// most one chunk instead of committing the whole declared size up front.
+	readChunk = 1 << 20
 )
+
+// readBlob reads exactly size bytes in bounded chunks, growing the buffer
+// only as data actually arrives.
+func readBlob(r io.Reader, size uint64) ([]byte, error) {
+	cap0 := size
+	if cap0 > readChunk {
+		cap0 = readChunk
+	}
+	buf := make([]byte, 0, cap0)
+	for uint64(len(buf)) < size {
+		n := size - uint64(len(buf))
+		if n > readChunk {
+			n = readChunk
+		}
+		off := len(buf)
+		buf = append(buf, make([]byte, n)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
 
 func writeString(w io.Writer, s string) error {
 	if len(s) > 0xFFFF {
@@ -124,6 +153,7 @@ func ReadImage(r io.Reader) (*Image, error) {
 	if nsec > maxSections {
 		return nil, fmt.Errorf("obj: unreasonable section count %d", nsec)
 	}
+	var total uint64
 	for i := uint32(0); i < nsec; i++ {
 		s := &Section{}
 		if s.Name, err = readString(r); err != nil {
@@ -143,9 +173,11 @@ func ReadImage(r io.Reader) (*Image, error) {
 		if size > maxSectionSize {
 			return nil, fmt.Errorf("obj: unreasonable section size %d", size)
 		}
+		if total += size; total > maxImageSize {
+			return nil, fmt.Errorf("obj: sections exceed image size cap (%d bytes)", total)
+		}
 		s.Perm = Perm(perm)
-		s.Data = make([]byte, size)
-		if _, err := io.ReadFull(r, s.Data); err != nil {
+		if s.Data, err = readBlob(r, size); err != nil {
 			return nil, err
 		}
 		img.Sections = append(img.Sections, s)

@@ -1,7 +1,5 @@
 package riscv
 
-import "fmt"
-
 // Compressed (RVC) support. DecodeCompressed expands a 16-bit parcel to its
 // base-ISA equivalent with Len == 2. The reserved encodings required by the
 // C extension are reported as ErrReserved: Chimera's SMILE jalr encoding is
@@ -13,13 +11,13 @@ func cReg(v uint16) Reg { return Reg(8 + v&7) }
 // DecodeCompressed decodes one 16-bit compressed parcel.
 func DecodeCompressed(p uint16) (Inst, error) {
 	if p == 0 {
-		return Inst{}, fmt.Errorf("%w: defined-illegal all-zero parcel", ErrIllegal)
+		return Inst{}, illegal16(p, ErrIllegal, "defined-illegal all-zero parcel")
 	}
 	mk := func(op Op, rd, rs1, rs2 Reg, imm int64) (Inst, error) {
 		return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: imm, Len: 2}, nil
 	}
 	bad := func(reason string) (Inst, error) {
-		return Inst{}, fmt.Errorf("%w: %s (%#04x)", ErrReserved, reason, p)
+		return Inst{}, illegal16(p, ErrReserved, reason)
 	}
 	f3 := p >> 13 & 7
 	switch p & 3 {

@@ -1,9 +1,6 @@
 package riscv
 
-import (
-	"encoding/binary"
-	"fmt"
-)
+import "encoding/binary"
 
 // ParcelLen inspects the first 16-bit parcel of an instruction stream and
 // returns the encoded instruction length in bytes (2 or 4), or an error for
@@ -16,7 +13,7 @@ func ParcelLen(parcel uint16) (int, error) {
 		// bits [4:2] == 111 selects the reserved space for instructions wider
 		// than 32 bits; the paper's SMILE auipc encoding deliberately lands a
 		// mid-trampoline fetch here (§4.2, Fig. 7a).
-		return 0, ErrWidePrefix
+		return 0, illegalWide(parcel)
 	}
 	return 4, nil
 }
@@ -99,7 +96,7 @@ func Decode32(w uint32) (Inst, error) {
 		return Inst{Op: op, Rd: rdv, Rs1: r1, Rs2: r2, Imm: imm, Len: 4}, nil
 	}
 	bad := func() (Inst, error) {
-		return Inst{}, fmt.Errorf("%w: %#08x", ErrIllegal, w)
+		return Inst{}, illegal32(w)
 	}
 
 	switch opcode {

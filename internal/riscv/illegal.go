@@ -1,0 +1,46 @@
+package riscv
+
+import "fmt"
+
+// IllegalInstError is the typed decode failure. It carries the raw encoding
+// bits and the encoded width so fault reporting (emu faults, dis coverage
+// maps, fuzz divergence reports) can print the offending encoding instead of
+// a bare message. It wraps one of the decode sentinels (ErrIllegal,
+// ErrReserved, ErrWidePrefix), so errors.Is against those keeps working.
+type IllegalInstError struct {
+	Raw    uint32 // offending encoding; only the low 16 bits are valid when Width == 2
+	Width  int    // encoded width in bytes: 2 or 4, or 0 for a reserved >= 48-bit parcel
+	Reason error  // sentinel class: ErrIllegal, ErrReserved, or ErrWidePrefix
+	Detail string // optional human-readable context (e.g. "c.lui with zero immediate")
+}
+
+func (e *IllegalInstError) Error() string {
+	msg := e.Reason.Error()
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	switch e.Width {
+	case 2:
+		return fmt.Sprintf("%s (encoding %#04x)", msg, uint16(e.Raw))
+	case 4:
+		return fmt.Sprintf("%s (encoding %#08x)", msg, e.Raw)
+	default:
+		return fmt.Sprintf("%s (parcel %#04x)", msg, uint16(e.Raw))
+	}
+}
+
+func (e *IllegalInstError) Unwrap() error { return e.Reason }
+
+// illegal32, illegal16 and illegalWide are the constructors used by the
+// decoders.
+func illegal32(w uint32) error {
+	return &IllegalInstError{Raw: w, Width: 4, Reason: ErrIllegal}
+}
+
+func illegal16(p uint16, reason error, detail string) error {
+	return &IllegalInstError{Raw: uint32(p), Width: 2, Reason: reason, Detail: detail}
+}
+
+func illegalWide(p uint16) error {
+	return &IllegalInstError{Raw: uint32(p), Width: 0, Reason: ErrWidePrefix}
+}

@@ -1,0 +1,55 @@
+package riscv
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestIllegalInstErrorTyped checks that every decode failure surfaces as a
+// *IllegalInstError carrying the raw encoding, while errors.Is against the
+// sentinel classes keeps working.
+func TestIllegalInstErrorTyped(t *testing.T) {
+	cases := []struct {
+		name     string
+		decode   func() error
+		raw      uint32
+		width    int
+		sentinel error
+	}{
+		{"bad 32-bit opcode", func() error { _, err := Decode32(0x0000007F); return err }, 0x7F, 4, ErrIllegal},
+		{"all-zero parcel", func() error { _, err := DecodeCompressed(0); return err }, 0, 2, ErrIllegal},
+		{"c.lui zero imm", func() error { _, err := DecodeCompressed(0x6081); return err }, 0x6081, 2, ErrReserved},
+		{"wide prefix", func() error { _, err := ParcelLen(0x001F); return err }, 0x1F, 0, ErrWidePrefix},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.decode()
+			var ie *IllegalInstError
+			if !errors.As(err, &ie) {
+				t.Fatalf("err = %v (%T), want *IllegalInstError", err, err)
+			}
+			if ie.Raw != tc.raw || ie.Width != tc.width {
+				t.Errorf("Raw=%#x Width=%d, want Raw=%#x Width=%d", ie.Raw, ie.Width, tc.raw, tc.width)
+			}
+			if !errors.Is(err, tc.sentinel) {
+				t.Errorf("errors.Is(%v, %v) = false", err, tc.sentinel)
+			}
+			if !strings.Contains(err.Error(), "0x") {
+				t.Errorf("message %q does not include the encoding", err.Error())
+			}
+		})
+	}
+}
+
+func TestOpFromMnemonic(t *testing.T) {
+	for op, name := range opNames {
+		got, ok := OpFromMnemonic(name)
+		if !ok || got != op {
+			t.Fatalf("OpFromMnemonic(%q) = %v,%v, want %v", name, got, ok, op)
+		}
+	}
+	if _, ok := OpFromMnemonic("no-such-op"); ok {
+		t.Fatal("OpFromMnemonic accepted an unknown mnemonic")
+	}
+}

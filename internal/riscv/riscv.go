@@ -390,3 +390,19 @@ func (o Op) Mnemonic() string {
 	}
 	return fmt.Sprintf("op(%d)", uint16(o))
 }
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+// OpFromMnemonic resolves a canonical mnemonic back to its Op. Serialized
+// program specs (the fuzz corpus) store mnemonics rather than Op values so
+// they stay stable if the enum is ever renumbered.
+func OpFromMnemonic(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}

@@ -1,9 +1,17 @@
 #!/bin/sh
-# Pre-PR gate: vet, build, and the full test suite under the race detector.
+# Pre-PR gate: formatting, vet, build, the full test suite under the race
+# detector, and short native-fuzz smokes over the differential oracles.
 # Run from anywhere; it anchors itself at the repo root.
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt"
+unformatted=$(gofmt -l . 2>/dev/null)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 echo "== go vet ./..."
 go vet ./...
 echo "== go build ./..."
@@ -12,4 +20,8 @@ echo "== go test -race ./..."
 go test -race ./...
 echo "== bench smoke (1 iteration)"
 go test -run=- -bench=. -benchtime=1x ./... >/dev/null
+echo "== fuzz smoke (10s per target)"
+go test -run=- -fuzz=FuzzDifferential -fuzztime=10s ./internal/fuzz >/dev/null
+go test -run=- -fuzz=FuzzRewrite -fuzztime=10s ./internal/fuzz >/dev/null
+go test -run=- -fuzz=FuzzObjLoad -fuzztime=10s ./internal/obj >/dev/null
 echo "== ok"

@@ -5,21 +5,29 @@
 //
 // Usage:
 //
-//	chimera-served -addr :8080 -workers 8 -cache-mb 256
+//	chimera-served -addr :8080 -workers 8 -cache-mb 256 \
+//	    -request-timeout 2m -max-retries 2
 //
 // Endpoints: POST /rewrite, POST /run, GET /healthz, GET /stats.
+//
+// Failure policy: a rewrite that keeps failing (panic, stall, repeated
+// errors) is retried with backoff, its config is quarantined by a circuit
+// breaker, and the request is answered with the ORIGINAL image (the
+// paper's scalar-core fallback) — flagged `degraded` in the response and
+// counted in /stats. -chaos-seed enables deterministic fault injection for
+// resilience testing.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"github.com/eurosys26p57/chimera/internal/chaos"
 	"github.com/eurosys26p57/chimera/internal/service"
 )
 
@@ -29,14 +37,26 @@ func main() {
 	queue := flag.Int("queue", 0, "pending-request queue depth (0 = 4x workers)")
 	cacheMB := flag.Int64("cache-mb", 256, "rewrite cache budget in MiB")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	reqTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request deadline (0 = library default, negative = off)")
+	maxRetries := flag.Int("max-retries", 2, "rewrite retries before degrading to the original image (negative = none)")
+	runBudget := flag.Int64("run-max-instret", 0, "per-/run instruction budget (0 = default 2e9, negative = off)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "enable fault injection with this seed (0 = off; NEVER in production)")
 	flag.Parse()
 
-	srv := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheBytes: *cacheMB << 20,
-	})
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     *cacheMB << 20,
+		RequestTimeout: *reqTimeout,
+		MaxRetries:     *maxRetries,
+		RunMaxInstret:  *runBudget,
+	}
+	if *chaosSeed != 0 {
+		cfg.Chaos = chaos.Default(*chaosSeed)
+		fmt.Fprintf(os.Stderr, "chimera-served: CHAOS INJECTION ENABLED (seed %d)\n", *chaosSeed)
+	}
+	srv := service.New(cfg)
+	hs := srv.HTTPServer(*addr)
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
@@ -62,8 +82,8 @@ func main() {
 		fatal(fmt.Errorf("drain: %w", err))
 	}
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "chimera-served: drained; %d served, cache hit ratio %.2f\n",
-		st.Completed, st.Cache.HitRatio)
+	fmt.Fprintf(os.Stderr, "chimera-served: drained; %d served, cache hit ratio %.2f, %d degraded, %d panics isolated\n",
+		st.Completed, st.Cache.HitRatio, st.Faults.Degradations, st.Faults.Panics)
 }
 
 func fatal(err error) {

@@ -1,0 +1,103 @@
+package emu
+
+import (
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// loopCPU returns a hart pointed at a genuine unbounded loop:
+//
+//	addi a0, a0, 1
+//	jal  x0, -4
+func loopCPU(t *testing.T, interp bool) *CPU {
+	t.Helper()
+	c := harness(t, riscv.RV64GC,
+		w(riscv.Inst{Op: riscv.ADDI, Rd: riscv.A0, Rs1: riscv.A0, Imm: 1}),
+		w(riscv.Inst{Op: riscv.JAL, Rd: riscv.Zero, Imm: -4}),
+	)
+	c.Interp = interp
+	return c
+}
+
+// TestMaxInstretStopsUnboundedLoop: the hard budget is the watchdog against
+// emulations that never terminate — both engines stop with StopBudget at
+// exactly the budgeted retirement count, and stay stopped.
+func TestMaxInstretStopsUnboundedLoop(t *testing.T) {
+	for _, interp := range []bool{true, false} {
+		name := "blocks"
+		if interp {
+			name = "interp"
+		}
+		t.Run(name, func(t *testing.T) {
+			c := loopCPU(t, interp)
+			c.MaxInstret = 1001
+			stop := c.Run(1 << 62)
+			if stop.Kind != StopBudget {
+				t.Fatalf("stop = %+v, want StopBudget", stop)
+			}
+			if c.Instret != 1001 {
+				t.Fatalf("instret = %d, want exactly 1001", c.Instret)
+			}
+			// The loop body retired 501 addis before the budget hit.
+			if c.X[riscv.A0] != 501 {
+				t.Fatalf("a0 = %d, want 501", c.X[riscv.A0])
+			}
+			// Exhausted budgets stay exhausted.
+			if again := c.Run(10); again.Kind != StopBudget || c.Instret != 1001 {
+				t.Fatalf("re-run after budget: stop=%+v instret=%d", again, c.Instret)
+			}
+		})
+	}
+}
+
+// TestMaxInstretEngineIdentical: the interpreter and the block engine land
+// on bit-identical architectural state at the budget boundary, for budgets
+// that fall on every point of the block structure.
+func TestMaxInstretEngineIdentical(t *testing.T) {
+	for budget := uint64(1); budget <= 64; budget++ {
+		a, b := loopCPU(t, true), loopCPU(t, false)
+		a.MaxInstret, b.MaxInstret = budget, budget
+		sa, sb := a.Run(1<<62), b.Run(1<<62)
+		if sa.Kind != StopBudget || sb.Kind != StopBudget {
+			t.Fatalf("budget %d: stops %+v / %+v", budget, sa, sb)
+		}
+		if a.Instret != budget || b.Instret != budget {
+			t.Fatalf("budget %d: instret %d / %d", budget, a.Instret, b.Instret)
+		}
+		if a.PC != b.PC || a.X != b.X || a.Cycles != b.Cycles {
+			t.Fatalf("budget %d: engines diverged (pc %#x/%#x, cycles %d/%d)",
+				budget, a.PC, b.PC, a.Cycles, b.Cycles)
+		}
+	}
+}
+
+// TestMaxInstretSlicedCalls: budgets compose with per-call limits — slicing
+// Run into small quanta (the kernel's scheduling pattern) neither overshoots
+// nor starves the budget, and limit-sized calls still report StopLimit while
+// budget remains.
+func TestMaxInstretSlicedCalls(t *testing.T) {
+	c := loopCPU(t, false)
+	c.MaxInstret = 100
+	for i := 0; i < 13; i++ {
+		stop := c.Run(7)
+		if c.Instret < 100 && stop.Kind != StopLimit {
+			t.Fatalf("slice %d: stop %+v with budget remaining", i, stop)
+		}
+	}
+	// 13*7 = 91 retired; the next full slice crosses the budget.
+	if stop := c.Run(100); stop.Kind != StopBudget {
+		t.Fatalf("crossing slice: stop %+v, want StopBudget", stop)
+	}
+	if c.Instret != 100 {
+		t.Fatalf("instret = %d, want exactly 100", c.Instret)
+	}
+}
+
+// TestMaxInstretZeroIsUnbounded: the zero value changes nothing.
+func TestMaxInstretZeroIsUnbounded(t *testing.T) {
+	c := loopCPU(t, false)
+	if stop := c.Run(5000); stop.Kind != StopLimit || c.Instret != 5000 {
+		t.Fatalf("stop=%+v instret=%d, want StopLimit at 5000", stop, c.Instret)
+	}
+}

@@ -60,10 +60,11 @@ type StopKind uint8
 
 // Stop kinds.
 const (
-	StopLimit StopKind = iota // instruction budget exhausted
-	StopEcall                 // ecall: the kernel must service a syscall
-	StopBreak                 // ebreak: trap-based trampoline or breakpoint
-	StopFault                 // deterministic fault raised
+	StopLimit  StopKind = iota // per-call instruction limit exhausted
+	StopEcall                  // ecall: the kernel must service a syscall
+	StopBreak                  // ebreak: trap-based trampoline or breakpoint
+	StopFault                  // deterministic fault raised
+	StopBudget                 // hard MaxInstret budget reached (watchdog)
 )
 
 // Stop reports why execution paused.
@@ -109,6 +110,13 @@ type CPU struct {
 	// of the basic-block engine. The two are architecturally identical; the
 	// flag exists for differential testing and baseline benchmarks.
 	Interp bool
+
+	// MaxInstret, when nonzero, is a hard lifetime retirement budget — the
+	// watchdog against unbounded emulations. Run never retires the
+	// (MaxInstret+1)-th instruction: once Instret reaches the budget it
+	// returns StopBudget, at exactly the same architectural point on both
+	// engines. Zero means unbounded.
+	MaxInstret uint64
 
 	// Blocks tallies basic-block translation cache events (block.go).
 	Blocks BlockStats
@@ -206,8 +214,27 @@ func (c *CPU) Step() (Stop, bool) {
 
 // Run executes until a stop condition or until limit instructions retire.
 // The hot path dispatches whole predecoded basic blocks (block.go); setting
-// Interp forces the per-instruction reference loop instead.
+// Interp forces the per-instruction reference loop instead. When MaxInstret
+// is set, the per-call limit is clamped to the remaining budget, so the
+// budget check costs nothing in the dispatch loops and both engines stop at
+// the identical instruction.
 func (c *CPU) Run(limit uint64) Stop {
+	if c.MaxInstret != 0 {
+		if c.Instret >= c.MaxInstret {
+			return Stop{Kind: StopBudget}
+		}
+		if rem := c.MaxInstret - c.Instret; rem <= limit {
+			stop := c.dispatch(rem)
+			if stop.Kind == StopLimit && c.Instret >= c.MaxInstret {
+				stop.Kind = StopBudget
+			}
+			return stop
+		}
+	}
+	return c.dispatch(limit)
+}
+
+func (c *CPU) dispatch(limit uint64) Stop {
 	if c.Interp {
 		return c.RunInterp(limit)
 	}

@@ -29,6 +29,11 @@ const (
 	RuntimeRewriteCost = 20000
 	// SignalDeliveryCost covers building and tearing down a signal frame.
 	SignalDeliveryCost = 900
+	// SpuriousFaultCost is the charge for absorbing a spurious fault: the
+	// kernel re-validates the faulting instruction and resumes without
+	// touching architectural state (the retry path real kernels take for
+	// spurious page faults).
+	SpuriousFaultCost = 500
 )
 
 // Syscall numbers (Linux RISC-V numbers where they exist).
@@ -107,6 +112,7 @@ type Counters struct {
 	Traps           uint64 // trap-based trampoline redirections
 	Checks          uint64 // indirect-jump pointer checks (Safer hook)
 	RuntimeRewrites uint64 // unrecognized instructions rewritten at run time
+	SpuriousFaults  uint64 // spurious faults re-validated and absorbed
 	Migrations      uint64
 	Syscalls        uint64
 	SignalsTaken    uint64

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"github.com/eurosys26p57/chimera/internal/chaos"
 	"github.com/eurosys26p57/chimera/internal/chbp"
 	"github.com/eurosys26p57/chimera/internal/emu"
 	"github.com/eurosys26p57/chimera/internal/obj"
@@ -62,6 +63,12 @@ type Process struct {
 	cur   *View
 
 	FAM FAMPolicy
+
+	// Chaos, when non-nil, injects spurious faults and migration demands
+	// into this process's run loop (internal/chaos). Injections are
+	// absorbed transparently: a chaos run must end in the same
+	// architectural state as a clean one.
+	Chaos *chaos.Injector
 
 	Exited   bool
 	ExitCode uint64

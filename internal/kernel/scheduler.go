@@ -30,6 +30,15 @@ type Task struct {
 	Pinned bool
 
 	availableAt uint64
+	// queued guards the scheduling invariant that a task sits in at most
+	// one worker queue: set on enqueue, cleared on pop. A violation means
+	// the same task would execute twice concurrently (in simulated time),
+	// so it is latched as a scheduler error instead of silently corrupting
+	// the run.
+	queued bool
+	// Dispatches counts how many times the scheduler handed this task to a
+	// worker (diagnostics for migration-storm tests).
+	Dispatches int
 }
 
 // Worker is one core's scheduling context.
@@ -50,6 +59,9 @@ type Scheduler struct {
 	// SliceInstr is the preemption quantum in instructions.
 	SliceInstr uint64
 	tasks      []*Task
+	// invariantErr latches the first scheduling-invariant violation
+	// (double-enqueue, reschedule after completion); Run reports it.
+	invariantErr error
 }
 
 // NewScheduler builds a scheduler over the machine's cores.
@@ -59,6 +71,16 @@ func NewScheduler(m *Machine) *Scheduler {
 		s.Workers = append(s.Workers, &Worker{Core: c})
 	}
 	return s
+}
+
+// enqueue appends t to w's queue, enforcing the single-queue invariant.
+func (s *Scheduler) enqueue(w *Worker, t *Task) {
+	if t.queued && s.invariantErr == nil {
+		s.invariantErr = fmt.Errorf("kernel: task %d enqueued twice (double-schedule)", t.ID)
+		return
+	}
+	t.queued = true
+	w.queue = append(w.queue, t)
 }
 
 // Submit queues a task on the least-loaded worker of its preferred pool.
@@ -83,7 +105,7 @@ func (s *Scheduler) Submit(t *Task) {
 			}
 		}
 	}
-	best.queue = append(best.queue, t)
+	s.enqueue(best, t)
 }
 
 // take pops a runnable task for w: its own queue first, then stealing from
@@ -98,6 +120,7 @@ func (s *Scheduler) take(w *Worker) *Task {
 				continue
 			}
 			v.queue = append(v.queue[:i], v.queue[i+1:]...)
+			t.queued = false
 			return t
 		}
 		return nil
@@ -182,6 +205,9 @@ func (s *Scheduler) Run() (*Results, error) {
 		if err := s.runTask(w, task); err != nil {
 			return nil, err
 		}
+		if s.invariantErr != nil {
+			return nil, s.invariantErr
+		}
 	}
 	for _, w := range s.Workers {
 		res.CPUTime += w.Busy
@@ -202,6 +228,10 @@ func (s *Scheduler) Run() (*Results, error) {
 
 // runTask executes a task on a worker until it completes or migrates away.
 func (s *Scheduler) runTask(w *Worker, t *Task) error {
+	if t.Done {
+		return fmt.Errorf("kernel: task %d rescheduled after completion", t.ID)
+	}
+	t.Dispatches++
 	// Select the MMView for this core (Fig. 9 ①). The hart's ISA is the
 	// core's: a binary with unsupported instructions faults here, which is
 	// what drives FAM and runtime rewriting.
@@ -250,8 +280,12 @@ func (s *Scheduler) runTask(w *Worker, t *Task) error {
 			if best == nil {
 				return fmt.Errorf("kernel: task %d needs an extension core but none exists", t.ID)
 			}
-			best.queue = append(best.queue, t)
+			s.enqueue(best, t)
 			return nil
+		case StatusBudget:
+			// The kernel never arms the hart watchdog itself; tripping here
+			// means a caller budgeted the hart and the guest ran it dry.
+			return fmt.Errorf("kernel: task %d exhausted its instruction budget", t.ID)
 		case StatusRunning, StatusYield:
 			// keep going on this worker (batch workload, no preemption)
 		}

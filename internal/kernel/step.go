@@ -1,8 +1,10 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 
+	"github.com/eurosys26p57/chimera/internal/chaos"
 	"github.com/eurosys26p57/chimera/internal/emu"
 	"github.com/eurosys26p57/chimera/internal/riscv"
 )
@@ -21,6 +23,9 @@ const (
 	StatusNeedMigration
 	// StatusYield: the process gave up its slice voluntarily.
 	StatusYield
+	// StatusBudget: the hart's hard instruction budget (emu.CPU.MaxInstret)
+	// was exhausted — the watchdog tripped on an unbounded execution.
+	StatusBudget
 )
 
 type stepStatus = Status
@@ -57,12 +62,34 @@ loop:
 				break
 			}
 		}
+		if p.Chaos != nil {
+			// Fault injection (internal/chaos): a spurious migration demand
+			// and/or a spurious emulator fault at the current pc. Both are
+			// absorbed without touching architectural state, so chaos runs
+			// must end bit-identical to clean ones. At most one roll of each
+			// kind per dispatch, and execution always proceeds afterwards,
+			// so sub-1 rates cannot livelock the loop.
+			if bool(p.FAM) && p.Chaos.Roll(chaos.MigrationStorm) {
+				status = StatusNeedMigration
+				break loop
+			}
+			if p.Chaos.Roll(chaos.SpuriousFault) {
+				st := p.handleFault(emu.Fault{Kind: emu.FaultIllegal, PC: cpu.PC, Err: chaos.ErrInjected})
+				if st != StatusRunning {
+					status = st
+					break loop
+				}
+			}
+		}
 		before := cpu.Instret
 		stop := cpu.Run(slice - executed)
 		executed += cpu.Instret - before
 		switch stop.Kind {
 		case emu.StopLimit:
 			// Slice exhausted.
+		case emu.StopBudget:
+			status = StatusBudget
+			break loop
 		case emu.StopEcall:
 			st, err := p.syscall()
 			if err != nil {
@@ -155,6 +182,20 @@ func (p *Process) handleFault(f emu.Fault) Status {
 		p.deliverSignal(SIGSEGV)
 		return p.signalStatus()
 	case emu.FaultIllegal:
+		if errors.Is(f.Err, chaos.ErrInjected) {
+			// Spurious fault: no instruction justified it. Re-validate the
+			// faulting pc — if the instruction there decodes and is within
+			// the hart's ISA, the fault carries no information and the
+			// kernel absorbs it, exactly as real kernels retry spurious
+			// page faults. Anything else is dropped too: whatever would
+			// genuinely fault at this pc will fault (precisely) when the
+			// hart actually executes it.
+			if inst, ok := p.decodeAt(f.PC); ok && p.CPU.ISA.Has(inst.Extension()) {
+				p.Counters.SpuriousFaults++
+				p.Counters.KernelCycles += SpuriousFaultCost
+			}
+			return StatusRunning
+		}
 		if t != nil {
 			if tgt, ok := t.Redirect[f.PC]; ok {
 				cpu.PC = tgt

@@ -1,41 +1,52 @@
 package service
 
-import "container/list"
+import (
+	"container/list"
+	"crypto/sha256"
+)
 
 // CacheStats is a point-in-time snapshot of the rewrite cache's counters.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Bytes     int64  `json:"bytes"`
-	Budget    int64  `json:"budget_bytes"`
+	// CorruptEvictions is entries that failed SHA-256 verification on a
+	// hit and were evicted (served as a miss instead).
+	CorruptEvictions uint64 `json:"corrupt_evictions"`
+	Entries          int    `json:"entries"`
+	Bytes            int64  `json:"bytes"`
+	Budget           int64  `json:"budget_bytes"`
 	// HitRatio is Hits / (Hits + Misses), 0 when no lookups happened.
 	HitRatio float64 `json:"hit_ratio"`
 }
 
 // cacheEntry is one cached rewrite: the serialized output image plus the
-// stats the rewriter reported when it was produced.
+// stats the rewriter reported when it was produced, and the SHA-256 of the
+// image bytes at insertion time so corruption (bit rot, a buggy writer, a
+// chaos bit-flip) is detected on the read path instead of being served.
 type cacheEntry struct {
 	key   string
 	value *RewriteResult
 	size  int64
+	sum   [sha256.Size]byte
 }
 
 // rewriteCache is a content-addressed LRU cache under a byte budget. Keys
 // are the canonical request digest (image SHA-256 + canonicalized options);
 // values hold the serialized rewritten image, so a hit is byte-identical to
-// the cold rewrite that populated it. Not goroutine-safe; the Server guards
-// it with its own mutex so hit accounting and LRU reordering stay atomic
-// with respect to concurrent lookups.
+// the cold rewrite that populated it — and every hit is re-verified against
+// the insertion-time checksum before being served. Not goroutine-safe; the
+// Server guards it with its own mutex so hit accounting and LRU reordering
+// stay atomic with respect to concurrent lookups.
 type rewriteCache struct {
-	budget    int64
-	ll        *list.List // front = most recently used
-	entries   map[string]*list.Element
-	bytes     int64
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	budget     int64
+	ll         *list.List // front = most recently used
+	entries    map[string]*list.Element
+	bytes      int64
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	corruptEvs uint64
 }
 
 func newRewriteCache(budget int64) *rewriteCache {
@@ -47,16 +58,25 @@ func newRewriteCache(budget int64) *rewriteCache {
 }
 
 // get returns the cached result for key, promoting it to most recently
-// used, and records a hit or miss.
+// used, and records a hit or miss. A hit whose bytes no longer match the
+// insertion-time checksum is evicted and reported as a miss: a corrupted
+// cache entry must trigger a fresh rewrite, never reach a client.
 func (c *rewriteCache) get(key string) (*RewriteResult, bool) {
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
 		return nil, false
 	}
+	e := el.Value.(*cacheEntry)
+	if sha256.Sum256(e.value.ImageBytes) != e.sum {
+		c.removeElement(el)
+		c.corruptEvs++
+		c.misses++
+		return nil, false
+	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).value, true
+	return e.value, true
 }
 
 // add inserts a result, evicting least-recently-used entries until the
@@ -69,7 +89,12 @@ func (c *rewriteCache) add(key string, value *RewriteResult) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	e := &cacheEntry{key: key, value: value, size: int64(len(value.ImageBytes)) + int64(len(key))}
+	e := &cacheEntry{
+		key:   key,
+		value: value,
+		size:  int64(len(value.ImageBytes)) + int64(len(key)),
+		sum:   sha256.Sum256(value.ImageBytes),
+	}
 	c.entries[key] = c.ll.PushFront(e)
 	c.bytes += e.size
 	for c.bytes > c.budget && c.ll.Len() > 1 {
@@ -77,26 +102,53 @@ func (c *rewriteCache) add(key string, value *RewriteResult) {
 	}
 }
 
+// corrupt flips one bit of the entry's image bytes in a private copy
+// (chaos injection). The previously shared bytes are left untouched so
+// responses already in flight stay valid; only future lookups observe the
+// corruption — and get's checksum verification must catch it. pick chooses
+// the bit index in [0, n).
+func (c *rewriteCache) corrupt(key string, pick func(n int) int) bool {
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*cacheEntry)
+	if len(e.value.ImageBytes) == 0 {
+		return false
+	}
+	cp := *e.value
+	cp.ImageBytes = append([]byte(nil), e.value.ImageBytes...)
+	bit := pick(len(cp.ImageBytes) * 8)
+	cp.ImageBytes[bit/8] ^= 1 << (bit % 8)
+	e.value = &cp
+	return true
+}
+
 func (c *rewriteCache) evictOldest() {
 	el := c.ll.Back()
 	if el == nil {
 		return
 	}
+	c.removeElement(el)
+	c.evictions++
+}
+
+func (c *rewriteCache) removeElement(el *list.Element) {
 	e := el.Value.(*cacheEntry)
 	c.ll.Remove(el)
 	delete(c.entries, e.key)
 	c.bytes -= e.size
-	c.evictions++
 }
 
 func (c *rewriteCache) stats() CacheStats {
 	s := CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   c.ll.Len(),
-		Bytes:     c.bytes,
-		Budget:    c.budget,
+		Hits:             c.hits,
+		Misses:           c.misses,
+		Evictions:        c.evictions,
+		CorruptEvictions: c.corruptEvs,
+		Entries:          c.ll.Len(),
+		Bytes:            c.bytes,
+		Budget:           c.budget,
 	}
 	if total := s.Hits + s.Misses; total > 0 {
 		s.HitRatio = float64(s.Hits) / float64(total)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"github.com/eurosys26p57/chimera/internal/obj"
 )
@@ -52,6 +53,24 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// HTTPServer wraps Handler in an http.Server with hardened timeouts: a
+// client that dribbles its headers (slow loris), dribbles its body, or
+// never reads the response cannot pin a connection goroutine forever.
+// WriteTimeout is generous because /run legitimately computes for a while
+// before the first response byte; the per-request deadline inside the
+// Server is the tighter bound.
+func (s *Server) HTTPServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      4 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -65,6 +84,10 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrShuttingDown):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadline):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, ErrBudget):
+		status = http.StatusUnprocessableEntity
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
@@ -155,15 +178,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// handleHealthz reports the ok/degraded/unhealthy machine. Degraded is
+// still 200: the server answers every request (some via the original-image
+// fallback), so load balancers must keep routing to it; the body tells
+// operators that rewriter configs are quarantined.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	closed := s.closed
-	s.mu.RUnlock()
-	if closed {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+	h := s.Health()
+	status := http.StatusOK
+	if h == HealthUnhealthy {
+		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, status, map[string]any{
+		"status":              h,
+		"quarantined_configs": s.brk.active(time.Now()),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

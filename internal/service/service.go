@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/eurosys26p57/chimera/internal/bench"
+	"github.com/eurosys26p57/chimera/internal/chaos"
 	"github.com/eurosys26p57/chimera/internal/chbp"
 	"github.com/eurosys26p57/chimera/internal/emu"
 	"github.com/eurosys26p57/chimera/internal/kernel"
@@ -50,6 +51,31 @@ type Config struct {
 	QueueDepth int
 	// CacheBytes is the rewrite cache budget (default 256 MiB).
 	CacheBytes int64
+	// RequestTimeout bounds each request end-to-end — queue wait, retries,
+	// backoff, execution (default 2 minutes; negative disables). A /rewrite
+	// that exceeds it is answered via degradation; a /run gets 504.
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a failed rewrite attempt is re-submitted
+	// with exponential backoff before the request degrades (default 2;
+	// negative means no retries).
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry (default 10ms);
+	// each further retry doubles it, capped at 1s, plus jitter.
+	RetryBackoff time.Duration
+	// QuarantineAfter opens a rewriter config's circuit breaker after this
+	// many consecutive failed requests (default 3; negative disables
+	// quarantine entirely).
+	QuarantineAfter int
+	// QuarantineFor is how long an open breaker quarantines its config
+	// before the half-open probe (default 30s).
+	QuarantineFor time.Duration
+	// RunMaxInstret is the hard per-/run instruction budget — the watchdog
+	// against unbounded guest loops (default 2e9; negative disables).
+	RunMaxInstret int64
+	// Chaos, when non-nil, injects faults throughout the stack (rewriter
+	// panics/stalls/transients, cache bit-flips, unbounded emulations,
+	// spurious emulator faults). Tests and soaks only; nil in production.
+	Chaos *chaos.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +87,33 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 256 << 20
+	}
+	switch {
+	case c.RequestTimeout == 0:
+		c.RequestTimeout = 2 * time.Minute
+	case c.RequestTimeout < 0:
+		c.RequestTimeout = 0
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 2
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.QuarantineFor <= 0 {
+		c.QuarantineFor = 30 * time.Second
+	}
+	switch {
+	case c.RunMaxInstret == 0:
+		c.RunMaxInstret = 2_000_000_000
+	case c.RunMaxInstret < 0:
+		c.RunMaxInstret = 0
 	}
 	return c
 }
@@ -109,6 +162,12 @@ type RewriteResult struct {
 	Stats      RewriteStats `json:"stats"`
 	CacheHit   bool         `json:"cache_hit"`
 	Deduped    bool         `json:"deduped"` // shared an in-flight identical rewrite
+	// Degraded marks a graceful-degradation answer: the rewrite failed (or
+	// its config is quarantined) and ImageBytes is the ORIGINAL image,
+	// unmodified — the paper's fallback of running the untouched binary on a
+	// core implementing its own ISA (§4.3). DegradedReason says why.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // RunRequest asks for an image to be executed on a simulated core.
@@ -168,12 +227,22 @@ type Server struct {
 
 	flight flightGroup
 	met    *metrics
+	brk    *breakers
 
 	accepted  atomic.Uint64
 	completed atomic.Uint64
 	rejected  atomic.Uint64
 	deduped   atomic.Uint64
 	running   atomic.Int64
+
+	// Fault accounting (FaultStats in /stats).
+	panics          atomic.Uint64
+	retries         atomic.Uint64
+	attemptFailures atomic.Uint64
+	degradations    atomic.Uint64
+	deadlineHits    atomic.Uint64
+	budgetStops     atomic.Uint64
+	lastPanic       atomic.Value // string
 
 	// emuMu guards the aggregated emulator observables below.
 	emuMu sync.Mutex
@@ -219,6 +288,13 @@ func New(cfg Config) *Server {
 		cache:   newRewriteCache(cfg.CacheBytes),
 		met:     newMetrics(),
 	}
+	after := cfg.QuarantineAfter
+	if after < 0 {
+		// Quarantine disabled: an unreachable threshold keeps every breaker
+		// closed without special-casing call sites.
+		after = int(^uint(0) >> 1)
+	}
+	s.brk = newBreakers(after, cfg.QuarantineFor)
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -237,11 +313,26 @@ func (s *Server) worker() {
 		default:
 		}
 		s.running.Add(1)
-		v, err := j.fn()
+		v, err := s.runJob(j)
 		s.running.Add(-1)
 		s.completed.Add(1)
 		j.done <- jobResult{val: v, err: err}
 	}
+}
+
+// runJob executes one job with panic isolation: a panicking rewrite (a
+// rewriter bug, or chaos.RewritePanic) fails only its own request — the
+// worker survives, the pool stays at full strength, and the panic value is
+// preserved in the error and in /stats for diagnosis.
+func (s *Server) runJob(j *job) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.lastPanic.Store(fmt.Sprint(r))
+			err = fmt.Errorf("%w: %v", ErrWorkerPanic, r)
+		}
+	}()
+	return j.fn()
 }
 
 // submit queues fn and waits for its result or ctx. Accepted jobs always
@@ -333,8 +424,11 @@ func validateRewrite(req *RewriteRequest) (riscv.Ext, error) {
 }
 
 // Rewrite serves one rewrite request: cache lookup, then singleflight, then
-// the worker pool. The returned result is a per-request copy; its
-// ImageBytes are shared and must be treated as read-only.
+// the worker pool with retries and a per-config circuit breaker. A rewrite
+// failure is never fatal (the paper's core invariant): quarantined configs,
+// exhausted retries, panics, and deadlines all degrade to the original
+// image. The returned result is a per-request copy; its ImageBytes are
+// shared and must be treated as read-only.
 func (s *Server) Rewrite(ctx context.Context, req *RewriteRequest) (*RewriteResult, error) {
 	startAt := time.Now()
 	isa, err := validateRewrite(req)
@@ -347,42 +441,156 @@ func (s *Server) Rewrite(ctx context.Context, req *RewriteRequest) (*RewriteResu
 		s.met.countError("rewrite")
 		return nil, err
 	}
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
 
-	s.cacheMu.Lock()
-	cached, hit := s.cache.get(key)
-	s.cacheMu.Unlock()
-	if hit {
+	if cached, hit := s.cacheGet(key); hit {
 		s.met.observeEndpoint("rewrite", time.Since(startAt))
 		out := *cached
 		out.CacheHit = true
 		return &out, nil
 	}
 
+	cfgKey := req.Method + "/" + isa.String()
+	if s.brk.quarantined(cfgKey, time.Now()) {
+		return s.degrade(req, key, isa, startAt,
+			fmt.Errorf("%w: %s", ErrQuarantined, cfgKey))
+	}
+
 	val, err, shared := s.flight.do(ctx, key, func() (*RewriteResult, error) {
-		v, err := s.submit(ctx, func() (any, error) {
-			return doRewrite(req, isa, key)
-		})
-		if err != nil {
-			return nil, err
-		}
-		res := v.(*RewriteResult)
-		s.cacheMu.Lock()
-		s.cache.add(key, res)
-		s.cacheMu.Unlock()
-		return res, nil
+		// The retry loop lives INSIDE the flight leader so followers share
+		// the final outcome instead of each mounting their own retry storm.
+		return s.rewriteWithRetries(ctx, req, isa, key, cfgKey)
 	})
 	if shared {
 		s.deduped.Add(1)
 	}
 	if err != nil {
-		s.met.countError("rewrite")
-		return nil, err
+		switch {
+		case errors.Is(err, ErrBadRequest), errors.Is(err, ErrShuttingDown):
+			s.met.countError("rewrite")
+			return nil, err
+		case errors.Is(err, context.Canceled) && ctx.Err() != nil:
+			// This caller is gone; nobody is listening for a degraded answer.
+			s.met.countError("rewrite")
+			return nil, err
+		default:
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.deadlineHits.Add(1)
+				err = fmt.Errorf("%w: %v", ErrDeadline, err)
+			}
+			return s.degrade(req, key, isa, startAt, err)
+		}
 	}
 	s.met.observeEndpoint("rewrite", time.Since(startAt))
 	s.met.observeMethod(req.Method, time.Since(startAt))
 	out := *val
 	out.Deduped = shared
 	return &out, nil
+}
+
+// rewriteWithRetries is the singleflight leader body: submit the rewrite to
+// the pool, retrying transient failures with exponential backoff + jitter,
+// and feed the config's circuit breaker with the request outcome.
+func (s *Server) rewriteWithRetries(ctx context.Context, req *RewriteRequest, isa riscv.Ext, key, cfgKey string) (*RewriteResult, error) {
+	attempts := s.cfg.MaxRetries + 1
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		v, err := s.submit(ctx, func() (any, error) {
+			return s.doRewriteChaos(ctx, req, isa, key)
+		})
+		if err == nil {
+			res := v.(*RewriteResult)
+			s.cacheAdd(key, res)
+			s.brk.success(cfgKey)
+			return res, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			// Caller mistakes, shutdown, and context expiry are not the
+			// config's fault; they neither retry nor count toward quarantine.
+			return nil, err
+		}
+		s.attemptFailures.Add(1)
+		if attempt < attempts {
+			s.retries.Add(1)
+			t := time.NewTimer(backoff(s.cfg.RetryBackoff, attempt))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+		}
+	}
+	s.brk.failure(cfgKey, time.Now())
+	return nil, fmt.Errorf("service: rewrite failed after %d attempts: %w", attempts, lastErr)
+}
+
+// doRewriteChaos interposes the chaos injector between the pool and the
+// rewriter: stalls hold the worker for real (bounded only by the request
+// context), panics unwind through the worker's recover, and transients
+// exercise the retry path. With a nil injector every roll is false.
+func (s *Server) doRewriteChaos(ctx context.Context, req *RewriteRequest, isa riscv.Ext, key string) (any, error) {
+	inj := s.cfg.Chaos
+	if inj.Roll(chaos.RewriteStall) {
+		if err := inj.Stall(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if inj.Roll(chaos.RewritePanic) {
+		panic(chaos.PanicValue)
+	}
+	if inj.Roll(chaos.RewriteTransient) {
+		return nil, chaos.ErrTransient
+	}
+	return doRewrite(req, isa, key)
+}
+
+// degrade answers a failed or quarantined rewrite with the ORIGINAL image,
+// byte-for-byte: the paper's fallback semantics (§4.3) are that when no
+// rewrite is available the unmodified binary still runs, on a core
+// implementing its own ISA — slower, never wrong. Degraded results carry
+// the cause and are never cached, so the next identical request retries
+// the real rewrite (or hits the breaker, which heals by cooldown).
+func (s *Server) degrade(req *RewriteRequest, key string, isa riscv.Ext, startAt time.Time, cause error) (*RewriteResult, error) {
+	var buf bytes.Buffer
+	if _, err := req.Image.WriteTo(&buf); err != nil {
+		s.met.countError("rewrite")
+		return nil, fmt.Errorf("service: serializing degraded fallback: %v (while degrading: %v)", err, cause)
+	}
+	s.degradations.Add(1)
+	s.met.observeEndpoint("rewrite", time.Since(startAt))
+	return &RewriteResult{
+		Key:            key,
+		Method:         req.Method,
+		Target:         isa.String(),
+		ImageBytes:     buf.Bytes(),
+		Degraded:       true,
+		DegradedReason: cause.Error(),
+	}, nil
+}
+
+// cacheGet is the locked cache lookup (hit verification included).
+func (s *Server) cacheGet(key string) (*RewriteResult, bool) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	return s.cache.get(key)
+}
+
+// cacheAdd inserts a fresh result — and, under chaos, may flip one bit of
+// a private copy of the stored entry so the next hit exercises the
+// verification/eviction path. In-flight responses keep the pristine bytes.
+func (s *Server) cacheAdd(key string, res *RewriteResult) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	s.cache.add(key, res)
+	if inj := s.cfg.Chaos; inj.Roll(chaos.CacheCorrupt) {
+		s.cache.corrupt(key, inj.Intn)
+	}
 }
 
 // doRewrite performs the actual rewrite on a worker. The rewriters clone
@@ -441,11 +649,23 @@ func doRewrite(req *RewriteRequest, isa riscv.Ext, key string) (*RewriteResult, 
 	return out, nil
 }
 
-// Run executes an image on a simulated core through the worker pool.
+// Run executes an image on a simulated core through the worker pool, under
+// the per-request deadline and the hard instruction budget. Unlike
+// /rewrite there is no degradation path — the caller asked for execution,
+// so a guest that cannot finish gets ErrDeadline (504) or ErrBudget (422).
 func (s *Server) Run(ctx context.Context, req *RunRequest) (*RunResult, error) {
 	startAt := time.Now()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
 	res, err := s.run(ctx, req)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.deadlineHits.Add(1)
+			err = fmt.Errorf("%w: %v", ErrDeadline, err)
+		}
 		s.met.countError("run")
 		return nil, err
 	}
@@ -468,7 +688,7 @@ func (s *Server) run(ctx context.Context, req *RunRequest) (*RunResult, error) {
 		}
 	}
 	v, err := s.submit(ctx, func() (any, error) {
-		res, wall, err := doRun(req, isa)
+		res, wall, err := s.doRun(ctx, req, isa)
 		if err != nil {
 			return nil, err
 		}
@@ -481,11 +701,22 @@ func (s *Server) run(ctx context.Context, req *RunRequest) (*RunResult, error) {
 	return v.(*RunResult), nil
 }
 
+// runSliceInstr is the /run scheduling quantum: the request context is
+// checked between slices, so the cancellation latency of a runaway guest
+// is one slice of emulation, not the whole run.
+const runSliceInstr = 2_000_000
+
+// chaosLoopAddr hosts the injected unbounded loop: a private page well
+// above any image mapping and below the stack region.
+const chaosLoopAddr = 0x6F00_0000
+
 // doRun executes on a worker. Images are cloned so in-process callers may
-// share one parsed image across concurrent runs. The returned duration is
-// the wall-clock execution time (queue wait excluded), the denominator of
-// the emulated-MIPS metric.
-func doRun(req *RunRequest, isa riscv.Ext) (*RunResult, time.Duration, error) {
+// share one parsed image across concurrent runs. The loop mirrors
+// bench.RunOnCore (total cycles are independent of slice size, so results
+// match the experiments' loop bit-for-bit) but adds the deadline check and
+// the hard instruction budget. The returned duration is the wall-clock
+// execution time (queue wait excluded), the denominator of emulated MIPS.
+func (s *Server) doRun(ctx context.Context, req *RunRequest, isa riscv.Ext) (*RunResult, time.Duration, error) {
 	variants := make([]kernel.Variant, 0, 2)
 	v, err := kernel.VariantFromImage(req.Image.Clone())
 	if err != nil {
@@ -506,12 +737,49 @@ func doRun(req *RunRequest, isa riscv.Ext) (*RunResult, time.Duration, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	startAt := time.Now()
-	cycles, err := bench.RunOnCore(p, isa)
-	wall := time.Since(startAt)
-	if err != nil {
+	if err := p.MigrateTo(isa); err != nil {
 		return nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	p.CPU.ISA = isa
+	if s.cfg.RunMaxInstret > 0 {
+		p.CPU.MaxInstret = uint64(s.cfg.RunMaxInstret)
+	}
+	if inj := s.cfg.Chaos; inj != nil {
+		p.Chaos = inj
+		if inj.Roll(chaos.EmuLoop) {
+			// A genuinely unbounded emulation: point the hart at a private
+			// page holding `jal x0, 0`. Only the budget or the deadline can
+			// end this run — exactly what the watchdog exists for.
+			armInfiniteLoop(p)
+		}
+	}
+	startAt := time.Now()
+	var cycles uint64
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		n, st, err := p.Run(runSliceInstr)
+		cycles += n
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		switch st {
+		case kernel.StatusExited:
+			if p.ExitCode >= 128 {
+				return nil, 0, fmt.Errorf("%w: %s killed by signal %d", ErrBadRequest, req.Image.Name, p.ExitCode-128)
+			}
+		case kernel.StatusNeedMigration:
+			return nil, 0, fmt.Errorf("%w: %s cannot run on %v", ErrBadRequest, req.Image.Name, isa)
+		case kernel.StatusBudget:
+			s.budgetStops.Add(1)
+			return nil, 0, fmt.Errorf("%w: %d instructions retired without exiting", ErrBudget, p.CPU.Instret)
+		default:
+			continue
+		}
+		break
+	}
+	wall := time.Since(startAt)
 	res := &RunResult{
 		ExitCode:   p.ExitCode,
 		Cycles:     cycles,
@@ -521,16 +789,28 @@ func doRun(req *RunRequest, isa riscv.Ext) (*RunResult, time.Duration, error) {
 		Counters:   p.Counters,
 		Blocks:     p.CPU.Blocks,
 	}
-	if s := wall.Seconds(); s > 0 {
-		res.EmulatedMIPS = float64(res.Instret) / s / 1e6
+	if sec := wall.Seconds(); sec > 0 {
+		res.EmulatedMIPS = float64(res.Instret) / sec / 1e6
 	}
 	return res, wall, nil
+}
+
+// armInfiniteLoop maps a page containing `jal x0, 0` and points the hart at
+// it (the chaos.EmuLoop injection).
+func armInfiniteLoop(p *kernel.Process) {
+	p.CPU.Mem.Map(chaosLoopAddr, obj.PageSize, obj.PermRX)
+	word := riscv.MustEncode(riscv.Inst{Op: riscv.JAL, Rd: riscv.Zero, Imm: 0})
+	p.CPU.Mem.Poke(chaosLoopAddr, []byte{
+		byte(word), byte(word >> 8), byte(word >> 16), byte(word >> 24),
+	})
+	p.CPU.PC = chaosLoopAddr
 }
 
 // Stats is the /stats payload: cache counters, pool gauges, and latency
 // histograms per endpoint and per rewriter method.
 type Stats struct {
 	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Health        string                    `json:"health"`
 	Workers       int                       `json:"workers"`
 	QueueDepth    int                       `json:"queue_depth"`
 	QueueCap      int                       `json:"queue_cap"`
@@ -541,9 +821,29 @@ type Stats struct {
 	Deduped       uint64                    `json:"deduped"`
 	Cache         CacheStats                `json:"cache"`
 	Emulator      EmuStats                  `json:"emulator"`
+	Faults        FaultStats                `json:"faults"`
 	Endpoints     map[string]LatencySummary `json:"endpoints"`
 	PerMethod     map[string]LatencySummary `json:"per_method"`
 	Errors        map[string]uint64         `json:"errors"`
+	// Chaos is the injector's fire counts by fault kind; absent when chaos
+	// is off.
+	Chaos map[string]uint64 `json:"chaos,omitempty"`
+}
+
+// Health returns the server's health state: unhealthy while draining or
+// shut down, degraded while at least one rewriter config is quarantined,
+// ok otherwise.
+func (s *Server) Health() string {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return HealthUnhealthy
+	}
+	if s.brk.active(time.Now()) > 0 {
+		return HealthDegraded
+	}
+	return HealthOK
 }
 
 // Stats snapshots the server's observables.
@@ -560,8 +860,25 @@ func (s *Server) Stats() Stats {
 	es.BlockHitRatio = es.Blocks.HitRatio()
 	es.RetiredPerDispatch = es.Blocks.RetiredPerDispatch()
 	eps, methods, errs := s.met.snapshot()
+	fs := FaultStats{
+		Panics:             s.panics.Load(),
+		Retries:            s.retries.Load(),
+		AttemptFailures:    s.attemptFailures.Load(),
+		QuarantineTrips:    s.brk.tripCount(),
+		QuarantinedConfigs: s.brk.active(time.Now()),
+		Degradations:       s.degradations.Load(),
+		DeadlineExceeded:   s.deadlineHits.Load(),
+		BudgetStops:        s.budgetStops.Load(),
+		CacheCorruptions:   cs.CorruptEvictions,
+	}
+	if v := s.lastPanic.Load(); v != nil {
+		fs.LastPanic = v.(string)
+	}
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Health:        s.Health(),
+		Faults:        fs,
+		Chaos:         s.cfg.Chaos.Counts(),
 		Workers:       s.cfg.Workers,
 		QueueDepth:    len(s.queue),
 		QueueCap:      s.cfg.QueueDepth,

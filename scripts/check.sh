@@ -18,6 +18,8 @@ echo "== go build ./..."
 go build ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== chaos soak (1000 requests, fixed seed, -race)"
+CHIMERA_CHAOS_SOAK=1 go test -race -run 'TestChaosSoak' -count=1 -timeout 300s ./internal/service
 echo "== bench smoke (1 iteration)"
 go test -run=- -bench=. -benchtime=1x ./... >/dev/null
 echo "== fuzz smoke (10s per target)"

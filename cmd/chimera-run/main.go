@@ -8,6 +8,9 @@
 //	chimera-run -isa rv64gc prog.gc.chim       # run on a base core
 //	chimera-run -isa rv64gc -with prog.chim prog.gc.chim
 //	                                           # load both variants as MMViews
+//	chimera-run -profile prog.chim             # symbolized hot-block profile
+//	chimera-run -profile -folded p.folded prog.chim
+//	                                           # + flamegraph folded stacks
 package main
 
 import (
@@ -16,9 +19,11 @@ import (
 	"os"
 	"time"
 
+	"github.com/eurosys26p57/chimera/internal/emu"
 	"github.com/eurosys26p57/chimera/internal/kernel"
 	"github.com/eurosys26p57/chimera/internal/obj"
 	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/telemetry"
 )
 
 func main() {
@@ -26,6 +31,9 @@ func main() {
 	with := flag.String("with", "", "additional variant image to load as a sibling MMView")
 	verbose := flag.Bool("v", false, "print kernel counters")
 	stats := flag.Bool("stats", false, "print emulator throughput and block-cache statistics")
+	profile := flag.Bool("profile", false, "profile the guest: print hot basic blocks (symbolized) and folded stacks")
+	folded := flag.String("folded", "", "with -profile, also write flamegraph folded-stack lines to this file")
+	top := flag.Int("top", 10, "with -profile, number of hot blocks to print")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: chimera-run [-isa rv64gc] [-with other.chim] prog.chim")
@@ -67,6 +75,17 @@ func main() {
 		fatal(err)
 	}
 	p.CPU.ISA = isa
+	var prof *telemetry.GuestProfiler
+	var syms *telemetry.SymTable
+	if *profile {
+		prof = telemetry.NewGuestProfiler()
+		p.CPU.Prof = prof
+		imgs := []*obj.Image{img}
+		for _, v := range variants[1:] {
+			imgs = append(imgs, v.Image)
+		}
+		syms = emu.SymTableOf(imgs...)
+	}
 
 	var total uint64
 	startAt := time.Now()
@@ -99,6 +118,21 @@ func main() {
 			p.CPU.Instret, p.CPU.Cycles, mips)
 		fmt.Printf("[blocks: %d built, %d hits (%.1f%% hit ratio), %d invalidations, %.1f insts/dispatch]\n",
 			b.Built, b.Hits, 100*b.HitRatio(), b.Invalidations, b.RetiredPerDispatch())
+	}
+	if *profile {
+		fmt.Printf("\n[guest profile: %d distinct blocks]\n", prof.Blocks())
+		prof.WriteTable(os.Stdout, syms, *top)
+		if *folded != "" {
+			f, err := os.Create(*folded)
+			if err != nil {
+				fatal(err)
+			}
+			prof.FoldedStacks(f, img.Name, syms)
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("[folded stacks written to %s]\n", *folded)
+		}
 	}
 	if p.ExitCode >= 128 {
 		os.Exit(int(p.ExitCode - 128))

@@ -8,7 +8,13 @@
 //	chimera-served -addr :8080 -workers 8 -cache-mb 256 \
 //	    -request-timeout 2m -max-retries 2
 //
-// Endpoints: POST /rewrite, POST /run, GET /healthz, GET /stats.
+// Endpoints: POST /rewrite, POST /run, GET /healthz, GET /stats,
+// GET /metrics (Prometheus), GET /trace/{id}, GET /profile.
+//
+// Observability: every response to a traced endpoint carries an
+// X-Chimera-Trace header naming its /trace/{id} record; -debug-addr
+// mounts net/http/pprof on a SEPARATE listener (keep it private);
+// -guest-profile enables the per-image guest profiler served at /profile.
 //
 // Failure policy: a rewrite that keeps failing (panic, stall, repeated
 // errors) is retried with backoff, its config is quarantined by a circuit
@@ -22,6 +28,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on http.DefaultServeMux, served only via -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +49,9 @@ func main() {
 	maxRetries := flag.Int("max-retries", 2, "rewrite retries before degrading to the original image (negative = none)")
 	runBudget := flag.Int64("run-max-instret", 0, "per-/run instruction budget (0 = default 2e9, negative = off)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "enable fault injection with this seed (0 = off; NEVER in production)")
+	traceCap := flag.Int("trace-capacity", 0, "request traces retained for /trace/{id} (0 = default 256, negative = tracing off)")
+	guestProfile := flag.Bool("guest-profile", false, "profile guest execution per image and serve it at /profile")
+	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = off; never expose publicly)")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -50,6 +61,8 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		MaxRetries:     *maxRetries,
 		RunMaxInstret:  *runBudget,
+		TraceCapacity:  *traceCap,
+		GuestProfile:   *guestProfile,
 	}
 	if *chaosSeed != 0 {
 		cfg.Chaos = chaos.Default(*chaosSeed)
@@ -61,6 +74,18 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "chimera-served: listening on %s\n", *addr)
+
+	// pprof lives on its own listener, never the public API: importing
+	// net/http/pprof mutates http.DefaultServeMux, so the debug server uses
+	// exactly that mux while the API handler keeps its own.
+	if *debugAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "chimera-served: pprof on %s (do not expose publicly)\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, http.DefaultServeMux); err != nil {
+				fmt.Fprintf(os.Stderr, "chimera-served: pprof listener: %v\n", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

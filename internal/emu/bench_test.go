@@ -13,6 +13,7 @@ import (
 	"github.com/eurosys26p57/chimera/internal/kernel"
 	"github.com/eurosys26p57/chimera/internal/obj"
 	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/telemetry"
 	"github.com/eurosys26p57/chimera/internal/workload"
 )
 
@@ -87,6 +88,44 @@ func BenchmarkCPURunMatmulRVV(b *testing.B) {
 	benchBoth(b, func() (*obj.Image, error) {
 		return workload.Matmul(24, true, true)
 	}, riscv.RV64GCV)
+}
+
+// BenchmarkCPURunProfiler measures the guest profiler's cost on the block
+// engine's hot loop: "off" is the production default (one nil check per
+// block dispatch), "on" pays a map update per dispatch. scripts/bench.sh
+// derives profiler_overhead_pct from the two ns/inst numbers; the off case
+// must stay within noise of the pre-profiler baseline.
+func BenchmarkCPURunProfiler(b *testing.B) {
+	img, err := workload.Matmul(24, false, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		prof bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			mem := emu.NewMemory()
+			mem.MapImage(img)
+			cpu := emu.NewCPU(mem, riscv.RV64GC)
+			if mode.prof {
+				cpu.Prof = telemetry.NewGuestProfiler()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := cpu.Instret
+			for i := 0; i < b.N; i++ {
+				cpu.Reset(img)
+				runToCompletion(b, cpu)
+			}
+			insts := cpu.Instret - start
+			sec := b.Elapsed().Seconds()
+			if insts > 0 && sec > 0 {
+				b.ReportMetric(float64(insts)/sec/1e6, "Minst/s")
+				b.ReportMetric(sec*1e9/float64(insts), "ns/inst")
+			}
+		})
+	}
 }
 
 // BenchmarkCPURunSPEC measures a SPEC-shaped synthetic driven through the

@@ -286,11 +286,15 @@ func (c *CPU) runBlocks(limit uint64) Stop {
 			}
 		}
 		before := c.Instret
+		cyclesBefore := c.Cycles
 		stop, halted, exit := c.execBlock(blk, remaining)
 		retired := c.Instret - before
 		c.Blocks.Dispatches++
 		c.Blocks.Retired += retired
 		remaining -= retired
+		if c.Prof != nil {
+			c.Prof.Sample(blk.pc, retired, c.Cycles-cyclesBefore)
+		}
 		if halted {
 			return stop
 		}

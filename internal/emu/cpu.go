@@ -8,6 +8,7 @@ import (
 
 	"github.com/eurosys26p57/chimera/internal/obj"
 	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/telemetry"
 )
 
 // FaultKind classifies a deterministic fault, mirroring the signals the
@@ -120,6 +121,11 @@ type CPU struct {
 
 	// Blocks tallies basic-block translation cache events (block.go).
 	Blocks BlockStats
+
+	// Prof, when non-nil, accumulates per-block cycle/instret samples on
+	// every block dispatch (the guest profiler). Nil means off: the block
+	// engine pays exactly one nil check per dispatch.
+	Prof *telemetry.GuestProfiler
 
 	// icache is a direct-mapped decoded-instruction cache, invalidated by
 	// the memory generation counter (code patching bumps it).

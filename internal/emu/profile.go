@@ -1,0 +1,25 @@
+package emu
+
+import (
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/telemetry"
+)
+
+// SymTableOf converts an image's function symbols into the telemetry
+// profiler's symbolizer shape (telemetry stays dependency-free, so the
+// conversion lives on the emulator side, which already speaks obj).
+func SymTableOf(imgs ...*obj.Image) *telemetry.SymTable {
+	var syms []telemetry.Sym
+	for _, img := range imgs {
+		if img == nil {
+			continue
+		}
+		for _, s := range img.FuncSymbols() {
+			syms = append(syms, telemetry.Sym{Name: s.Name, Addr: s.Addr, Size: s.Size})
+		}
+	}
+	if len(syms) == 0 {
+		return nil
+	}
+	return telemetry.NewSymTable(syms)
+}

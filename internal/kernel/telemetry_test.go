@@ -1,0 +1,86 @@
+package kernel
+
+import (
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/telemetry"
+)
+
+// TestSchedTelemetry runs the FAM scenario with a registry attached and
+// asserts the scheduler's metrics agree exactly with the run's results.
+func TestSchedTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tel := NewSchedTelemetry(reg)
+
+	m := NewMachine(2, 2)
+	s := NewScheduler(m)
+	s.Tel = tel
+	s.SliceInstr = 10_000
+	const tasks = 4
+	for i := 0; i < tasks; i++ {
+		img := buildVecProgram(t, 2)
+		p, err := NewProcess("fam", []Variant{{ISA: riscv.RV64GCV, Image: img}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.FAM = true
+		s.Submit(&Task{Proc: p, NeedsExt: false})
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := tel.completions.Value(); got != tasks {
+		t.Errorf("completions = %d, want %d", got, tasks)
+	}
+	if got := tel.failures.Value(); got != 0 {
+		t.Errorf("failures = %d, want 0", got)
+	}
+	var wantDispatch, wantMigrations, wantFaults, wantSyscalls, wantCycles uint64
+	for _, task := range res.Tasks {
+		wantDispatch += uint64(task.Dispatches)
+		c := task.Proc.Counters
+		wantMigrations += c.Migrations
+		wantFaults += c.FaultRecoveries
+		wantSyscalls += c.Syscalls
+		wantCycles += c.KernelCycles
+	}
+	if got := tel.dispatches.Value(); got != wantDispatch {
+		t.Errorf("dispatches = %d, want %d", got, wantDispatch)
+	}
+	if got := tel.migrations.Value(); got != wantMigrations {
+		t.Errorf("migrations = %d, want %d", got, wantMigrations)
+	}
+	if wantMigrations == 0 {
+		t.Error("FAM scenario produced no migrations")
+	}
+	if got := tel.faultRecoveries.Value(); got != wantFaults {
+		t.Errorf("fault recoveries = %d, want %d", got, wantFaults)
+	}
+	if got := tel.syscalls.Value(); got != wantSyscalls {
+		t.Errorf("syscalls = %d, want %d", got, wantSyscalls)
+	}
+	if got := tel.kernelCycles.Value(); got != wantCycles {
+		t.Errorf("kernel cycles = %d, want %d", got, wantCycles)
+	}
+}
+
+// TestSchedTelemetryNil: a scheduler without telemetry must behave
+// identically (the hooks are nil-safe).
+func TestSchedTelemetryNil(t *testing.T) {
+	m := NewMachine(1, 1)
+	s := NewScheduler(m)
+	s.SliceInstr = 10_000
+	img := buildVecProgram(t, 2)
+	p, err := NewProcess("fam", []Variant{{ISA: riscv.RV64GCV, Image: img}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FAM = true
+	s.Submit(&Task{Proc: p, NeedsExt: false})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,9 @@ package service
 import (
 	"container/list"
 	"crypto/sha256"
+	"time"
+
+	"github.com/eurosys26p57/chimera/internal/telemetry"
 )
 
 // CacheStats is a point-in-time snapshot of the rewrite cache's counters.
@@ -39,21 +42,30 @@ type cacheEntry struct {
 // Server guards it with its own mutex so hit accounting and LRU reordering
 // stay atomic with respect to concurrent lookups.
 type rewriteCache struct {
-	budget     int64
-	ll         *list.List // front = most recently used
-	entries    map[string]*list.Element
-	bytes      int64
-	hits       uint64
-	misses     uint64
-	evictions  uint64
-	corruptEvs uint64
+	budget  int64
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	bytes   int64
+	// met are the cache's registry instruments: counting directly into the
+	// telemetry registry is what keeps /stats and /metrics in agreement.
+	met cacheCounters
 }
 
-func newRewriteCache(budget int64) *rewriteCache {
+// cacheCounters are the registry instruments the cache records into.
+type cacheCounters struct {
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
+	corrupt   *telemetry.Counter
+	verify    *telemetry.Histogram // checksum verification latency
+}
+
+func newRewriteCache(budget int64, met cacheCounters) *rewriteCache {
 	return &rewriteCache{
 		budget:  budget,
 		ll:      list.New(),
 		entries: make(map[string]*list.Element),
+		met:     met,
 	}
 }
 
@@ -64,17 +76,20 @@ func newRewriteCache(budget int64) *rewriteCache {
 func (c *rewriteCache) get(key string) (*RewriteResult, bool) {
 	el, ok := c.entries[key]
 	if !ok {
-		c.misses++
+		c.met.misses.Inc()
 		return nil, false
 	}
 	e := el.Value.(*cacheEntry)
-	if sha256.Sum256(e.value.ImageBytes) != e.sum {
+	vstart := time.Now()
+	sum := sha256.Sum256(e.value.ImageBytes)
+	c.met.verify.Observe(time.Since(vstart).Seconds())
+	if sum != e.sum {
 		c.removeElement(el)
-		c.corruptEvs++
-		c.misses++
+		c.met.corrupt.Inc()
+		c.met.misses.Inc()
 		return nil, false
 	}
-	c.hits++
+	c.met.hits.Inc()
 	c.ll.MoveToFront(el)
 	return e.value, true
 }
@@ -130,7 +145,7 @@ func (c *rewriteCache) evictOldest() {
 		return
 	}
 	c.removeElement(el)
-	c.evictions++
+	c.met.evictions.Inc()
 }
 
 func (c *rewriteCache) removeElement(el *list.Element) {
@@ -142,10 +157,10 @@ func (c *rewriteCache) removeElement(el *list.Element) {
 
 func (c *rewriteCache) stats() CacheStats {
 	s := CacheStats{
-		Hits:             c.hits,
-		Misses:           c.misses,
-		Evictions:        c.evictions,
-		CorruptEvictions: c.corruptEvs,
+		Hits:             c.met.hits.Value(),
+		Misses:           c.met.misses.Value(),
+		Evictions:        c.met.evictions.Value(),
+		CorruptEvictions: c.met.corrupt.Value(),
 		Entries:          c.ll.Len(),
 		Bytes:            c.bytes,
 		Budget:           c.budget,

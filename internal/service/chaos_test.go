@@ -21,6 +21,7 @@ import (
 	"github.com/eurosys26p57/chimera/internal/chaos"
 	"github.com/eurosys26p57/chimera/internal/kernel"
 	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/telemetry"
 	"github.com/eurosys26p57/chimera/internal/workload"
 )
 
@@ -244,7 +245,7 @@ func TestQuarantineAndDegradation(t *testing.T) {
 // after the threshold, half-open probe after cooldown, instant re-open on
 // a failed probe, full close on a successful one.
 func TestBreakerHalfOpen(t *testing.T) {
-	b := newBreakers(2, time.Minute)
+	b := newBreakers(2, time.Minute, telemetry.NewRegistry().Counter("chimera_breaker_trips_total", "trips"))
 	now := time.Now()
 	if b.failure("k", now); b.quarantined("k", now) {
 		t.Fatal("open after one failure")
@@ -627,5 +628,30 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if chm := st.Chaos; chm == nil || chm[chaos.RewritePanic.String()] != inj.Fired(chaos.RewritePanic) {
 		t.Errorf("stats chaos block missing or stale: %v", chm)
+	}
+
+	// Telemetry: /metrics is rendered from the same registry as /stats, so
+	// the injected fault counts must appear there too, exactly.
+	mx := scrape(t, srv.Handler())
+	for _, chk := range []struct {
+		name string
+		want uint64
+	}{
+		{"chimera_worker_panics_total", inj.Fired(chaos.RewritePanic)},
+		{"chimera_run_budget_stops_total", st.Faults.BudgetStops},
+		{"chimera_deadline_exceeded_total", st.Faults.DeadlineExceeded},
+		{"chimera_cache_corrupt_evictions_total", st.Cache.CorruptEvictions},
+		{"chimera_degradations_total", st.Faults.Degradations},
+		{"chimera_breaker_trips_total", st.Faults.QuarantineTrips},
+	} {
+		if got := mx[chk.name]; got != float64(chk.want) {
+			t.Errorf("/metrics %s = %v, want %d", chk.name, got, chk.want)
+		}
+	}
+	// Spurious faults fold into the registry when a run completes; runs the
+	// deadline killed take their kernel counters with them, so the metric is
+	// bounded by — not equal to — the injected count.
+	if got := mx["chimera_kernel_spurious_faults_total"]; got > float64(inj.Fired(chaos.SpuriousFault)) {
+		t.Errorf("/metrics spurious faults %v exceed injected %d", got, inj.Fired(chaos.SpuriousFault))
 	}
 }

@@ -2,13 +2,17 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/telemetry"
 )
 
 // maxBodyBytes bounds request bodies. The wire format already caps section
@@ -40,16 +44,22 @@ type errorResponse struct {
 
 // Handler returns the service's HTTP API:
 //
-//	POST /rewrite  rewrite an image (JSON in/out, image in the obj wire format)
-//	POST /run      execute an image on a simulated core
-//	GET  /healthz  liveness probe
-//	GET  /stats    counters, cache state, latency histograms
+//	POST /rewrite     rewrite an image (JSON in/out, image in the obj wire format)
+//	POST /run         execute an image on a simulated core
+//	GET  /healthz     liveness probe
+//	GET  /stats       counters, cache state, latency histograms (JSON)
+//	GET  /metrics     the same counters in Prometheus text exposition
+//	GET  /trace/{id}  one request trace (id from the X-Chimera-Trace header)
+//	GET  /profile     guest profiles aggregated per image (when enabled)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/rewrite", s.handleRewrite)
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/metrics", s.tel.reg)
+	mux.HandleFunc("/trace/", s.handleTrace)
+	mux.HandleFunc("/profile", s.handleProfile)
 	return mux
 }
 
@@ -132,7 +142,9 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := s.Rewrite(r.Context(), &RewriteRequest{
+	ctx, tr := s.startTrace(w, r.Context(), "rewrite")
+	defer tr.Finish()
+	res, err := s.Rewrite(ctx, &RewriteRequest{
 		Method:           body.Method,
 		Target:           body.Target,
 		EmptyPatch:       body.EmptyPatch,
@@ -170,7 +182,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := s.Run(r.Context(), req)
+	ctx, tr := s.startTrace(w, r.Context(), "run")
+	defer tr.Finish()
+	res, err := s.Run(ctx, req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -196,4 +210,49 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// startTrace begins a request trace (when tracing is enabled), threads it
+// through the context so the pipeline can record spans, and announces its
+// id in the X-Chimera-Trace response header so clients can fetch the full
+// timeline from /trace/{id} after the response.
+func (s *Server) startTrace(w http.ResponseWriter, ctx context.Context, name string) (context.Context, *telemetry.Trace) {
+	tr := s.tracer.Start(name)
+	if tr != nil {
+		w.Header().Set("X-Chimera-Trace", tr.ID)
+	}
+	return telemetry.ContextWithTrace(ctx, tr), tr
+}
+
+// handleTrace serves one finished trace as JSON: GET /trace/{id}.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/trace/")
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "trace id required: GET /trace/{id}"})
+		return
+	}
+	tr, ok := s.tracer.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "trace not found (evicted or never existed): " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Export())
+}
+
+// handleProfile serves the per-image guest profiles: GET /profile[?top=N].
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.GuestProfile {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "guest profiling disabled (enable with Config.GuestProfile)"})
+		return
+	}
+	top := 10
+	if v := r.URL.Query().Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "top must be a positive integer"})
+			return
+		}
+		top = n
+	}
+	writeJSON(w, http.StatusOK, s.Profiles(top))
 }

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"time"
+
+	"github.com/eurosys26p57/chimera/internal/emu"
+	"github.com/eurosys26p57/chimera/internal/kernel"
+	"github.com/eurosys26p57/chimera/internal/telemetry"
+)
+
+// serviceMetrics is the server's single source of truth for counters and
+// latency distributions: every observable lives in the telemetry registry,
+// and both /metrics (Prometheus exposition) and /stats (the JSON blob) are
+// rendered FROM it, so the two can never disagree.
+type serviceMetrics struct {
+	reg *telemetry.Registry
+
+	// Request lifecycle counters.
+	accepted  *telemetry.Counter
+	completed *telemetry.Counter
+	rejected  *telemetry.Counter
+	deduped   *telemetry.Counter
+
+	// Fault accounting (FaultStats in /stats).
+	panics          *telemetry.Counter
+	retries         *telemetry.Counter
+	attemptFailures *telemetry.Counter
+	degradations    *telemetry.Counter
+	deadlineHits    *telemetry.Counter
+	budgetStops     *telemetry.Counter
+	breakerTrips    *telemetry.Counter
+
+	// Rewrite cache.
+	cacheHits      *telemetry.Counter
+	cacheMisses    *telemetry.Counter
+	cacheEvictions *telemetry.Counter
+	cacheCorrupt   *telemetry.Counter
+
+	// Latency distributions.
+	requestSeconds *telemetry.HistogramVec // {endpoint}
+	methodSeconds  *telemetry.HistogramVec // {method}
+	stageSeconds   *telemetry.HistogramVec // {stage}
+	requestErrors  *telemetry.CounterVec   // {endpoint}
+
+	// Pre-resolved stage children (hot paths keep the child pointer).
+	stageCacheLookup *telemetry.Histogram
+	stageFlightWait  *telemetry.Histogram
+	stageQueueWait   *telemetry.Histogram
+	stageRewrite     *telemetry.Histogram
+	stageVerify      *telemetry.Histogram
+	stageRunExec     *telemetry.Histogram
+
+	// Emulator aggregates over all /run requests.
+	guestRuns     *telemetry.Counter
+	guestInstret  *telemetry.Counter
+	guestCycles   *telemetry.Counter
+	blocksBuilt   *telemetry.Counter
+	blockHits     *telemetry.Counter
+	blockInvalids *telemetry.Counter
+	blockDisp     *telemetry.Counter
+	blockRetired  *telemetry.Counter
+
+	// kernelTel folds each run's kernel.Counters into the shared
+	// chimera_kernel_* families (and registers the scheduler families).
+	kernelTel *kernel.SchedTelemetry
+}
+
+func newServiceMetrics() *serviceMetrics {
+	r := telemetry.NewRegistry()
+	db := telemetry.DurationBuckets()
+	m := &serviceMetrics{
+		reg: r,
+
+		accepted:  r.Counter("chimera_requests_accepted_total", "requests admitted to the worker queue"),
+		completed: r.Counter("chimera_requests_completed_total", "jobs finished by a worker"),
+		rejected:  r.Counter("chimera_requests_rejected_total", "requests refused while shutting down"),
+		deduped:   r.Counter("chimera_requests_deduped_total", "requests that shared an in-flight identical rewrite"),
+
+		panics:          r.Counter("chimera_worker_panics_total", "rewrites that panicked on a worker and were isolated"),
+		retries:         r.Counter("chimera_rewrite_retries_total", "rewrite attempts re-submitted after a transient failure"),
+		attemptFailures: r.Counter("chimera_rewrite_attempt_failures_total", "individual failed rewrite attempts before retry accounting"),
+		degradations:    r.Counter("chimera_degradations_total", "requests answered with the original image via graceful degradation"),
+		deadlineHits:    r.Counter("chimera_deadline_exceeded_total", "requests that hit their per-request deadline"),
+		budgetStops:     r.Counter("chimera_run_budget_stops_total", "runs ended by the hard instruction budget"),
+		breakerTrips:    r.Counter("chimera_breaker_trips_total", "circuit breaker openings (rewriter config quarantines)"),
+
+		cacheHits:      r.Counter("chimera_cache_hits_total", "rewrite cache hits"),
+		cacheMisses:    r.Counter("chimera_cache_misses_total", "rewrite cache misses"),
+		cacheEvictions: r.Counter("chimera_cache_evictions_total", "rewrite cache LRU evictions"),
+		cacheCorrupt:   r.Counter("chimera_cache_corrupt_evictions_total", "cache entries that failed checksum verification on a hit and were evicted"),
+
+		requestSeconds: r.HistogramVec("chimera_request_seconds", "end-to-end request latency by endpoint", db, "endpoint"),
+		methodSeconds:  r.HistogramVec("chimera_method_seconds", "successful rewrite latency by rewriter method", db, "method"),
+		stageSeconds:   r.HistogramVec("chimera_stage_seconds", "per-stage latency within the request pipeline", db, "stage"),
+		requestErrors:  r.CounterVec("chimera_request_errors_total", "requests that returned an error, by endpoint", "endpoint"),
+
+		guestRuns:     r.Counter("chimera_guest_runs_total", "completed guest executions"),
+		guestInstret:  r.Counter("chimera_guest_instret_total", "guest instructions retired across all runs"),
+		guestCycles:   r.Counter("chimera_guest_cycles_total", "simulated cycles across all runs"),
+		blocksBuilt:   r.Counter("chimera_blocks_built_total", "basic blocks decoded and cached"),
+		blockHits:     r.Counter("chimera_block_hits_total", "block dispatches served from the translation cache"),
+		blockInvalids: r.Counter("chimera_block_invalidations_total", "cached blocks dropped for a stale generation or ISA"),
+		blockDisp:     r.Counter("chimera_block_dispatches_total", "basic-block executions"),
+		blockRetired:  r.Counter("chimera_block_retired_total", "instructions retired via block dispatch"),
+	}
+	m.stageCacheLookup = m.stageSeconds.With("cache_lookup")
+	m.stageFlightWait = m.stageSeconds.With("singleflight_wait")
+	m.stageQueueWait = m.stageSeconds.With("queue_wait")
+	m.stageRewrite = m.stageSeconds.With("rewrite")
+	m.stageVerify = m.stageSeconds.With("verify")
+	m.stageRunExec = m.stageSeconds.With("run_exec")
+	m.kernelTel = kernel.NewSchedTelemetry(r)
+	return m
+}
+
+// observeStage records one stage duration on a pre-resolved child.
+func observeStage(h *telemetry.Histogram, d time.Duration) { h.Observe(d.Seconds()) }
+
+// recordRun folds one completed execution into the registry.
+func (m *serviceMetrics) recordRun(res *RunResult, wall time.Duration) {
+	m.guestRuns.Inc()
+	m.guestInstret.Add(res.Instret)
+	m.guestCycles.Add(res.Cycles)
+	m.stageRunExec.Observe(wall.Seconds())
+	m.blocksBuilt.Add(res.Blocks.Built)
+	m.blockHits.Add(res.Blocks.Hits)
+	m.blockInvalids.Add(res.Blocks.Invalidations)
+	m.blockDisp.Add(res.Blocks.Dispatches)
+	m.blockRetired.Add(res.Blocks.Retired)
+	m.kernelTel.AddCounters(res.Counters)
+}
+
+// blockStats rebuilds the aggregate block tally from the registry.
+func (m *serviceMetrics) blockStats() emu.BlockStats {
+	return emu.BlockStats{
+		Built:         m.blocksBuilt.Value(),
+		Hits:          m.blockHits.Value(),
+		Invalidations: m.blockInvalids.Value(),
+		Dispatches:    m.blockDisp.Value(),
+		Retired:       m.blockRetired.Value(),
+	}
+}

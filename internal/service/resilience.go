@@ -6,6 +6,8 @@ import (
 	"math/rand/v2"
 	"sync"
 	"time"
+
+	"github.com/eurosys26p57/chimera/internal/telemetry"
 )
 
 // Failure-path errors. The HTTP layer maps ErrDeadline to 504 and
@@ -70,17 +72,18 @@ type breaker struct {
 	openUntil   time.Time
 }
 
-// breakers is the config-keyed breaker table.
+// breakers is the config-keyed breaker table. Trips count directly into
+// the telemetry registry.
 type breakers struct {
 	mu       sync.Mutex
 	m        map[string]*breaker
 	after    int
 	cooldown time.Duration
-	trips    uint64
+	trips    *telemetry.Counter
 }
 
-func newBreakers(after int, cooldown time.Duration) *breakers {
-	return &breakers{m: make(map[string]*breaker), after: after, cooldown: cooldown}
+func newBreakers(after int, cooldown time.Duration, trips *telemetry.Counter) *breakers {
+	return &breakers{m: make(map[string]*breaker), after: after, cooldown: cooldown, trips: trips}
 }
 
 // quarantined reports whether key's breaker is open at now.
@@ -126,7 +129,7 @@ func (b *breakers) failure(key string, now time.Time) bool {
 	br.consecutive++
 	if br.consecutive >= b.after && now.After(br.openUntil) {
 		br.openUntil = now.Add(b.cooldown)
-		b.trips++
+		b.trips.Inc()
 		return true
 	}
 	return false
@@ -145,11 +148,7 @@ func (b *breakers) active(now time.Time) int {
 	return n
 }
 
-func (b *breakers) tripCount() uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.trips
-}
+func (b *breakers) tripCount() uint64 { return b.trips.Value() }
 
 // backoff returns the exponential-with-jitter delay before retry attempt
 // n (1-based): base·2^(n-1), plus up to 50% jitter so synchronized

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +29,7 @@ import (
 	"github.com/eurosys26p57/chimera/internal/obj"
 	"github.com/eurosys26p57/chimera/internal/rewriters"
 	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/telemetry"
 )
 
 // Errors the server returns for request-shaped problems. The HTTP layer
@@ -76,6 +79,14 @@ type Config struct {
 	// panics/stalls/transients, cache bit-flips, unbounded emulations,
 	// spurious emulator faults). Tests and soaks only; nil in production.
 	Chaos *chaos.Injector
+	// TraceCapacity bounds the request-trace ring buffer (default 256;
+	// negative disables tracing entirely).
+	TraceCapacity int
+	// GuestProfile enables the guest-level profiler on every /run: per-block
+	// cycle/instret accumulation, aggregated per image and exposed on
+	// /profile. Off by default (the profiler-off path costs one nil check
+	// per block dispatch).
+	GuestProfile bool
 }
 
 func (c Config) withDefaults() Config {
@@ -198,6 +209,10 @@ type job struct {
 	ctx  context.Context
 	fn   func() (any, error)
 	done chan jobResult
+	// enq stamps queue admission; the worker observes the queue-wait stage
+	// (and ends the request trace's queue_wait span) at pickup.
+	enq   time.Time
+	qspan *telemetry.Span
 }
 
 type jobResult struct {
@@ -226,28 +241,32 @@ type Server struct {
 	cache   *rewriteCache
 
 	flight flightGroup
-	met    *metrics
 	brk    *breakers
 
-	accepted  atomic.Uint64
-	completed atomic.Uint64
-	rejected  atomic.Uint64
-	deduped   atomic.Uint64
+	// tel is the single source of truth for every counter and latency
+	// distribution: /metrics renders it directly and /stats is rebuilt from
+	// it, so the two views cannot disagree.
+	tel    *serviceMetrics
+	tracer *telemetry.Tracer
+
 	running   atomic.Int64
+	lastPanic atomic.Value // string
 
-	// Fault accounting (FaultStats in /stats).
-	panics          atomic.Uint64
-	retries         atomic.Uint64
-	attemptFailures atomic.Uint64
-	degradations    atomic.Uint64
-	deadlineHits    atomic.Uint64
-	budgetStops     atomic.Uint64
-	lastPanic       atomic.Value // string
-
-	// emuMu guards the aggregated emulator observables below.
-	emuMu sync.Mutex
-	emu   EmuStats
+	// profMu guards the per-image guest-profile aggregates (GuestProfile).
+	profMu   sync.Mutex
+	profiles map[string]*imageProfile
 }
+
+// imageProfile aggregates guest-profiler samples across every /run of one
+// image name, with the symbol table captured from the first run.
+type imageProfile struct {
+	prof *telemetry.GuestProfiler
+	syms *telemetry.SymTable
+}
+
+// maxProfiledImages caps the per-image profile map so a stream of
+// unique image names cannot grow it without bound.
+const maxProfiledImages = 64
 
 // EmuStats aggregates the emulator-side observables of every completed /run:
 // how fast the simulated harts execute (emulated MIPS) and how the
@@ -266,27 +285,25 @@ type EmuStats struct {
 	RetiredPerDispatch float64 `json:"retired_per_dispatch"`
 }
 
-// recordRun folds one completed execution into the aggregate.
-func (s *Server) recordRun(res *RunResult, wall time.Duration) {
-	s.emuMu.Lock()
-	defer s.emuMu.Unlock()
-	s.emu.Runs++
-	s.emu.Instret += res.Instret
-	s.emu.Cycles += res.Cycles
-	s.emu.RunSeconds += wall.Seconds()
-	s.emu.Blocks.Add(res.Blocks)
-}
-
 // New starts a server with cfg's worker pool already running.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	tel := newServiceMetrics()
 	s := &Server{
-		cfg:     cfg,
-		start:   time.Now(),
-		queue:   make(chan *job, cfg.QueueDepth),
-		drained: make(chan struct{}),
-		cache:   newRewriteCache(cfg.CacheBytes),
-		met:     newMetrics(),
+		cfg:      cfg,
+		start:    time.Now(),
+		queue:    make(chan *job, cfg.QueueDepth),
+		drained:  make(chan struct{}),
+		tel:      tel,
+		profiles: make(map[string]*imageProfile),
+	}
+	s.cache = newRewriteCache(cfg.CacheBytes, cacheCounters{
+		hits: tel.cacheHits, misses: tel.cacheMisses,
+		evictions: tel.cacheEvictions, corrupt: tel.cacheCorrupt,
+		verify: tel.stageVerify,
+	})
+	if cfg.TraceCapacity >= 0 {
+		s.tracer = telemetry.NewTracer(cfg.TraceCapacity)
 	}
 	after := cfg.QuarantineAfter
 	if after < 0 {
@@ -294,13 +311,41 @@ func New(cfg Config) *Server {
 		// closed without special-casing call sites.
 		after = int(^uint(0) >> 1)
 	}
-	s.brk = newBreakers(after, cfg.QuarantineFor)
+	s.brk = newBreakers(after, cfg.QuarantineFor, tel.breakerTrips)
+
+	// Scrape-time gauges: state that already lives on the server.
+	r := tel.reg
+	r.GaugeFunc("chimera_uptime_seconds", "seconds since the server started",
+		func() float64 { return time.Since(s.start).Seconds() })
+	r.GaugeFunc("chimera_workers", "size of the worker pool",
+		func() float64 { return float64(s.cfg.Workers) })
+	r.GaugeFunc("chimera_queue_depth", "jobs currently queued",
+		func() float64 { return float64(len(s.queue)) })
+	r.GaugeFunc("chimera_queue_capacity", "capacity of the job queue",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	r.GaugeFunc("chimera_requests_running", "jobs currently executing on a worker",
+		func() float64 { return float64(s.running.Load()) })
+	r.GaugeFunc("chimera_quarantined_configs", "rewriter configs with an open circuit breaker",
+		func() float64 { return float64(s.brk.active(time.Now())) })
+	r.GaugeFunc("chimera_cache_entries", "rewrite cache entries",
+		func() float64 { s.cacheMu.Lock(); defer s.cacheMu.Unlock(); return float64(s.cache.ll.Len()) })
+	r.GaugeFunc("chimera_cache_bytes", "rewrite cache resident bytes",
+		func() float64 { s.cacheMu.Lock(); defer s.cacheMu.Unlock(); return float64(s.cache.bytes) })
+	r.GaugeFunc("chimera_cache_budget_bytes", "rewrite cache byte budget",
+		func() float64 { return float64(cfg.CacheBytes) })
+
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s
 }
+
+// Metrics exposes the server's telemetry registry (the /metrics handler).
+func (s *Server) Metrics() *telemetry.Registry { return s.tel.reg }
+
+// Tracer exposes the request tracer (nil when tracing is disabled).
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 func (s *Server) worker() {
 	defer s.workers.Done()
@@ -312,10 +357,12 @@ func (s *Server) worker() {
 			continue
 		default:
 		}
+		observeStage(s.tel.stageQueueWait, time.Since(j.enq))
+		j.qspan.End()
 		s.running.Add(1)
 		v, err := s.runJob(j)
 		s.running.Add(-1)
-		s.completed.Add(1)
+		s.tel.completed.Inc()
 		j.done <- jobResult{val: v, err: err}
 	}
 }
@@ -327,7 +374,7 @@ func (s *Server) worker() {
 func (s *Server) runJob(j *job) (v any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			s.panics.Add(1)
+			s.tel.panics.Inc()
 			s.lastPanic.Store(fmt.Sprint(r))
 			err = fmt.Errorf("%w: %v", ErrWorkerPanic, r)
 		}
@@ -341,10 +388,14 @@ func (s *Server) submit(ctx context.Context, fn func() (any, error)) (any, error
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		s.rejected.Add(1)
+		s.tel.rejected.Inc()
 		return nil, ErrShuttingDown
 	}
-	j := &job{ctx: ctx, fn: fn, done: make(chan jobResult, 1)}
+	j := &job{
+		ctx: ctx, fn: fn, done: make(chan jobResult, 1),
+		enq:   time.Now(),
+		qspan: telemetry.TraceFrom(ctx).Span("queue_wait"),
+	}
 	var accepted bool
 	select {
 	case s.queue <- j:
@@ -353,9 +404,10 @@ func (s *Server) submit(ctx context.Context, fn func() (any, error)) (any, error
 	}
 	s.mu.RUnlock()
 	if !accepted {
+		j.qspan.End()
 		return nil, ctx.Err()
 	}
-	s.accepted.Add(1)
+	s.tel.accepted.Inc()
 	select {
 	case r := <-j.done:
 		return r.val, r.err
@@ -431,14 +483,17 @@ func validateRewrite(req *RewriteRequest) (riscv.Ext, error) {
 // shared and must be treated as read-only.
 func (s *Server) Rewrite(ctx context.Context, req *RewriteRequest) (*RewriteResult, error) {
 	startAt := time.Now()
+	tr := telemetry.TraceFrom(ctx)
 	isa, err := validateRewrite(req)
 	if err != nil {
-		s.met.countError("rewrite")
+		s.tel.requestErrors.With("rewrite").Inc()
 		return nil, err
 	}
+	tr.Annotate("method", req.Method)
+	tr.Annotate("target", isa.String())
 	key, err := cacheKey(req, isa)
 	if err != nil {
-		s.met.countError("rewrite")
+		s.tel.requestErrors.With("rewrite").Inc()
 		return nil, err
 	}
 	if s.cfg.RequestTimeout > 0 {
@@ -447,46 +502,63 @@ func (s *Server) Rewrite(ctx context.Context, req *RewriteRequest) (*RewriteResu
 		defer cancel()
 	}
 
-	if cached, hit := s.cacheGet(key); hit {
-		s.met.observeEndpoint("rewrite", time.Since(startAt))
+	lookupSpan := tr.Span("cache_lookup")
+	lookupStart := time.Now()
+	cached, hit := s.cacheGet(key)
+	observeStage(s.tel.stageCacheLookup, time.Since(lookupStart))
+	lookupSpan.Annotate("hit", fmt.Sprint(hit))
+	lookupSpan.End()
+	if hit {
+		s.tel.requestSeconds.With("rewrite").Observe(time.Since(startAt).Seconds())
 		out := *cached
 		out.CacheHit = true
 		return &out, nil
 	}
 
 	cfgKey := req.Method + "/" + isa.String()
-	if s.brk.quarantined(cfgKey, time.Now()) {
-		return s.degrade(req, key, isa, startAt,
+	brkSpan := tr.Span("breaker_check")
+	quarantined := s.brk.quarantined(cfgKey, time.Now())
+	brkSpan.Annotate("quarantined", fmt.Sprint(quarantined))
+	brkSpan.End()
+	if quarantined {
+		return s.degrade(ctx, req, key, isa, startAt,
 			fmt.Errorf("%w: %s", ErrQuarantined, cfgKey))
 	}
 
+	flightSpan := tr.Span("singleflight")
+	flightStart := time.Now()
 	val, err, shared := s.flight.do(ctx, key, func() (*RewriteResult, error) {
 		// The retry loop lives INSIDE the flight leader so followers share
 		// the final outcome instead of each mounting their own retry storm.
 		return s.rewriteWithRetries(ctx, req, isa, key, cfgKey)
 	})
 	if shared {
-		s.deduped.Add(1)
+		s.tel.deduped.Inc()
+		observeStage(s.tel.stageFlightWait, time.Since(flightStart))
+		flightSpan.Annotate("role", "follower")
+	} else {
+		flightSpan.Annotate("role", "leader")
 	}
+	flightSpan.End()
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrBadRequest), errors.Is(err, ErrShuttingDown):
-			s.met.countError("rewrite")
+			s.tel.requestErrors.With("rewrite").Inc()
 			return nil, err
 		case errors.Is(err, context.Canceled) && ctx.Err() != nil:
 			// This caller is gone; nobody is listening for a degraded answer.
-			s.met.countError("rewrite")
+			s.tel.requestErrors.With("rewrite").Inc()
 			return nil, err
 		default:
 			if errors.Is(err, context.DeadlineExceeded) {
-				s.deadlineHits.Add(1)
+				s.tel.deadlineHits.Inc()
 				err = fmt.Errorf("%w: %v", ErrDeadline, err)
 			}
-			return s.degrade(req, key, isa, startAt, err)
+			return s.degrade(ctx, req, key, isa, startAt, err)
 		}
 	}
-	s.met.observeEndpoint("rewrite", time.Since(startAt))
-	s.met.observeMethod(req.Method, time.Since(startAt))
+	s.tel.requestSeconds.With("rewrite").Observe(time.Since(startAt).Seconds())
+	s.tel.methodSeconds.With(req.Method).Observe(time.Since(startAt).Seconds())
 	out := *val
 	out.Deduped = shared
 	return &out, nil
@@ -496,37 +568,50 @@ func (s *Server) Rewrite(ctx context.Context, req *RewriteRequest) (*RewriteResu
 // the pool, retrying transient failures with exponential backoff + jitter,
 // and feed the config's circuit breaker with the request outcome.
 func (s *Server) rewriteWithRetries(ctx context.Context, req *RewriteRequest, isa riscv.Ext, key, cfgKey string) (*RewriteResult, error) {
+	tr := telemetry.TraceFrom(ctx)
 	attempts := s.cfg.MaxRetries + 1
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
+		asp := tr.Span("rewrite_attempt")
+		asp.Annotate("attempt", fmt.Sprint(attempt))
 		v, err := s.submit(ctx, func() (any, error) {
 			return s.doRewriteChaos(ctx, req, isa, key)
 		})
 		if err == nil {
+			asp.End()
 			res := v.(*RewriteResult)
+			storeSpan := tr.Span("cache_store")
 			s.cacheAdd(key, res)
+			storeSpan.End()
 			s.brk.success(cfgKey)
 			return res, nil
 		}
+		asp.Annotate("error", err.Error())
+		asp.End()
 		lastErr = err
 		if !retryable(err) {
 			// Caller mistakes, shutdown, and context expiry are not the
 			// config's fault; they neither retry nor count toward quarantine.
 			return nil, err
 		}
-		s.attemptFailures.Add(1)
+		s.tel.attemptFailures.Inc()
 		if attempt < attempts {
-			s.retries.Add(1)
+			s.tel.retries.Inc()
+			bsp := tr.Span("backoff")
 			t := time.NewTimer(backoff(s.cfg.RetryBackoff, attempt))
 			select {
 			case <-t.C:
+				bsp.End()
 			case <-ctx.Done():
 				t.Stop()
+				bsp.End()
 				return nil, ctx.Err()
 			}
 		}
 	}
-	s.brk.failure(cfgKey, time.Now())
+	if s.brk.failure(cfgKey, time.Now()) {
+		tr.Annotate("breaker_tripped", cfgKey)
+	}
 	return nil, fmt.Errorf("service: rewrite failed after %d attempts: %w", attempts, lastErr)
 }
 
@@ -547,7 +632,12 @@ func (s *Server) doRewriteChaos(ctx context.Context, req *RewriteRequest, isa ri
 	if inj.Roll(chaos.RewriteTransient) {
 		return nil, chaos.ErrTransient
 	}
-	return doRewrite(req, isa, key)
+	start := time.Now()
+	v, err := doRewrite(req, isa, key)
+	if err == nil {
+		observeStage(s.tel.stageRewrite, time.Since(start))
+	}
+	return v, err
 }
 
 // degrade answers a failed or quarantined rewrite with the ORIGINAL image,
@@ -556,14 +646,18 @@ func (s *Server) doRewriteChaos(ctx context.Context, req *RewriteRequest, isa ri
 // implementing its own ISA — slower, never wrong. Degraded results carry
 // the cause and are never cached, so the next identical request retries
 // the real rewrite (or hits the breaker, which heals by cooldown).
-func (s *Server) degrade(req *RewriteRequest, key string, isa riscv.Ext, startAt time.Time, cause error) (*RewriteResult, error) {
+func (s *Server) degrade(ctx context.Context, req *RewriteRequest, key string, isa riscv.Ext, startAt time.Time, cause error) (*RewriteResult, error) {
+	tr := telemetry.TraceFrom(ctx)
+	dsp := tr.Span("degrade")
+	dsp.Annotate("reason", cause.Error())
+	defer dsp.End()
 	var buf bytes.Buffer
 	if _, err := req.Image.WriteTo(&buf); err != nil {
-		s.met.countError("rewrite")
+		s.tel.requestErrors.With("rewrite").Inc()
 		return nil, fmt.Errorf("service: serializing degraded fallback: %v (while degrading: %v)", err, cause)
 	}
-	s.degradations.Add(1)
-	s.met.observeEndpoint("rewrite", time.Since(startAt))
+	s.tel.degradations.Inc()
+	s.tel.requestSeconds.With("rewrite").Observe(time.Since(startAt).Seconds())
 	return &RewriteResult{
 		Key:            key,
 		Method:         req.Method,
@@ -663,13 +757,13 @@ func (s *Server) Run(ctx context.Context, req *RunRequest) (*RunResult, error) {
 	res, err := s.run(ctx, req)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			s.deadlineHits.Add(1)
+			s.tel.deadlineHits.Inc()
 			err = fmt.Errorf("%w: %v", ErrDeadline, err)
 		}
-		s.met.countError("run")
+		s.tel.requestErrors.With("run").Inc()
 		return nil, err
 	}
-	s.met.observeEndpoint("run", time.Since(startAt))
+	s.tel.requestSeconds.With("run").Observe(time.Since(startAt).Seconds())
 	return res, nil
 }
 
@@ -687,12 +781,15 @@ func (s *Server) run(ctx context.Context, req *RunRequest) (*RunResult, error) {
 			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
 	}
+	tr := telemetry.TraceFrom(ctx)
+	tr.Annotate("image", req.Image.Name)
+	tr.Annotate("isa", isa.String())
 	v, err := s.submit(ctx, func() (any, error) {
 		res, wall, err := s.doRun(ctx, req, isa)
 		if err != nil {
 			return nil, err
 		}
-		s.recordRun(res, wall)
+		s.tel.recordRun(res, wall)
 		return res, nil
 	})
 	if err != nil {
@@ -753,6 +850,12 @@ func (s *Server) doRun(ctx context.Context, req *RunRequest, isa riscv.Ext) (*Ru
 			armInfiniteLoop(p)
 		}
 	}
+	if s.cfg.GuestProfile {
+		p.CPU.Prof = telemetry.NewGuestProfiler()
+		defer s.foldProfile(req, p.CPU.Prof)
+	}
+	execSpan := telemetry.TraceFrom(ctx).Span("run_exec")
+	defer execSpan.End()
 	startAt := time.Now()
 	var cycles uint64
 	for {
@@ -772,7 +875,7 @@ func (s *Server) doRun(ctx context.Context, req *RunRequest, isa riscv.Ext) (*Ru
 		case kernel.StatusNeedMigration:
 			return nil, 0, fmt.Errorf("%w: %s cannot run on %v", ErrBadRequest, req.Image.Name, isa)
 		case kernel.StatusBudget:
-			s.budgetStops.Add(1)
+			s.tel.budgetStops.Inc()
 			return nil, 0, fmt.Errorf("%w: %d instructions retired without exiting", ErrBudget, p.CPU.Instret)
 		default:
 			continue
@@ -793,6 +896,70 @@ func (s *Server) doRun(ctx context.Context, req *RunRequest, isa riscv.Ext) (*Ru
 		res.EmulatedMIPS = float64(res.Instret) / sec / 1e6
 	}
 	return res, wall, nil
+}
+
+// foldProfile merges one run's guest-profiler samples into the per-image
+// aggregate. The map is capped: past maxProfiledImages distinct image
+// names, new images are silently unprofiled (existing ones keep folding).
+func (s *Server) foldProfile(req *RunRequest, prof *telemetry.GuestProfiler) {
+	if prof == nil || prof.Blocks() == 0 {
+		return
+	}
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	ip := s.profiles[req.Image.Name]
+	if ip == nil {
+		if len(s.profiles) >= maxProfiledImages {
+			return
+		}
+		ip = &imageProfile{
+			prof: telemetry.NewGuestProfiler(),
+			syms: emu.SymTableOf(req.Image, req.With),
+		}
+		s.profiles[req.Image.Name] = ip
+	}
+	ip.prof.Merge(prof)
+}
+
+// ImageProfile is one image's aggregated guest profile (the /profile
+// payload): hot blocks ranked by cycles and symbolized, plus
+// flamegraph-folded lines.
+type ImageProfile struct {
+	Image   string               `json:"image"`
+	Blocks  int                  `json:"blocks"`
+	Cycles  uint64               `json:"cycles"`
+	Instret uint64               `json:"instret"`
+	Hot     []telemetry.HotBlock `json:"hot"`
+	Folded  []string             `json:"folded"`
+}
+
+// Profiles snapshots every per-image guest profile, sorted by image name.
+// Empty unless Config.GuestProfile is on and runs have completed.
+func (s *Server) Profiles(topN int) []ImageProfile {
+	if topN <= 0 {
+		topN = 10
+	}
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	out := make([]ImageProfile, 0, len(s.profiles))
+	for name, ip := range s.profiles {
+		cycles, instret := ip.prof.Totals()
+		var folded strings.Builder
+		ip.prof.FoldedStacks(&folded, name, ip.syms)
+		p := ImageProfile{
+			Image:   name,
+			Blocks:  ip.prof.Blocks(),
+			Cycles:  cycles,
+			Instret: instret,
+			Hot:     ip.prof.Report(ip.syms, topN),
+		}
+		if f := strings.TrimSuffix(folded.String(), "\n"); f != "" {
+			p.Folded = strings.Split(f, "\n")
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Image < out[j].Image })
+	return out
 }
 
 // armInfiniteLoop maps a page containing `jal x0, 0` and points the hart at
@@ -824,7 +991,10 @@ type Stats struct {
 	Faults        FaultStats                `json:"faults"`
 	Endpoints     map[string]LatencySummary `json:"endpoints"`
 	PerMethod     map[string]LatencySummary `json:"per_method"`
-	Errors        map[string]uint64         `json:"errors"`
+	// Stages is the per-pipeline-stage latency breakdown (cache_lookup,
+	// singleflight_wait, queue_wait, rewrite, verify, run_exec).
+	Stages map[string]LatencySummary `json:"stages,omitempty"`
+	Errors map[string]uint64         `json:"errors"`
 	// Chaos is the injector's fire counts by fault kind; absent when chaos
 	// is off.
 	Chaos map[string]uint64 `json:"chaos,omitempty"`
@@ -846,29 +1016,35 @@ func (s *Server) Health() string {
 	return HealthOK
 }
 
-// Stats snapshots the server's observables.
+// Stats snapshots the server's observables. Every number is read from the
+// telemetry registry (the same instruments /metrics renders), so the JSON
+// blob and the Prometheus exposition cannot disagree.
 func (s *Server) Stats() Stats {
 	s.cacheMu.Lock()
 	cs := s.cache.stats()
 	s.cacheMu.Unlock()
-	s.emuMu.Lock()
-	es := s.emu
-	s.emuMu.Unlock()
+	m := s.tel
+	es := EmuStats{
+		Runs:       m.guestRuns.Value(),
+		Instret:    m.guestInstret.Value(),
+		Cycles:     m.guestCycles.Value(),
+		RunSeconds: m.stageRunExec.Snapshot().Sum,
+		Blocks:     m.blockStats(),
+	}
 	if es.RunSeconds > 0 {
 		es.EmulatedMIPS = float64(es.Instret) / es.RunSeconds / 1e6
 	}
 	es.BlockHitRatio = es.Blocks.HitRatio()
 	es.RetiredPerDispatch = es.Blocks.RetiredPerDispatch()
-	eps, methods, errs := s.met.snapshot()
 	fs := FaultStats{
-		Panics:             s.panics.Load(),
-		Retries:            s.retries.Load(),
-		AttemptFailures:    s.attemptFailures.Load(),
+		Panics:             m.panics.Value(),
+		Retries:            m.retries.Value(),
+		AttemptFailures:    m.attemptFailures.Value(),
 		QuarantineTrips:    s.brk.tripCount(),
 		QuarantinedConfigs: s.brk.active(time.Now()),
-		Degradations:       s.degradations.Load(),
-		DeadlineExceeded:   s.deadlineHits.Load(),
-		BudgetStops:        s.budgetStops.Load(),
+		Degradations:       m.degradations.Value(),
+		DeadlineExceeded:   m.deadlineHits.Value(),
+		BudgetStops:        m.budgetStops.Value(),
 		CacheCorruptions:   cs.CorruptEvictions,
 	}
 	if v := s.lastPanic.Load(); v != nil {
@@ -883,14 +1059,15 @@ func (s *Server) Stats() Stats {
 		QueueDepth:    len(s.queue),
 		QueueCap:      s.cfg.QueueDepth,
 		Running:       s.running.Load(),
-		Accepted:      s.accepted.Load(),
-		Completed:     s.completed.Load(),
-		Rejected:      s.rejected.Load(),
-		Deduped:       s.deduped.Load(),
+		Accepted:      m.accepted.Value(),
+		Completed:     m.completed.Value(),
+		Rejected:      m.rejected.Value(),
+		Deduped:       m.deduped.Value(),
 		Cache:         cs,
 		Emulator:      es,
-		Endpoints:     eps,
-		PerMethod:     methods,
-		Errors:        errs,
+		Endpoints:     summaries(m.requestSeconds),
+		PerMethod:     summaries(m.methodSeconds),
+		Stages:        summaries(m.stageSeconds),
+		Errors:        errorCounts(m.requestErrors),
 	}
 }

@@ -1,69 +1,15 @@
 package service
 
 import (
-	"sort"
-	"sync"
 	"time"
+
+	"github.com/eurosys26p57/chimera/internal/telemetry"
 )
 
-// histBuckets are latency bucket upper bounds. Log-spaced from 1µs to ~17s;
-// the final implicit bucket is +Inf. Rewrites of the SPEC-shaped suite span
-// roughly 100µs–1s, so the mid-range resolution is where it matters.
-var histBuckets = func() []time.Duration {
-	var out []time.Duration
-	for d := time.Microsecond; d < 20*time.Second; d *= 2 {
-		out = append(out, d)
-	}
-	return out
-}()
-
-// histogram is a fixed-bucket latency histogram. It is not goroutine-safe;
-// callers hold the owning metrics' lock.
-type histogram struct {
-	counts []uint64 // len(histBuckets)+1; last is +Inf
-	sum    time.Duration
-	n      uint64
-	max    time.Duration
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]uint64, len(histBuckets)+1)}
-}
-
-func (h *histogram) observe(d time.Duration) {
-	i := sort.Search(len(histBuckets), func(i int) bool { return d <= histBuckets[i] })
-	h.counts[i]++
-	h.sum += d
-	h.n++
-	if d > h.max {
-		h.max = d
-	}
-}
-
-// quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1):
-// the upper edge of the bucket holding the q-th observation.
-func (h *histogram) quantile(q float64) time.Duration {
-	if h.n == 0 {
-		return 0
-	}
-	rank := uint64(q * float64(h.n))
-	if rank >= h.n {
-		rank = h.n - 1
-	}
-	var seen uint64
-	for i, c := range h.counts {
-		seen += c
-		if seen > rank {
-			if i < len(histBuckets) {
-				return histBuckets[i]
-			}
-			return h.max
-		}
-	}
-	return h.max
-}
-
-// LatencySummary is a JSON-friendly snapshot of one histogram.
+// LatencySummary is a JSON-friendly distillation of one latency histogram.
+// The JSON shape predates the telemetry registry and is kept backward
+// compatible; the numbers now come from the same registry histograms that
+// /metrics exposes, so the two views can never disagree.
 type LatencySummary struct {
 	Count   uint64  `json:"count"`
 	MeanUS  float64 `json:"mean_us"`
@@ -74,81 +20,53 @@ type LatencySummary struct {
 	TotalMS float64 `json:"total_ms"`
 }
 
-func (h *histogram) summary() LatencySummary {
-	s := LatencySummary{
-		Count:   h.n,
-		P50US:   float64(h.quantile(0.50)) / float64(time.Microsecond),
-		P90US:   float64(h.quantile(0.90)) / float64(time.Microsecond),
-		P99US:   float64(h.quantile(0.99)) / float64(time.Microsecond),
-		MaxUS:   float64(h.max) / float64(time.Microsecond),
-		TotalMS: float64(h.sum) / float64(time.Millisecond),
+// summarize distills a histogram snapshot (values in seconds) into the
+// microsecond-denominated summary the /stats JSON has always carried.
+func summarize(s telemetry.HistSnapshot) LatencySummary {
+	const usPerSec = float64(time.Second / time.Microsecond)
+	out := LatencySummary{
+		Count:   s.Count,
+		P50US:   s.Quantile(0.50) * usPerSec,
+		P90US:   s.Quantile(0.90) * usPerSec,
+		P99US:   s.Quantile(0.99) * usPerSec,
+		MaxUS:   s.Max * usPerSec,
+		TotalMS: s.Sum * float64(time.Second/time.Millisecond),
 	}
-	if h.n > 0 {
-		s.MeanUS = float64(h.sum) / float64(h.n) / float64(time.Microsecond)
+	if s.Count > 0 {
+		out.MeanUS = s.Sum / float64(s.Count) * usPerSec
 	}
-	return s
+	return out
 }
 
-// metrics aggregates the server's observables: per-endpoint and per-method
-// request counts and latency histograms, plus error totals. Cache counters
-// live in the cache itself; the /stats handler merges both.
-type metrics struct {
-	mu        sync.Mutex
-	endpoints map[string]*histogram
-	methods   map[string]*histogram
-	errors    map[string]uint64
+// summaries distills every child of a labeled histogram family into the
+// label-keyed map /stats exposes (endpoints, per-method).
+func summaries(v *telemetry.HistogramVec) map[string]LatencySummary {
+	out := make(map[string]LatencySummary)
+	v.Each(func(values []string, h *telemetry.Histogram) {
+		key := ""
+		if len(values) > 0 {
+			key = values[0]
+		}
+		s := h.Snapshot()
+		if s.Count == 0 {
+			return
+		}
+		out[key] = summarize(s)
+	})
+	return out
 }
 
-func newMetrics() *metrics {
-	return &metrics{
-		endpoints: make(map[string]*histogram),
-		methods:   make(map[string]*histogram),
-		errors:    make(map[string]uint64),
-	}
-}
-
-func (m *metrics) observeEndpoint(name string, d time.Duration) {
-	m.mu.Lock()
-	h := m.endpoints[name]
-	if h == nil {
-		h = newHistogram()
-		m.endpoints[name] = h
-	}
-	h.observe(d)
-	m.mu.Unlock()
-}
-
-func (m *metrics) observeMethod(name string, d time.Duration) {
-	m.mu.Lock()
-	h := m.methods[name]
-	if h == nil {
-		h = newHistogram()
-		m.methods[name] = h
-	}
-	h.observe(d)
-	m.mu.Unlock()
-}
-
-func (m *metrics) countError(endpoint string) {
-	m.mu.Lock()
-	m.errors[endpoint]++
-	m.mu.Unlock()
-}
-
-func (m *metrics) snapshot() (endpoints, methods map[string]LatencySummary, errors map[string]uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	endpoints = make(map[string]LatencySummary, len(m.endpoints))
-	for k, h := range m.endpoints {
-		endpoints[k] = h.summary()
-	}
-	methods = make(map[string]LatencySummary, len(m.methods))
-	for k, h := range m.methods {
-		methods[k] = h.summary()
-	}
-	errors = make(map[string]uint64, len(m.errors))
-	for k, v := range m.errors {
-		errors[k] = v
-	}
-	return endpoints, methods, errors
+// errorCounts distills a labeled counter family into the /stats error map.
+func errorCounts(v *telemetry.CounterVec) map[string]uint64 {
+	out := make(map[string]uint64)
+	v.Each(func(values []string, c *telemetry.Counter) {
+		key := ""
+		if len(values) > 0 {
+			key = values[0]
+		}
+		if n := c.Value(); n > 0 {
+			out[key] = n
+		}
+	})
+	return out
 }

@@ -1,0 +1,203 @@
+package telemetry
+
+// Guest-level profiler for the emulator's basic-block engine: an optional
+// per-block cycle/instret accumulator the block dispatcher feeds (one map
+// update per dispatch when enabled, one nil check when not), which ranks
+// hot blocks, symbolizes them against an image's function symbols, and
+// emits both a top-N table and folded-stack flamegraph lines.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BlockSample accumulates one basic block's execution totals.
+type BlockSample struct {
+	PC         uint64 `json:"pc"`
+	Cycles     uint64 `json:"cycles"`
+	Instret    uint64 `json:"instret"`
+	Dispatches uint64 `json:"dispatches"`
+}
+
+// GuestProfiler accumulates per-block samples for one hart. It is not
+// goroutine-safe: each hart owns its profiler, and cross-run aggregation
+// happens via Merge under the aggregator's lock.
+type GuestProfiler struct {
+	blocks map[uint64]*BlockSample
+}
+
+// NewGuestProfiler returns an empty profiler.
+func NewGuestProfiler() *GuestProfiler {
+	return &GuestProfiler{blocks: make(map[uint64]*BlockSample)}
+}
+
+// Sample records one block dispatch: instret instructions retired and
+// cycles charged for the dispatch starting at pc.
+func (p *GuestProfiler) Sample(pc, instret, cycles uint64) {
+	s := p.blocks[pc]
+	if s == nil {
+		s = &BlockSample{PC: pc}
+		p.blocks[pc] = s
+	}
+	s.Instret += instret
+	s.Cycles += cycles
+	s.Dispatches++
+}
+
+// Merge folds o's samples into p.
+func (p *GuestProfiler) Merge(o *GuestProfiler) {
+	if o == nil {
+		return
+	}
+	for pc, os := range o.blocks {
+		s := p.blocks[pc]
+		if s == nil {
+			s = &BlockSample{PC: pc}
+			p.blocks[pc] = s
+		}
+		s.Cycles += os.Cycles
+		s.Instret += os.Instret
+		s.Dispatches += os.Dispatches
+	}
+}
+
+// Totals sums cycles and instret over all blocks.
+func (p *GuestProfiler) Totals() (cycles, instret uint64) {
+	for _, s := range p.blocks {
+		cycles += s.Cycles
+		instret += s.Instret
+	}
+	return cycles, instret
+}
+
+// Blocks returns the number of distinct blocks sampled.
+func (p *GuestProfiler) Blocks() int { return len(p.blocks) }
+
+// Top returns up to n samples ranked by cycles (descending), ties broken
+// by pc so the ranking is deterministic.
+func (p *GuestProfiler) Top(n int) []BlockSample {
+	out := make([]BlockSample, 0, len(p.blocks))
+	for _, s := range p.blocks {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// --- Symbolization -------------------------------------------------------
+
+// Sym is one function symbol for the profiler's symbolizer. The telemetry
+// package stays dependency-free, so callers convert their symbol tables
+// (e.g. obj.Image.FuncSymbols) into this shape.
+type Sym struct {
+	Name string
+	Addr uint64
+	Size uint64
+}
+
+// SymTable resolves guest addresses to function-relative names.
+type SymTable struct {
+	syms []Sym // sorted by Addr
+}
+
+// NewSymTable builds a table from function symbols (any order).
+func NewSymTable(syms []Sym) *SymTable {
+	t := &SymTable{syms: append([]Sym(nil), syms...)}
+	sort.Slice(t.syms, func(i, j int) bool { return t.syms[i].Addr < t.syms[j].Addr })
+	return t
+}
+
+// Resolve maps pc to the containing symbol and offset. A symbol with Size 0
+// extends to the next symbol's start (or unbounded for the last one).
+func (t *SymTable) Resolve(pc uint64) (name string, off uint64, ok bool) {
+	if t == nil || len(t.syms) == 0 {
+		return "", 0, false
+	}
+	i := sort.Search(len(t.syms), func(i int) bool { return t.syms[i].Addr > pc })
+	if i == 0 {
+		return "", 0, false
+	}
+	s := t.syms[i-1]
+	if s.Size > 0 && pc >= s.Addr+s.Size {
+		return "", 0, false
+	}
+	if s.Size == 0 && i < len(t.syms) && pc >= t.syms[i].Addr {
+		return "", 0, false
+	}
+	return s.Name, pc - s.Addr, true
+}
+
+// Location renders pc as "sym+0xoff" (or "0xpc" when unresolvable).
+func (t *SymTable) Location(pc uint64) string {
+	if name, off, ok := t.Resolve(pc); ok {
+		if off == 0 {
+			return name
+		}
+		return fmt.Sprintf("%s+%#x", name, off)
+	}
+	return fmt.Sprintf("%#x", pc)
+}
+
+// --- Reports -------------------------------------------------------------
+
+// HotBlock is one symbolized entry of the profile report.
+type HotBlock struct {
+	Rank       int     `json:"rank"`
+	PC         uint64  `json:"pc"`
+	Location   string  `json:"location"` // sym+0xoff
+	Cycles     uint64  `json:"cycles"`
+	CyclePct   float64 `json:"cycle_pct"`
+	Instret    uint64  `json:"instret"`
+	Dispatches uint64  `json:"dispatches"`
+}
+
+// Report symbolizes the top-n blocks against st (which may be nil).
+func (p *GuestProfiler) Report(st *SymTable, n int) []HotBlock {
+	total, _ := p.Totals()
+	top := p.Top(n)
+	out := make([]HotBlock, len(top))
+	for i, s := range top {
+		hb := HotBlock{
+			Rank: i + 1, PC: s.PC, Location: st.Location(s.PC),
+			Cycles: s.Cycles, Instret: s.Instret, Dispatches: s.Dispatches,
+		}
+		if total > 0 {
+			hb.CyclePct = 100 * float64(s.Cycles) / float64(total)
+		}
+		out[i] = hb
+	}
+	return out
+}
+
+// WriteTable renders the top-n report as an aligned text table.
+func (p *GuestProfiler) WriteTable(w io.Writer, st *SymTable, n int) {
+	fmt.Fprintf(w, "%4s  %-12s  %-28s  %12s  %6s  %12s  %10s\n",
+		"rank", "pc", "location", "cycles", "cyc%", "instret", "dispatches")
+	for _, hb := range p.Report(st, n) {
+		fmt.Fprintf(w, "%4d  %#-12x  %-28s  %12d  %5.1f%%  %12d  %10d\n",
+			hb.Rank, hb.PC, hb.Location, hb.Cycles, hb.CyclePct, hb.Instret, hb.Dispatches)
+	}
+}
+
+// FoldedStacks emits one flamegraph-folded line per block —
+// "root;location cycles" — sorted by location for deterministic output.
+// Feed the result to any flamegraph renderer (e.g. flamegraph.pl).
+func (p *GuestProfiler) FoldedStacks(w io.Writer, root string, st *SymTable) {
+	lines := make([]string, 0, len(p.blocks))
+	for _, s := range p.blocks {
+		lines = append(lines, fmt.Sprintf("%s;%s %d", root, st.Location(s.PC), s.Cycles))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestTracerRingEviction fills a capacity-3 tracer with 5 finished traces
+// and checks the oldest two were evicted from both ring and index.
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	ids := make([]string, 5)
+	for i := range ids {
+		x := tr.Start("req")
+		x.Finish()
+		ids[i] = x.ID
+	}
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	for _, id := range ids[:2] {
+		if _, ok := tr.Get(id); ok {
+			t.Errorf("trace %s should have been evicted", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, ok := tr.Get(id); !ok {
+			t.Errorf("trace %s should be retained", id)
+		}
+	}
+}
+
+func TestTraceSpansAndExport(t *testing.T) {
+	tr := NewTracer(0)
+	x := tr.Start("rewrite")
+	x.Annotate("config", "rv64gc")
+	sp := x.Span("cache_lookup")
+	sp.Annotate("hit", "false")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	open := x.Span("queue_wait") // left open: Finish must close it
+	x.Finish()
+	x.Finish() // idempotent
+
+	if open.Duration() <= 0 {
+		t.Error("open span should be closed by Finish")
+	}
+	ex := x.Export()
+	if ex.ID != x.ID || ex.Name != "rewrite" {
+		t.Errorf("export header = %+v", ex)
+	}
+	if ex.Attrs["config"] != "rv64gc" {
+		t.Errorf("trace attrs = %v", ex.Attrs)
+	}
+	if len(ex.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(ex.Spans))
+	}
+	if ex.Spans[0].Name != "cache_lookup" || ex.Spans[0].Attrs["hit"] != "false" {
+		t.Errorf("span[0] = %+v", ex.Spans[0])
+	}
+	if ex.Spans[0].DurationUS < 1000 {
+		t.Errorf("span[0] duration_us = %d, want >= 1000", ex.Spans[0].DurationUS)
+	}
+	if ex.DurationUS < ex.Spans[0].DurationUS {
+		t.Errorf("trace duration %d < span duration %d", ex.DurationUS, ex.Spans[0].DurationUS)
+	}
+	b, err := json.Marshal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round TraceJSON
+	if err := json.Unmarshal(b, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.ID != x.ID || len(round.Spans) != 2 {
+		t.Errorf("round trip = %+v", round)
+	}
+}
+
+// TestNilSafety: all tracing calls on nil receivers must be no-ops, since
+// call sites instrument unconditionally.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	x := tr.Start("noop")
+	if x != nil {
+		t.Fatal("nil tracer should mint nil traces")
+	}
+	x.Annotate("k", "v")
+	sp := x.Span("stage")
+	sp.Annotate("k", "v")
+	sp.End()
+	if sp.Duration() != 0 {
+		t.Error("nil span duration should be 0")
+	}
+	x.Finish()
+	if _, ok := tr.Get("anything"); ok {
+		t.Error("nil tracer Get should miss")
+	}
+	if tr.Len() != 0 {
+		t.Error("nil tracer Len should be 0")
+	}
+	if ex := x.Export(); ex.ID != "" {
+		t.Error("nil trace export should be zero")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if TraceFrom(ctx) != nil {
+		t.Fatal("empty context should carry no trace")
+	}
+	if got := ContextWithTrace(ctx, nil); got != ctx {
+		t.Error("attaching nil trace should return ctx unchanged")
+	}
+	tr := NewTracer(0)
+	x := tr.Start("run")
+	ctx2 := ContextWithTrace(ctx, x)
+	if TraceFrom(ctx2) != x {
+		t.Error("trace not recovered from context")
+	}
+}
+
+func TestTraceIDsUnique(t *testing.T) {
+	tr := NewTracer(10)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		x := tr.Start("r")
+		if seen[x.ID] {
+			t.Fatalf("duplicate trace id %s", x.ID)
+		}
+		seen[x.ID] = true
+		x.Finish()
+	}
+}

@@ -23,6 +23,10 @@ go test -run=- -bench='BenchmarkService' -benchmem -benchtime 1x \
 
 # Distill `go test -bench` lines into JSON. Lines look like:
 #   BenchmarkCPURunFib/blocks-8  865  3062081 ns/op  148.6 Minst/s  6.730 ns/inst  7 B/op  0 allocs/op
+# The BenchmarkCPURunProfiler off/on pair also yields profiler_overhead_pct:
+# the guest profiler's ns/inst cost relative to the profiler-off hot loop
+# (the acceptance bound is < 2% for the off case vs the pre-profiler
+# baseline; the on case documents the cost of enabling it).
 awk '
 BEGIN { print "{"; print "  \"benchmarks\": ["; n = 0 }
 /^Benchmark/ {
@@ -35,6 +39,8 @@ BEGIN { print "{"; print "  \"benchmarks\": ["; n = 0 }
         if ($(i+1) == "allocs/op")  allocs = $i
     }
     if (nsop == "") next
+    if (name == "BenchmarkCPURunProfiler/off" && nsinst != "") prof_off = nsinst
+    if (name == "BenchmarkCPURunProfiler/on"  && nsinst != "") prof_on = nsinst
     if (n++) printf ",\n"
     printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, nsop
     if (mips != "")   printf ", \"emulated_mips\": %s", mips
@@ -42,7 +48,13 @@ BEGIN { print "{"; print "  \"benchmarks\": ["; n = 0 }
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
     printf "}"
 }
-END { print "\n  ]"; print "}" }
+END {
+    print "\n  ],"
+    if (prof_off + 0 > 0 && prof_on != "")
+        printf "  \"profiler_overhead_pct\": %.2f,\n", (prof_on - prof_off) / prof_off * 100
+    print "  \"note\": \"profiler_overhead_pct = CPURunProfiler on-vs-off ns/inst delta\""
+    print "}"
+}
 ' "$RAW" > BENCH_emu.json
 
 echo "== wrote BENCH_emu.json"

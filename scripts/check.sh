@@ -16,6 +16,8 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go build ./..."
 go build ./...
+echo "== metrics lint (chimera_[a-z_]+ naming + help text)"
+go test -run 'TestMetricsLint|TestMetricNameValidation' -count=1 ./internal/service ./internal/telemetry
 echo "== go test -race ./..."
 go test -race ./...
 echo "== chaos soak (1000 requests, fixed seed, -race)"

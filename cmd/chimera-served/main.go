@@ -8,8 +8,20 @@
 //	chimera-served -addr :8080 -workers 8 -cache-mb 256 \
 //	    -request-timeout 2m -max-retries 2
 //
-// Endpoints: POST /rewrite, POST /run, GET /healthz, GET /stats,
-// GET /metrics (Prometheus), GET /trace/{id}, GET /profile.
+// Persistence and clustering:
+//
+//	chimera-served -addr :8080 -store-dir /var/lib/chimera \
+//	    -self http://10.0.0.1:8080 \
+//	    -peers http://10.0.0.2:8080,http://10.0.0.3:8080
+//
+// -store-dir mounts a persistent disk tier under the memory cache (warm
+// restarts); -self/-peers shard the store across nodes by consistent
+// hashing — a miss consults the key's shard owner before rewriting, and a
+// dead peer only costs extra rewrites, never errors.
+//
+// Endpoints: POST /rewrite, POST /rewrite/batch, POST /run, GET /healthz,
+// GET /stats, GET /metrics (Prometheus), GET /trace/{id}, GET /profile,
+// GET/PUT /peer/store/{id} (the cluster peer protocol).
 //
 // Observability: every response to a traced endpoint carries an
 // X-Chimera-Trace header naming its /trace/{id} record; -debug-addr
@@ -32,6 +44,7 @@ import (
 	_ "net/http/pprof" // registered on http.DefaultServeMux, served only via -debug-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,7 +56,12 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "pending-request queue depth (0 = 4x workers)")
-	cacheMB := flag.Int64("cache-mb", 256, "rewrite cache budget in MiB")
+	cacheMB := flag.Int64("cache-mb", 256, "memory-tier rewrite cache budget in MiB")
+	storeDir := flag.String("store-dir", "", "persistent disk store directory (empty = memory-only)")
+	diskCacheMB := flag.Int64("disk-cache-mb", 1024, "disk-tier store budget in MiB (with -store-dir)")
+	self := flag.String("self", "", "this node's advertised base URL for clustering, e.g. http://10.0.0.1:8080")
+	peers := flag.String("peers", "", "comma-separated peer base URLs for sharded cluster serving")
+	peerTimeout := flag.Duration("peer-timeout", 2*time.Second, "per-peer-call timeout")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	reqTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request deadline (0 = library default, negative = off)")
 	maxRetries := flag.Int("max-retries", 2, "rewrite retries before degrading to the original image (negative = none)")
@@ -58,17 +76,40 @@ func main() {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheBytes:     *cacheMB << 20,
+		StoreDir:       *storeDir,
+		DiskCacheBytes: *diskCacheMB << 20,
+		ClusterSelf:    *self,
+		PeerTimeout:    *peerTimeout,
 		RequestTimeout: *reqTimeout,
 		MaxRetries:     *maxRetries,
 		RunMaxInstret:  *runBudget,
 		TraceCapacity:  *traceCap,
 		GuestProfile:   *guestProfile,
 	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.ClusterPeers = append(cfg.ClusterPeers, p)
+			}
+		}
+		if cfg.ClusterSelf == "" {
+			fatal(fmt.Errorf("-peers requires -self (this node's advertised URL)"))
+		}
+	}
 	if *chaosSeed != 0 {
 		cfg.Chaos = chaos.Default(*chaosSeed)
 		fmt.Fprintf(os.Stderr, "chimera-served: CHAOS INJECTION ENABLED (seed %d)\n", *chaosSeed)
 	}
-	srv := service.New(cfg)
+	srv, err := service.NewServer(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *storeDir != "" {
+		fmt.Fprintf(os.Stderr, "chimera-served: disk store at %s (%d MiB budget)\n", *storeDir, *diskCacheMB)
+	}
+	if len(cfg.ClusterPeers) > 0 {
+		fmt.Fprintf(os.Stderr, "chimera-served: cluster self=%s peers=%v\n", cfg.ClusterSelf, cfg.ClusterPeers)
+	}
 	hs := srv.HTTPServer(*addr)
 
 	errc := make(chan error, 1)

@@ -44,12 +44,32 @@ const (
 	// EmuLoop points a /run execution at a genuine unbounded loop, so only
 	// the instruction budget can end it.
 	EmuLoop
+	// DiskTornWrite leaves a truncated entry file in the disk store (the
+	// on-disk image of a crash mid-write that bypassed the rename protocol);
+	// the read path's checksum must catch it.
+	DiskTornWrite
+	// DiskBitFlip flips one bit in the bytes a disk-store read returns
+	// (media corruption); verification must turn it into a miss.
+	DiskBitFlip
+	// DiskENOSPC fails a disk-store write as if the volume were full; the
+	// memory tier must keep serving the entry.
+	DiskENOSPC
+	// PeerTimeout stalls a peer-protocol response past the client's
+	// deadline, so the requester must fall back to rewriting locally.
+	PeerTimeout
+	// PeerError answers a peer-protocol request with HTTP 500.
+	PeerError
+	// PeerCorrupt flips one bit in a peer-protocol response body; the
+	// requester's checksum verification must reject it.
+	PeerCorrupt
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"rewrite_panic", "rewrite_stall", "rewrite_transient", "cache_corrupt",
 	"spurious_fault", "migration_storm", "emu_loop",
+	"disk_torn_write", "disk_bit_flip", "disk_enospc",
+	"peer_timeout", "peer_error", "peer_corrupt",
 }
 
 func (k Kind) String() string {
@@ -103,6 +123,12 @@ func DefaultConfig() Config {
 			SpuriousFault:    0.05,
 			MigrationStorm:   0.02,
 			EmuLoop:          0.02,
+			DiskTornWrite:    0.05,
+			DiskBitFlip:      0.05,
+			DiskENOSPC:       0.05,
+			PeerTimeout:      0.05,
+			PeerError:        0.05,
+			PeerCorrupt:      0.05,
 		},
 		Stall: 50 * time.Millisecond,
 	}

@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/eurosys26p57/chimera/internal/store"
+)
+
+// peerServer is a minimal in-test shard owner speaking the peer protocol
+// over an in-memory store, with a switchable fault mode.
+type peerServer struct {
+	st    *store.Memory
+	mode  atomic.Value // "" | "error" | "corrupt" | "hang"
+	calls atomic.Uint64
+}
+
+func newPeerServer() *peerServer {
+	ps := &peerServer{st: store.NewMemory(1<<30, store.Counters{})}
+	ps.mode.Store("")
+	return ps
+}
+
+func (ps *peerServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ps.calls.Add(1)
+		switch ps.mode.Load().(string) {
+		case "error":
+			http.Error(w, "induced", http.StatusInternalServerError)
+			return
+		case "hang":
+			time.Sleep(2 * time.Second)
+			http.Error(w, "late", http.StatusInternalServerError)
+			return
+		}
+		key := r.Header.Get(KeyHeader)
+		id := strings.TrimPrefix(r.URL.Path, PeerPathPrefix)
+		if key == "" || EntryID(key) != id {
+			http.Error(w, "key/id mismatch", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			e, ok := ps.st.Get(key)
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			body := store.EncodeEntry(e)
+			if ps.mode.Load().(string) == "corrupt" {
+				body[len(body)-1] ^= 0x40
+			}
+			w.Write(body)
+		case http.MethodPut:
+			b := make([]byte, 0, r.ContentLength)
+			buf := make([]byte, 32<<10)
+			for {
+				n, err := r.Body.Read(buf)
+				b = append(b, buf[:n]...)
+				if err != nil {
+					break
+				}
+			}
+			e, err := store.DecodeEntry(b)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			ps.st.Put(e)
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+func testEntry(key string, n int) *store.Entry {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	return &store.Entry{Key: key, Meta: []byte(`{"ok":true}`), Data: data}
+}
+
+// TestRemoteRoundTrip: Put then Get through real HTTP, byte-identical.
+func TestRemoteRoundTrip(t *testing.T) {
+	ps := newPeerServer()
+	srv := httptest.NewServer(ps.handler())
+	defer srv.Close()
+	r := NewRemote(srv.URL, srv.Client())
+
+	e := testEntry("m=chbp;img=roundtrip", 4096)
+	if err := r.Put(context.Background(), e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := r.Get(context.Background(), e.Key)
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%t err=%v", ok, err)
+	}
+	if got.Key != e.Key || string(got.Data) != string(e.Data) || string(got.Meta) != string(e.Meta) {
+		t.Fatal("entry mutated in transit")
+	}
+	// A clean miss is (false, nil), not an error.
+	if _, ok, err := r.Get(context.Background(), "m=chbp;img=absent"); ok || err != nil {
+		t.Fatalf("miss: ok=%t err=%v", ok, err)
+	}
+}
+
+// TestRemoteRejectsBadPeers: 500s, corrupt bodies, and wrong-key answers
+// are all errors — never entries.
+func TestRemoteRejectsBadPeers(t *testing.T) {
+	ps := newPeerServer()
+	srv := httptest.NewServer(ps.handler())
+	defer srv.Close()
+	r := NewRemote(srv.URL, srv.Client())
+	e := testEntry("m=chbp;img=victim", 2048)
+	r.Put(context.Background(), e)
+
+	ps.mode.Store("error")
+	if _, ok, err := r.Get(context.Background(), e.Key); ok || err == nil {
+		t.Fatal("500 response not surfaced as an error")
+	}
+	ps.mode.Store("corrupt")
+	if _, ok, err := r.Get(context.Background(), e.Key); ok || err == nil {
+		t.Fatal("corrupt body not surfaced as an error")
+	}
+
+	// Wrong-key answer: a server that echoes a DIFFERENT (validly encoded)
+	// entry than asked for.
+	impostor := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(store.EncodeEntry(testEntry("m=chbp;img=other", 64)))
+	}))
+	defer impostor.Close()
+	if _, ok, err := NewRemote(impostor.URL, impostor.Client()).Get(context.Background(), e.Key); ok || err == nil {
+		t.Fatal("wrong-key entry accepted")
+	}
+}
+
+// twoNodeCluster builds a Cluster whose only peer is the given test server,
+// with self chosen so that wantRemote keys exist.
+func twoNodeCluster(t *testing.T, peerURL string, opts func(*Options)) *Cluster {
+	t.Helper()
+	o := Options{
+		Self:          "http://self.invalid:0",
+		Peers:         []string{peerURL},
+		Timeout:       250 * time.Millisecond,
+		FailThreshold: 3,
+		Cooldown:      80 * time.Millisecond,
+	}
+	if opts != nil {
+		opts(&o)
+	}
+	c := New(o)
+	if c == nil {
+		t.Fatal("cluster refused static membership")
+	}
+	return c
+}
+
+// peerOwnedKey finds a key the remote peer owns.
+func peerOwnedKey(t *testing.T, c *Cluster, peerURL string) string {
+	t.Helper()
+	for _, k := range ringKeys(512) {
+		if owner, local := c.Owner(k); !local && owner == peerURL {
+			return k
+		}
+	}
+	t.Fatal("no peer-owned key in 512 candidates")
+	return ""
+}
+
+// TestClusterFetchAndOffer: an offered entry comes back as a peer hit, and
+// self-owned keys never leave the node.
+func TestClusterFetchAndOffer(t *testing.T) {
+	ps := newPeerServer()
+	srv := httptest.NewServer(ps.handler())
+	defer srv.Close()
+	c := twoNodeCluster(t, srv.URL, nil)
+
+	key := peerOwnedKey(t, c, srv.URL)
+	e := testEntry(key, 1024)
+	c.Offer(context.Background(), e)
+	got, from, ok := c.Fetch(context.Background(), key)
+	if !ok || from != srv.URL || string(got.Data) != string(e.Data) {
+		t.Fatalf("peer fetch after offer: ok=%t from=%q", ok, from)
+	}
+	st := c.Snapshot()
+	if st.PeerHits != 1 || st.Offers != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// A self-owned key is never fetched remotely.
+	for _, k := range ringKeys(512) {
+		if _, local := c.Owner(k); local {
+			before := ps.calls.Load()
+			if _, _, ok := c.Fetch(context.Background(), k); ok {
+				t.Fatal("self-owned key produced a peer hit")
+			}
+			if ps.calls.Load() != before {
+				t.Fatal("self-owned key generated peer traffic")
+			}
+			return
+		}
+	}
+	t.Fatal("no self-owned key found")
+}
+
+// TestClusterBreakerGating: a failing peer trips its breaker after the
+// threshold, further fetches short-circuit without network traffic, and a
+// recovered peer is readmitted after the cooldown probe.
+func TestClusterBreakerGating(t *testing.T) {
+	ps := newPeerServer()
+	srv := httptest.NewServer(ps.handler())
+	defer srv.Close()
+	c := twoNodeCluster(t, srv.URL, nil)
+	key := peerOwnedKey(t, c, srv.URL)
+	e := testEntry(key, 512)
+	c.Offer(context.Background(), e)
+
+	ps.mode.Store("error")
+	for i := 0; i < 3; i++ {
+		if _, _, ok := c.Fetch(context.Background(), key); ok {
+			t.Fatal("500 produced a hit")
+		}
+	}
+	st := c.Snapshot()
+	if len(st.Peers) != 1 || !st.Peers[0].Open {
+		t.Fatalf("breaker not open after threshold: %+v", st.Peers)
+	}
+	// Open breaker: no traffic reaches the peer.
+	before := ps.calls.Load()
+	if _, _, ok := c.Fetch(context.Background(), key); ok {
+		t.Fatal("open breaker produced a hit")
+	}
+	if ps.calls.Load() != before {
+		t.Fatal("open breaker let traffic through before cooldown")
+	}
+
+	// Recovery: after the cooldown one probe goes through, succeeds, and
+	// closes the breaker.
+	ps.mode.Store("")
+	time.Sleep(120 * time.Millisecond)
+	if _, _, ok := c.Fetch(context.Background(), key); !ok {
+		t.Fatal("recovered peer not readmitted")
+	}
+	if st := c.Snapshot(); st.Peers[0].Open || st.Peers[0].Fails != 0 {
+		t.Fatalf("breaker did not close on successful probe: %+v", st.Peers[0])
+	}
+}
+
+// TestClusterTimeoutDegrades: a hanging peer costs at most the configured
+// timeout and counts as an error, not a hit or a stall.
+func TestClusterTimeoutDegrades(t *testing.T) {
+	ps := newPeerServer()
+	srv := httptest.NewServer(ps.handler())
+	defer srv.Close()
+	c := twoNodeCluster(t, srv.URL, nil)
+	key := peerOwnedKey(t, c, srv.URL)
+
+	ps.mode.Store("hang")
+	start := time.Now()
+	if _, _, ok := c.Fetch(context.Background(), key); ok {
+		t.Fatal("hanging peer produced a hit")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("fetch blocked %v; want ~the 250ms peer timeout", elapsed)
+	}
+	if st := c.Snapshot(); st.PeerErrors != 1 {
+		t.Fatalf("timeout not counted as peer error: %+v", st)
+	}
+}
+
+// TestClusterSingleNodeIsNil: no peers means no cluster object at all.
+func TestClusterSingleNodeIsNil(t *testing.T) {
+	if c := New(Options{Self: "http://a:1"}); c != nil {
+		t.Fatal("peerless options built a cluster")
+	}
+	if c := New(Options{Self: "http://a:1", Peers: []string{"http://a:1", ""}}); c != nil {
+		t.Fatal("self-only membership built a cluster")
+	}
+}

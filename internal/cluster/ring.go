@@ -1,0 +1,100 @@
+// Package cluster shards Chimera's content-addressed store across a static
+// set of peer nodes. Ownership is decided by a consistent-hash ring over
+// cache keys: every node gets a fixed number of virtual points on the ring,
+// and a key belongs to the node owning the first point at or after the
+// key's hash. Consistency is what makes static membership workable — when
+// one of N nodes leaves, only the keys it owned (about 1/N of the space)
+// change hands; everything else keeps its owner, so the surviving nodes'
+// stores stay warm.
+//
+// The cluster is an optimization layer, never a correctness dependency:
+// a peer fetch that fails, times out, or returns corrupt bytes degrades to
+// a local rewrite. Entries cross the wire in the store package's
+// checksummed codec, so a hostile or faulty peer cannot inject a wrong
+// image — the decode fails and the fetch counts as a miss.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-point count per node. 128 points keeps the
+// per-node share of the key space within a few percent of uniform while the
+// ring stays small enough that rebuilds are free.
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring. Build one with NewRing; to
+// change membership, build a new ring.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring with vnodes virtual points per node (DefaultVNodes
+// if vnodes <= 0). Node order does not matter; duplicate nodes are merged.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(fmt.Sprintf("%s|vnode=%d", n, v)),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break deterministically so every ring built from the same
+		// membership agrees, regardless of input order.
+		return r.points[i].node < r.points[j].node
+	})
+	sort.Strings(r.nodes)
+	return r
+}
+
+// ringHash positions a label on the ring: the first 8 bytes of its SHA-256.
+func ringHash(label string) uint64 {
+	sum := sha256.Sum256([]byte(label))
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// Owner returns the node owning key: the node of the first ring point at or
+// after the key's hash, wrapping at the top. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the ring's distinct members, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Len is the number of distinct member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }

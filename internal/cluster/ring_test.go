@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("m=chbp;t=00;img=%06d", i)
+	}
+	return keys
+}
+
+// TestRingStability: the consistent-hashing property the cluster's warm
+// caches depend on. When one of N nodes leaves, at most ~1/N of keys (we
+// allow 2/N for slack) change owner, and the ONLY keys that move are the
+// ones the departed node owned — survivors' shards are untouched.
+func TestRingStability(t *testing.T) {
+	nodes := []string{"http://n1:1", "http://n2:1", "http://n3:1", "http://n4:1"}
+	keys := ringKeys(10_000)
+	full := NewRing(nodes, 0)
+	smaller := NewRing(nodes[:3], 0) // n4 left
+
+	moved := 0
+	for _, k := range keys {
+		before, after := full.Owner(k), smaller.Owner(k)
+		if before != after {
+			moved++
+			if before != "http://n4:1" {
+				t.Fatalf("key %q moved from surviving node %s to %s", k, before, after)
+			}
+		}
+	}
+	bound := 2 * len(keys) / len(nodes)
+	if moved == 0 || moved > bound {
+		t.Fatalf("%d/%d keys moved after one of %d nodes left; want (0, %d]",
+			moved, len(keys), len(nodes), bound)
+	}
+}
+
+// TestRingBalance: with DefaultVNodes, no node's shard deviates wildly from
+// the uniform share.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://n1:1", "http://n2:1", "http://n3:1", "http://n4:1"}
+	r := NewRing(nodes, 0)
+	counts := make(map[string]int)
+	keys := ringKeys(20_000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	uniform := len(keys) / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < uniform/2 || c > uniform*2 {
+			t.Fatalf("node %s owns %d of %d keys (uniform %d): ring badly unbalanced %v",
+				n, c, len(keys), uniform, counts)
+		}
+	}
+}
+
+// TestRingDeterminism: ownership is a pure function of membership, not of
+// construction order — every node building the ring from the same peer set
+// must agree on every key.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing([]string{"http://n1:1", "http://n2:1", "http://n3:1"}, 0)
+	b := NewRing([]string{"http://n3:1", "http://n1:1", "http://n2:1", "http://n1:1"}, 0)
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("dedup failed: %d vs %d members", a.Len(), b.Len())
+	}
+	for _, k := range ringKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings built from reordered membership disagree on %q", k)
+		}
+	}
+}
+
+// TestRingEdgeCases: empty ring, single node.
+func TestRingEdgeCases(t *testing.T) {
+	if owner := NewRing(nil, 0).Owner("k"); owner != "" {
+		t.Fatalf("empty ring returned owner %q", owner)
+	}
+	solo := NewRing([]string{"http://n1:1"}, 0)
+	for _, k := range ringKeys(100) {
+		if solo.Owner(k) != "http://n1:1" {
+			t.Fatal("single-node ring failed to own a key")
+		}
+	}
+}

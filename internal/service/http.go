@@ -4,13 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"github.com/eurosys26p57/chimera/internal/cluster"
 	"github.com/eurosys26p57/chimera/internal/obj"
 	"github.com/eurosys26p57/chimera/internal/telemetry"
 )
@@ -44,22 +44,26 @@ type errorResponse struct {
 
 // Handler returns the service's HTTP API:
 //
-//	POST /rewrite     rewrite an image (JSON in/out, image in the obj wire format)
-//	POST /run         execute an image on a simulated core
-//	GET  /healthz     liveness probe
-//	GET  /stats       counters, cache state, latency histograms (JSON)
-//	GET  /metrics     the same counters in Prometheus text exposition
-//	GET  /trace/{id}  one request trace (id from the X-Chimera-Trace header)
-//	GET  /profile     guest profiles aggregated per image (when enabled)
+//	POST /rewrite        rewrite an image (JSON in/out, image in the obj wire format)
+//	POST /rewrite/batch  rewrite up to 256 images in one request (per-item status)
+//	POST /run            execute an image on a simulated core
+//	GET  /healthz        liveness probe
+//	GET  /stats          counters, cache/store/cluster state, latency histograms (JSON)
+//	GET  /metrics        the same counters in Prometheus text exposition
+//	GET  /trace/{id}     one request trace (id from the X-Chimera-Trace header)
+//	GET  /profile        guest profiles aggregated per image (when enabled)
+//	GET/PUT /peer/store/{id}  the cluster peer protocol (entry fetch/offer)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/rewrite", s.handleRewrite)
+	mux.HandleFunc("/rewrite/batch", s.handleRewriteBatch)
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", s.tel.reg)
 	mux.HandleFunc("/trace/", s.handleTrace)
 	mux.HandleFunc("/profile", s.handleProfile)
+	mux.HandleFunc(cluster.PeerPathPrefix, s.handlePeerStore)
 	return mux
 }
 
@@ -88,18 +92,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, ErrBadRequest):
-		status = http.StatusBadRequest
-	case errors.Is(err, ErrShuttingDown):
-		status = http.StatusServiceUnavailable
-	case errors.Is(err, ErrDeadline):
-		status = http.StatusGatewayTimeout
-	case errors.Is(err, ErrBudget):
-		status = http.StatusUnprocessableEntity
-	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
 }
 
 // decodeBody decodes a bounded JSON body into v.

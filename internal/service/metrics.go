@@ -30,11 +30,38 @@ type serviceMetrics struct {
 	budgetStops     *telemetry.Counter
 	breakerTrips    *telemetry.Counter
 
-	// Rewrite cache.
+	// Rewrite cache (the tiered store's memory tier; names predate the
+	// disk tier and are kept stable for dashboards).
 	cacheHits      *telemetry.Counter
 	cacheMisses    *telemetry.Counter
 	cacheEvictions *telemetry.Counter
 	cacheCorrupt   *telemetry.Counter
+
+	// Tiered store: which tier answered ({tier} = memory|disk), end-to-end
+	// misses, and the disk tier's own counters.
+	tierHits      *telemetry.CounterVec
+	storeMisses   *telemetry.Counter
+	diskHits      *telemetry.Counter
+	diskMisses    *telemetry.Counter
+	diskEvictions *telemetry.Counter
+	diskCorrupt   *telemetry.Counter
+	diskErrors    *telemetry.Counter
+
+	// Cluster peer traffic (client side) and the peer-protocol endpoint
+	// (server side).
+	peerHits         *telemetry.Counter
+	peerMisses       *telemetry.Counter
+	peerErrors       *telemetry.Counter
+	peerOffers       *telemetry.Counter
+	peerOfferErrors  *telemetry.Counter
+	peerBreakerTrips *telemetry.Counter
+	peerServes       *telemetry.Counter
+	peerAccepts      *telemetry.Counter
+	peerRejects      *telemetry.Counter
+
+	// Batch endpoint.
+	batchRequests *telemetry.Counter
+	batchItems    *telemetry.Counter
 
 	// Latency distributions.
 	requestSeconds *telemetry.HistogramVec // {endpoint}
@@ -48,6 +75,7 @@ type serviceMetrics struct {
 	stageQueueWait   *telemetry.Histogram
 	stageRewrite     *telemetry.Histogram
 	stageVerify      *telemetry.Histogram
+	stageStoreVerify *telemetry.Histogram
 	stageRunExec     *telemetry.Histogram
 
 	// Emulator aggregates over all /run requests.
@@ -84,10 +112,31 @@ func newServiceMetrics() *serviceMetrics {
 		budgetStops:     r.Counter("chimera_run_budget_stops_total", "runs ended by the hard instruction budget"),
 		breakerTrips:    r.Counter("chimera_breaker_trips_total", "circuit breaker openings (rewriter config quarantines)"),
 
-		cacheHits:      r.Counter("chimera_cache_hits_total", "rewrite cache hits"),
-		cacheMisses:    r.Counter("chimera_cache_misses_total", "rewrite cache misses"),
-		cacheEvictions: r.Counter("chimera_cache_evictions_total", "rewrite cache LRU evictions"),
+		cacheHits:      r.Counter("chimera_cache_hits_total", "memory-tier rewrite cache hits"),
+		cacheMisses:    r.Counter("chimera_cache_misses_total", "memory-tier rewrite cache misses"),
+		cacheEvictions: r.Counter("chimera_cache_evictions_total", "memory-tier rewrite cache LRU evictions"),
 		cacheCorrupt:   r.Counter("chimera_cache_corrupt_evictions_total", "cache entries that failed checksum verification on a hit and were evicted"),
+
+		tierHits:      r.CounterVec("chimera_store_tier_hits_total", "store lookups served, by tier", "tier"),
+		storeMisses:   r.Counter("chimera_store_misses_total", "store lookups that missed every tier"),
+		diskHits:      r.Counter("chimera_store_disk_hits_total", "disk-tier store hits (verified reads)"),
+		diskMisses:    r.Counter("chimera_store_disk_misses_total", "disk-tier store misses"),
+		diskEvictions: r.Counter("chimera_store_disk_evictions_total", "disk-tier store LRU evictions"),
+		diskCorrupt:   r.Counter("chimera_store_disk_corrupt_evictions_total", "disk entries that failed verification on read and were deleted"),
+		diskErrors:    r.Counter("chimera_store_disk_errors_total", "disk-tier I/O failures absorbed (failed writes, vanished reads)"),
+
+		peerHits:         r.Counter("chimera_cluster_peer_hits_total", "cache misses answered by the key's shard owner"),
+		peerMisses:       r.Counter("chimera_cluster_peer_misses_total", "shard-owner lookups that missed"),
+		peerErrors:       r.Counter("chimera_cluster_peer_errors_total", "failed shard-owner calls (unreachable, bad status, corrupt body)"),
+		peerOffers:       r.Counter("chimera_cluster_offers_total", "completed rewrites offered to their shard owner"),
+		peerOfferErrors:  r.Counter("chimera_cluster_offer_errors_total", "shard-owner offers that failed (absorbed)"),
+		peerBreakerTrips: r.Counter("chimera_cluster_breaker_trips_total", "per-peer health breaker openings"),
+		peerServes:       r.Counter("chimera_peer_store_serves_total", "peer-protocol GETs served with an entry"),
+		peerAccepts:      r.Counter("chimera_peer_store_accepts_total", "peer-protocol PUTs accepted into the store"),
+		peerRejects:      r.Counter("chimera_peer_store_rejects_total", "peer-protocol requests rejected (bad id, corrupt body)"),
+
+		batchRequests: r.Counter("chimera_batch_requests_total", "POST /rewrite/batch requests"),
+		batchItems:    r.Counter("chimera_batch_items_total", "individual items across all batch requests"),
 
 		requestSeconds: r.HistogramVec("chimera_request_seconds", "end-to-end request latency by endpoint", db, "endpoint"),
 		methodSeconds:  r.HistogramVec("chimera_method_seconds", "successful rewrite latency by rewriter method", db, "method"),
@@ -108,6 +157,7 @@ func newServiceMetrics() *serviceMetrics {
 	m.stageQueueWait = m.stageSeconds.With("queue_wait")
 	m.stageRewrite = m.stageSeconds.With("rewrite")
 	m.stageVerify = m.stageSeconds.With("verify")
+	m.stageStoreVerify = m.stageSeconds.With("store_verify")
 	m.stageRunExec = m.stageSeconds.With("run_exec")
 	m.kernelTel = kernel.NewSchedTelemetry(r)
 	return m

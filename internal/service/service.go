@@ -3,7 +3,9 @@
 // that a binary is rewritten once per target ISA and the result is reused
 // by every process and core that runs it; this package is that amortization
 // made explicit: a content-addressed rewrite cache (SHA-256 of the image's
-// wire form + canonicalized options) with LRU eviction under a byte budget,
+// wire form + canonicalized options) tiered across a memory LRU and an
+// optional persistent disk store (internal/store), optionally sharded
+// across a static peer cluster by consistent hashing (internal/cluster),
 // singleflight deduplication so N concurrent identical requests share one
 // rewrite, a bounded worker pool with per-request context cancellation and
 // graceful drain, and an HTTP JSON front end (cmd/chimera-served).
@@ -24,11 +26,13 @@ import (
 	"github.com/eurosys26p57/chimera/internal/bench"
 	"github.com/eurosys26p57/chimera/internal/chaos"
 	"github.com/eurosys26p57/chimera/internal/chbp"
+	"github.com/eurosys26p57/chimera/internal/cluster"
 	"github.com/eurosys26p57/chimera/internal/emu"
 	"github.com/eurosys26p57/chimera/internal/kernel"
 	"github.com/eurosys26p57/chimera/internal/obj"
 	"github.com/eurosys26p57/chimera/internal/rewriters"
 	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/store"
 	"github.com/eurosys26p57/chimera/internal/telemetry"
 )
 
@@ -52,8 +56,26 @@ type Config struct {
 	// When the queue is full, Rewrite/Run block until a slot frees or the
 	// request's context ends — closed-loop backpressure, not load shedding.
 	QueueDepth int
-	// CacheBytes is the rewrite cache budget (default 256 MiB).
+	// CacheBytes is the memory-tier rewrite cache budget (default 256 MiB).
 	CacheBytes int64
+	// StoreDir, when set, mounts a persistent disk tier under the memory
+	// cache: completed rewrites are written through to
+	// StoreDir/<fanout>/<sha256(key)>.ent and survive restarts (warm-start
+	// hits instead of cold rewrites). Empty means memory-only.
+	StoreDir string
+	// DiskCacheBytes is the disk tier's byte budget (default 1 GiB; only
+	// meaningful with StoreDir set).
+	DiskCacheBytes int64
+	// ClusterSelf is this node's advertised base URL (scheme://host:port)
+	// for sharded cluster serving; ClusterPeers are the other nodes'. With
+	// peers configured, a cache miss consults the key's shard owner before
+	// rewriting, and completed rewrites are offered to their owner. Empty
+	// peers means single-node operation.
+	ClusterSelf  string
+	ClusterPeers []string
+	// PeerTimeout bounds each peer store call (default 2s). A peer slower
+	// than this is worth less than rewriting locally.
+	PeerTimeout time.Duration
 	// RequestTimeout bounds each request end-to-end — queue wait, retries,
 	// backoff, execution (default 2 minutes; negative disables). A /rewrite
 	// that exceeds it is answered via degradation; a /run gets 504.
@@ -98,6 +120,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 256 << 20
+	}
+	if c.DiskCacheBytes <= 0 {
+		c.DiskCacheBytes = 1 << 30
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 2 * time.Second
 	}
 	switch {
 	case c.RequestTimeout == 0:
@@ -172,7 +200,13 @@ type RewriteResult struct {
 	ImageBytes []byte       `json:"image"`
 	Stats      RewriteStats `json:"stats"`
 	CacheHit   bool         `json:"cache_hit"`
-	Deduped    bool         `json:"deduped"` // shared an in-flight identical rewrite
+	// Tier says which store tier served a cache hit ("memory" or "disk");
+	// empty for cold rewrites and degraded answers.
+	Tier    string `json:"tier,omitempty"`
+	Deduped bool   `json:"deduped"` // shared an in-flight identical rewrite
+	// PeerHit marks a miss that was answered by the key's shard owner over
+	// the cluster peer protocol instead of a local rewrite.
+	PeerHit bool `json:"peer_hit,omitempty"`
 	// Degraded marks a graceful-degradation answer: the rewrite failed (or
 	// its config is quarantined) and ImageBytes is the ORIGINAL image,
 	// unmodified — the paper's fallback of running the untouched binary on a
@@ -237,8 +271,13 @@ type Server struct {
 	mu     sync.RWMutex
 	closed bool
 
-	cacheMu sync.Mutex
-	cache   *rewriteCache
+	// st is the tiered result store (memory LRU over an optional disk
+	// tier); clu, when non-nil, shards keys across static peers. offers
+	// tracks in-flight async entry offers to shard owners so Shutdown can
+	// drain them.
+	st     *store.Tiered
+	clu    *cluster.Cluster
+	offers sync.WaitGroup
 
 	flight flightGroup
 	brk    *breakers
@@ -285,8 +324,20 @@ type EmuStats struct {
 	RetiredPerDispatch float64 `json:"retired_per_dispatch"`
 }
 
-// New starts a server with cfg's worker pool already running.
+// New starts a server with cfg's worker pool already running. It panics if
+// the disk store cannot be opened (callers that want the error use
+// NewServer).
 func New(cfg Config) *Server {
+	s, err := NewServer(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewServer starts a server with cfg's worker pool already running. The
+// only fallible part is opening the disk store (Config.StoreDir).
+func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	tel := newServiceMetrics()
 	s := &Server{
@@ -297,10 +348,41 @@ func New(cfg Config) *Server {
 		tel:      tel,
 		profiles: make(map[string]*imageProfile),
 	}
-	s.cache = newRewriteCache(cfg.CacheBytes, cacheCounters{
-		hits: tel.cacheHits, misses: tel.cacheMisses,
-		evictions: tel.cacheEvictions, corrupt: tel.cacheCorrupt,
-		verify: tel.stageVerify,
+	mem := store.NewMemory(cfg.CacheBytes, store.Counters{
+		Hits: tel.cacheHits, Misses: tel.cacheMisses,
+		Evictions: tel.cacheEvictions, Corrupt: tel.cacheCorrupt,
+		Verify: tel.stageVerify,
+	})
+	var disk *store.Disk
+	if cfg.StoreDir != "" {
+		var err error
+		disk, err = store.OpenDisk(cfg.StoreDir, cfg.DiskCacheBytes, store.Counters{
+			Hits: tel.diskHits, Misses: tel.diskMisses,
+			Evictions: tel.diskEvictions, Corrupt: tel.diskCorrupt,
+			Errors: tel.diskErrors, Verify: tel.stageStoreVerify,
+		}, cfg.Chaos)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.st = store.NewTiered(mem, disk, store.TierCounters{
+		MemHits:    tel.tierHits.With(store.TierMemory),
+		DiskHits:   tel.tierHits.With(store.TierDisk),
+		Misses:     tel.storeMisses,
+		DiskErrors: tel.diskErrors,
+	})
+	s.clu = cluster.New(cluster.Options{
+		Self:    cfg.ClusterSelf,
+		Peers:   cfg.ClusterPeers,
+		Timeout: cfg.PeerTimeout,
+		Met: cluster.Counters{
+			PeerHits:    tel.peerHits,
+			PeerMisses:  tel.peerMisses,
+			PeerErrors:  tel.peerErrors,
+			Offers:      tel.peerOffers,
+			OfferErrors: tel.peerOfferErrors,
+			BreakerOpen: tel.peerBreakerTrips,
+		},
 	})
 	if cfg.TraceCapacity >= 0 {
 		s.tracer = telemetry.NewTracer(cfg.TraceCapacity)
@@ -327,18 +409,40 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.running.Load()) })
 	r.GaugeFunc("chimera_quarantined_configs", "rewriter configs with an open circuit breaker",
 		func() float64 { return float64(s.brk.active(time.Now())) })
-	r.GaugeFunc("chimera_cache_entries", "rewrite cache entries",
-		func() float64 { s.cacheMu.Lock(); defer s.cacheMu.Unlock(); return float64(s.cache.ll.Len()) })
-	r.GaugeFunc("chimera_cache_bytes", "rewrite cache resident bytes",
-		func() float64 { s.cacheMu.Lock(); defer s.cacheMu.Unlock(); return float64(s.cache.bytes) })
-	r.GaugeFunc("chimera_cache_budget_bytes", "rewrite cache byte budget",
+	r.GaugeFunc("chimera_cache_entries", "memory-tier rewrite cache entries",
+		func() float64 { return float64(s.st.Mem().Len()) })
+	r.GaugeFunc("chimera_cache_bytes", "memory-tier rewrite cache resident bytes",
+		func() float64 { return float64(s.st.Mem().Bytes()) })
+	r.GaugeFunc("chimera_cache_budget_bytes", "memory-tier rewrite cache byte budget",
 		func() float64 { return float64(cfg.CacheBytes) })
+	if d := s.st.Disk(); d != nil {
+		r.GaugeFunc("chimera_store_disk_entries", "disk-tier store entries",
+			func() float64 { return float64(d.Len()) })
+		r.GaugeFunc("chimera_store_disk_bytes", "disk-tier store resident bytes",
+			func() float64 { return float64(d.Bytes()) })
+		r.GaugeFunc("chimera_store_disk_budget_bytes", "disk-tier store byte budget",
+			func() float64 { return float64(cfg.DiskCacheBytes) })
+	}
+	if s.clu != nil {
+		r.GaugeFunc("chimera_cluster_peers", "configured cluster peers",
+			func() float64 { return float64(s.clu.Ring().Len() - 1) })
+		r.GaugeFunc("chimera_cluster_peers_open", "cluster peers with an open health breaker",
+			func() float64 {
+				open := 0
+				for _, p := range s.clu.Snapshot().Peers {
+					if p.Open {
+						open++
+					}
+				}
+				return float64(open)
+			})
+	}
 
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Metrics exposes the server's telemetry registry (the /metrics handler).
@@ -427,6 +531,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.queue)
 		go func() {
 			s.workers.Wait()
+			s.offers.Wait() // in-flight peer offers finish or time out
 			close(s.drained)
 		}()
 	})
@@ -504,32 +609,38 @@ func (s *Server) Rewrite(ctx context.Context, req *RewriteRequest) (*RewriteResu
 
 	lookupSpan := tr.Span("cache_lookup")
 	lookupStart := time.Now()
-	cached, hit := s.cacheGet(key)
+	cached, tier, hit := s.cacheGet(key)
 	observeStage(s.tel.stageCacheLookup, time.Since(lookupStart))
 	lookupSpan.Annotate("hit", fmt.Sprint(hit))
+	if hit {
+		lookupSpan.Annotate("tier", tier)
+	}
 	lookupSpan.End()
 	if hit {
 		s.tel.requestSeconds.With("rewrite").Observe(time.Since(startAt).Seconds())
 		out := *cached
 		out.CacheHit = true
+		out.Tier = tier
 		return &out, nil
 	}
 
 	cfgKey := req.Method + "/" + isa.String()
-	brkSpan := tr.Span("breaker_check")
-	quarantined := s.brk.quarantined(cfgKey, time.Now())
-	brkSpan.Annotate("quarantined", fmt.Sprint(quarantined))
-	brkSpan.End()
-	if quarantined {
-		return s.degrade(ctx, req, key, isa, startAt,
-			fmt.Errorf("%w: %s", ErrQuarantined, cfgKey))
-	}
-
 	flightSpan := tr.Span("singleflight")
 	flightStart := time.Now()
 	val, err, shared := s.flight.do(ctx, key, func() (*RewriteResult, error) {
-		// The retry loop lives INSIDE the flight leader so followers share
-		// the final outcome instead of each mounting their own retry storm.
+		// The whole miss path lives INSIDE the flight leader so followers
+		// share the final outcome: one peer fetch, one breaker verdict, one
+		// retry loop — never a per-follower storm.
+		if res, ok := s.peerFetch(ctx, key); ok {
+			return res, nil
+		}
+		brkSpan := telemetry.TraceFrom(ctx).Span("breaker_check")
+		quarantined := s.brk.quarantined(cfgKey, time.Now())
+		brkSpan.Annotate("quarantined", fmt.Sprint(quarantined))
+		brkSpan.End()
+		if quarantined {
+			return nil, fmt.Errorf("%w: %s", ErrQuarantined, cfgKey)
+		}
 		return s.rewriteWithRetries(ctx, req, isa, key, cfgKey)
 	})
 	if shared {
@@ -581,8 +692,9 @@ func (s *Server) rewriteWithRetries(ctx context.Context, req *RewriteRequest, is
 			asp.End()
 			res := v.(*RewriteResult)
 			storeSpan := tr.Span("cache_store")
-			s.cacheAdd(key, res)
+			s.storeAdd(key, res)
 			storeSpan.End()
+			s.offerToOwner(res)
 			s.brk.success(cfgKey)
 			return res, nil
 		}
@@ -668,23 +780,89 @@ func (s *Server) degrade(ctx context.Context, req *RewriteRequest, key string, i
 	}, nil
 }
 
-// cacheGet is the locked cache lookup (hit verification included).
-func (s *Server) cacheGet(key string) (*RewriteResult, bool) {
-	s.cacheMu.Lock()
-	defer s.cacheMu.Unlock()
-	return s.cache.get(key)
+// cacheGet looks key up in the tiered store (hit verification included, a
+// disk hit is promoted) and reports which tier answered.
+func (s *Server) cacheGet(key string) (*RewriteResult, string, bool) {
+	e, tier, ok := s.st.Get(key)
+	if !ok {
+		return nil, "", false
+	}
+	res, err := resultFromEntry(e)
+	if err != nil {
+		// Checksum-valid bytes with an unparseable sidecar is a codec
+		// version skew: drop the entry and rewrite rather than erroring.
+		s.st.Delete(key)
+		return nil, "", false
+	}
+	return res, tier, true
 }
 
-// cacheAdd inserts a fresh result — and, under chaos, may flip one bit of
-// a private copy of the stored entry so the next hit exercises the
-// verification/eviction path. In-flight responses keep the pristine bytes.
-func (s *Server) cacheAdd(key string, res *RewriteResult) {
-	s.cacheMu.Lock()
-	defer s.cacheMu.Unlock()
-	s.cache.add(key, res)
-	if inj := s.cfg.Chaos; inj.Roll(chaos.CacheCorrupt) {
-		s.cache.corrupt(key, inj.Intn)
+// storeAdd writes a fresh result through the tiers — and, under chaos, may
+// flip one bit of a private copy of the memory-resident entry so the next
+// hit exercises the verification/eviction path. In-flight responses keep
+// the pristine bytes.
+func (s *Server) storeAdd(key string, res *RewriteResult) {
+	e, err := entryFromResult(res)
+	if err != nil {
+		return
 	}
+	s.st.Put(e)
+	if inj := s.cfg.Chaos; inj.Roll(chaos.CacheCorrupt) {
+		s.st.Mem().Corrupt(key, inj.Intn)
+	}
+}
+
+// peerFetch consults key's shard owner on a local miss. A verified peer
+// entry is stored locally (write-through, so the next miss is a local hit)
+// and returned marked PeerHit; every failure mode — self-owned key, open
+// breaker, peer miss, peer error, corrupt body — returns false and the
+// caller rewrites locally.
+func (s *Server) peerFetch(ctx context.Context, key string) (*RewriteResult, bool) {
+	if s.clu == nil {
+		return nil, false
+	}
+	sp := telemetry.TraceFrom(ctx).Span("peer_fetch")
+	e, from, ok := s.clu.Fetch(ctx, key)
+	sp.Annotate("hit", fmt.Sprint(ok))
+	if !ok {
+		sp.End()
+		return nil, false
+	}
+	sp.Annotate("peer", from)
+	sp.End()
+	res, err := resultFromEntry(e)
+	if err != nil {
+		return nil, false
+	}
+	s.st.Put(e)
+	res.PeerHit = true
+	return res, true
+}
+
+// offerToOwner pushes a freshly completed rewrite to its shard owner so the
+// next cluster-wide request for it is a peer hit instead of a second
+// rewrite. The offer is asynchronous (the requester does not wait on a
+// peer), bounded by the peer timeout, tracked for shutdown drain, and
+// absorbed on failure — durability elsewhere is an optimization, never a
+// dependency.
+func (s *Server) offerToOwner(res *RewriteResult) {
+	if s.clu == nil {
+		return
+	}
+	if _, local := s.clu.Owner(res.Key); local {
+		return
+	}
+	e, err := entryFromResult(res)
+	if err != nil {
+		return
+	}
+	s.offers.Add(1)
+	go func() {
+		defer s.offers.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PeerTimeout)
+		defer cancel()
+		s.clu.Offer(ctx, e)
+	}()
 }
 
 // doRewrite performs the actual rewrite on a worker. The rewriters clone
@@ -976,21 +1154,25 @@ func armInfiniteLoop(p *kernel.Process) {
 // Stats is the /stats payload: cache counters, pool gauges, and latency
 // histograms per endpoint and per rewriter method.
 type Stats struct {
-	UptimeSeconds float64                   `json:"uptime_seconds"`
-	Health        string                    `json:"health"`
-	Workers       int                       `json:"workers"`
-	QueueDepth    int                       `json:"queue_depth"`
-	QueueCap      int                       `json:"queue_cap"`
-	Running       int64                     `json:"running"`
-	Accepted      uint64                    `json:"accepted"`
-	Completed     uint64                    `json:"completed"`
-	Rejected      uint64                    `json:"rejected"`
-	Deduped       uint64                    `json:"deduped"`
-	Cache         CacheStats                `json:"cache"`
-	Emulator      EmuStats                  `json:"emulator"`
-	Faults        FaultStats                `json:"faults"`
-	Endpoints     map[string]LatencySummary `json:"endpoints"`
-	PerMethod     map[string]LatencySummary `json:"per_method"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Health        string     `json:"health"`
+	Workers       int        `json:"workers"`
+	QueueDepth    int        `json:"queue_depth"`
+	QueueCap      int        `json:"queue_cap"`
+	Running       int64      `json:"running"`
+	Accepted      uint64     `json:"accepted"`
+	Completed     uint64     `json:"completed"`
+	Rejected      uint64     `json:"rejected"`
+	Deduped       uint64     `json:"deduped"`
+	Cache         CacheStats `json:"cache"`
+	// Store is the tiered-store snapshot: per-tier counters plus which tier
+	// answered each lookup. Cluster is present only with peers configured.
+	Store     store.TieredStats         `json:"store"`
+	Cluster   *cluster.Stats            `json:"cluster,omitempty"`
+	Emulator  EmuStats                  `json:"emulator"`
+	Faults    FaultStats                `json:"faults"`
+	Endpoints map[string]LatencySummary `json:"endpoints"`
+	PerMethod map[string]LatencySummary `json:"per_method"`
 	// Stages is the per-pipeline-stage latency breakdown (cache_lookup,
 	// singleflight_wait, queue_wait, rewrite, verify, run_exec).
 	Stages map[string]LatencySummary `json:"stages,omitempty"`
@@ -1020,9 +1202,7 @@ func (s *Server) Health() string {
 // telemetry registry (the same instruments /metrics renders), so the JSON
 // blob and the Prometheus exposition cannot disagree.
 func (s *Server) Stats() Stats {
-	s.cacheMu.Lock()
-	cs := s.cache.stats()
-	s.cacheMu.Unlock()
+	cs := cacheStatsFrom(s.st.Mem().Stats())
 	m := s.tel
 	es := EmuStats{
 		Runs:       m.guestRuns.Value(),
@@ -1050,7 +1230,7 @@ func (s *Server) Stats() Stats {
 	if v := s.lastPanic.Load(); v != nil {
 		fs.LastPanic = v.(string)
 	}
-	return Stats{
+	out := Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Health:        s.Health(),
 		Faults:        fs,
@@ -1064,10 +1244,16 @@ func (s *Server) Stats() Stats {
 		Rejected:      m.rejected.Value(),
 		Deduped:       m.deduped.Value(),
 		Cache:         cs,
+		Store:         s.st.TierStats(),
 		Emulator:      es,
 		Endpoints:     summaries(m.requestSeconds),
 		PerMethod:     summaries(m.methodSeconds),
 		Stages:        summaries(m.stageSeconds),
 		Errors:        errorCounts(m.requestErrors),
 	}
+	if s.clu != nil {
+		cls := s.clu.Snapshot()
+		out.Cluster = &cls
+	}
+	return out
 }

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Emulator benchmark harness: runs the BenchmarkCPURun* emulated-MIPS
-# benchmarks and the BenchmarkService* suite, and distills the results into
-# BENCH_emu.json (per benchmark: ns/op, emulated MIPS, ns per retired
-# instruction, allocs/op). Run from anywhere; writes to the repo root.
+# benchmarks, the BenchmarkService*/BenchmarkRewriteBatch service suite, and
+# the store hit-path benchmarks (memory-tier verified hits, disk-store hit
+# latency), and distills the results into BENCH_emu.json (per benchmark:
+# ns/op, emulated MIPS, ns per retired instruction, allocs/op, MB/s,
+# batch items/s). Run from anywhere; writes to the repo root.
 #
 #   scripts/bench.sh                # default -benchtime
 #   BENCHTIME=5s scripts/bench.sh   # longer runs for stable numbers
@@ -17,9 +19,13 @@ echo "== go test -bench CPURun (internal/emu, -benchtime $BENCHTIME)"
 go test -run=- -bench='BenchmarkCPURun' -benchmem -benchtime "$BENCHTIME" \
     ./internal/emu/ | tee "$RAW"
 
-echo "== go test -bench Service (internal/service)"
-go test -run=- -bench='BenchmarkService' -benchmem -benchtime 1x \
+echo "== go test -bench Service|RewriteBatch (internal/service)"
+go test -run=- -bench='BenchmarkService|BenchmarkRewriteBatch' -benchmem -benchtime 1x \
     ./internal/service/ | tee -a "$RAW"
+
+echo "== go test -bench store hit paths (internal/store, -benchtime $BENCHTIME)"
+go test -run=- -bench='BenchmarkMemoryHitParallel|BenchmarkDiskStoreHit' -benchmem \
+    -benchtime "$BENCHTIME" ./internal/store/ | tee -a "$RAW"
 
 # Distill `go test -bench` lines into JSON. Lines look like:
 #   BenchmarkCPURunFib/blocks-8  865  3062081 ns/op  148.6 Minst/s  6.730 ns/inst  7 B/op  0 allocs/op
@@ -31,12 +37,14 @@ awk '
 BEGIN { print "{"; print "  \"benchmarks\": ["; n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    nsop = ""; mips = ""; nsinst = ""; allocs = ""
+    nsop = ""; mips = ""; nsinst = ""; allocs = ""; mbs = ""; items = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op")      nsop = $i
         if ($(i+1) == "Minst/s")    mips = $i
         if ($(i+1) == "ns/inst")    nsinst = $i
         if ($(i+1) == "allocs/op")  allocs = $i
+        if ($(i+1) == "MB/s")       mbs = $i
+        if ($(i+1) == "items/s")    items = $i
     }
     if (nsop == "") next
     if (name == "BenchmarkCPURunProfiler/off" && nsinst != "") prof_off = nsinst
@@ -46,6 +54,8 @@ BEGIN { print "{"; print "  \"benchmarks\": ["; n = 0 }
     if (mips != "")   printf ", \"emulated_mips\": %s", mips
     if (nsinst != "") printf ", \"ns_per_inst\": %s", nsinst
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (mbs != "")    printf ", \"mb_per_s\": %s", mbs
+    if (items != "")  printf ", \"items_per_s\": %s", items
     printf "}"
 }
 END {

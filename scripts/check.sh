@@ -20,8 +20,10 @@ echo "== metrics lint (chimera_[a-z_]+ naming + help text)"
 go test -run 'TestMetricsLint|TestMetricNameValidation' -count=1 ./internal/service ./internal/telemetry
 echo "== go test -race ./..."
 go test -race ./...
-echo "== chaos soak (1000 requests, fixed seed, -race)"
+echo "== chaos soak (1000 requests, fixed seed, -race; includes the 3-node cluster soak)"
 CHIMERA_CHAOS_SOAK=1 go test -race -run 'TestChaosSoak' -count=1 -timeout 300s ./internal/service
+echo "== cluster smoke (3 chimera-served processes, kill the shard owner, degraded-but-correct)"
+go run ./cmd/chimera-smoke
 echo "== bench smoke (1 iteration)"
 go test -run=- -bench=. -benchtime=1x ./... >/dev/null
 echo "== fuzz smoke (10s per target)"

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"github.com/eurosys26p57/chimera/internal/fuzz"
@@ -37,8 +38,11 @@ func main() {
 	out := flag.String("o", "", "write JSON divergence reports to this file (default stdout)")
 	maxFuncs := flag.Int("max-funcs", fuzz.DefaultConfig().MaxFuncs, "max functions per program")
 	maxSteps := flag.Int("max-steps", fuzz.DefaultConfig().MaxSteps, "max steps per function")
+	traceThreshold := flag.Uint("trace-threshold", defaultTraceThreshold(),
+		"trace-tier promotion threshold for block-engine harts (0 disables the tier; also CHIMERA_FUZZ_TRACE_THRESHOLD)")
 	verbose := flag.Bool("v", false, "log every seed")
 	flag.Parse()
+	fuzz.EngineTraceThreshold = uint32(*traceThreshold)
 
 	var axes []string
 	if *axesFlag != "" {
@@ -120,6 +124,17 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// defaultTraceThreshold lets CI sweeps force the trace tier hot (or off)
+// without touching the command line.
+func defaultTraceThreshold() uint {
+	if s := os.Getenv("CHIMERA_FUZZ_TRACE_THRESHOLD"); s != "" {
+		if v, err := strconv.ParseUint(s, 10, 32); err == nil {
+			return uint(v)
+		}
+	}
+	return uint(fuzz.EngineTraceThreshold)
 }
 
 func fatal(err error) {

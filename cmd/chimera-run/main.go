@@ -30,7 +30,9 @@ func main() {
 	isaFlag := flag.String("isa", "", "core ISA to run on (default: the image's)")
 	with := flag.String("with", "", "additional variant image to load as a sibling MMView")
 	verbose := flag.Bool("v", false, "print kernel counters")
-	stats := flag.Bool("stats", false, "print emulator throughput and block-cache statistics")
+	stats := flag.Bool("stats", false, "print emulator throughput and block/trace-cache statistics")
+	traceThreshold := flag.Uint("trace-threshold", uint(emu.DefaultTraceThreshold),
+		"block dispatch count that promotes a hot chain into a superblock trace (0 disables the trace tier)")
 	profile := flag.Bool("profile", false, "profile the guest: print hot basic blocks (symbolized) and folded stacks")
 	folded := flag.String("folded", "", "with -profile, also write flamegraph folded-stack lines to this file")
 	top := flag.Int("top", 10, "with -profile, number of hot blocks to print")
@@ -75,6 +77,7 @@ func main() {
 		fatal(err)
 	}
 	p.CPU.ISA = isa
+	p.CPU.TraceThreshold = uint32(*traceThreshold)
 	var prof *telemetry.GuestProfiler
 	var syms *telemetry.SymTable
 	if *profile {
@@ -118,6 +121,8 @@ func main() {
 			p.CPU.Instret, p.CPU.Cycles, mips)
 		fmt.Printf("[blocks: %d built, %d hits (%.1f%% hit ratio), %d invalidations, %.1f insts/dispatch]\n",
 			b.Built, b.Hits, 100*b.HitRatio(), b.Invalidations, b.RetiredPerDispatch())
+		fmt.Printf("[traces: %d built, %d hits, %d/%d insts trace-retired, %.1f%% side exits, pic %d/%d hits]\n",
+			b.TracesBuilt, b.TraceHits, b.TraceRetired, b.Retired, 100*b.SideExitRate(), b.PICHits, b.PICHits+b.PICMisses)
 	}
 	if *profile {
 		fmt.Printf("\n[guest profile: %d distinct blocks]\n", prof.Blocks())

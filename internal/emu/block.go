@@ -1,6 +1,7 @@
 package emu
 
-// Basic-block translation engine.
+// Basic-block translation engine — tier one of the two-tier translator
+// (trace.go is tier two).
 //
 // The per-instruction Step loop pays a decoded-icache probe, an ISA
 // extension check and full operand re-extraction for every retired
@@ -8,41 +9,62 @@ package emu
 // predecoded µop vector (ending at a control transfer, the page boundary,
 // or maxBlockInsts), hoists the extension check to build time — a block
 // only ever contains instructions its core's ISA implements — and
-// dispatches the whole block from a direct-mapped cache keyed on
-// (pc, address space, Memory generation, core ISA, cost model). Block
-// exits chain to their successor blocks, so a steady-state hot loop runs
-// block-to-block without touching the cache index.
+// dispatches the whole block from a 2-way set-associative cache keyed on
+// (pc, address space, mapping generation, spanned-frame patch generations,
+// core ISA, cost model). Block exits chain to their successor blocks, so a
+// steady-state hot loop runs block-to-block without touching the cache
+// index; indirect jumps chain through a small polymorphic inline cache
+// (picWays entries, MRU-ordered) instead of a single-entry slot, so
+// call-heavy code with rotating jalr/ret targets keeps chaining.
+//
+// Blocks and traces are recycled through per-CPU free lists: eviction and
+// invalidation return the object (and its µop backing array) to the pool,
+// so steady-state rebuild churn allocates nothing. Reuse is safe because
+// every block pointer read from a chain link, PIC entry or cache way is
+// re-validated with blockValid against the actual dispatch pc before it
+// executes.
 //
 // The engine is required to be architecturally indistinguishable from
 // stepping: identical X/F/V/PC/Instret/Cycles trajectories, identical
 // precise faults mid-block, and the runtime-rewriting contract intact —
-// Poke/Map/MapPage/ShareFrom all bump the Memory generation, which
-// invalidates every cached block of that address space at the next
-// dispatch boundary.
+// Poke bumps the patch generation of every frame it touches (invalidating
+// translations of every address space sharing those frames), and
+// Map/MapPage/ShareFrom bump the per-address-space mapping generation.
 
 import (
 	"encoding/binary"
-	"fmt"
 
 	"github.com/eurosys26p57/chimera/internal/riscv"
 )
 
 const (
-	// blockCacheSize is the number of direct-mapped block cache entries.
+	// blockCacheSize is the number of block cache sets; each set holds
+	// blockCacheWays entries in MRU order.
 	blockCacheSize = 1024
+	blockCacheWays = 2
 	// maxBlockInsts bounds a block's µop count.
 	maxBlockInsts = 64
+	// picWays is the size of the per-block polymorphic inline cache for
+	// indirect-jump successors (MRU-ordered).
+	picWays = 4
 )
 
-// BlockStats counts basic-block translation cache events, cumulative over
-// the CPU's lifetime. They are the emulator-side observables the service
+// BlockStats counts translation events for both tiers, cumulative over the
+// CPU's lifetime. They are the emulator-side observables the service
 // exposes on /stats and chimera-run prints with -stats.
 type BlockStats struct {
 	Built         uint64 `json:"built"`         // blocks decoded and cached
 	Hits          uint64 `json:"hits"`          // dispatches served from cache (incl. chained)
-	Invalidations uint64 `json:"invalidations"` // cached blocks dropped for a stale generation/ISA
-	Dispatches    uint64 `json:"dispatches"`    // block executions
-	Retired       uint64 `json:"retired"`       // instructions retired via block dispatch
+	Invalidations uint64 `json:"invalidations"` // cached blocks/traces dropped as stale
+	Dispatches    uint64 `json:"dispatches"`    // block + trace executions
+	Retired       uint64 `json:"retired"`       // instructions retired via block/trace dispatch
+
+	TracesBuilt  uint64 `json:"traces_built"`  // superblock traces stitched
+	TraceHits    uint64 `json:"trace_hits"`    // dispatches served by a trace
+	TraceRetired uint64 `json:"trace_retired"` // instructions retired inside traces
+	SideExits    uint64 `json:"side_exits"`    // trace guard failures (fell back to block tier)
+	PICHits      uint64 `json:"pic_hits"`      // indirect-jump chains served by the inline cache
+	PICMisses    uint64 `json:"pic_misses"`    // indirect-jump chains that probed the block cache
 }
 
 // HitRatio is the fraction of block lookups served from the cache
@@ -56,12 +78,31 @@ func (s BlockStats) HitRatio() float64 {
 }
 
 // RetiredPerDispatch is the average number of instructions retired per
-// block dispatch — the engine's amortization factor over stepping.
+// dispatch — the engine's amortization factor over stepping.
 func (s BlockStats) RetiredPerDispatch() float64 {
 	if s.Dispatches == 0 {
 		return 0
 	}
 	return float64(s.Retired) / float64(s.Dispatches)
+}
+
+// SideExitRate is the fraction of trace dispatches that left through a
+// failed guard rather than the trace's planned exit.
+func (s BlockStats) SideExitRate() float64 {
+	if s.TraceHits == 0 {
+		return 0
+	}
+	return float64(s.SideExits) / float64(s.TraceHits)
+}
+
+// PICHitRatio is the fraction of indirect-jump chain lookups served by the
+// polymorphic inline cache.
+func (s BlockStats) PICHitRatio() float64 {
+	total := s.PICHits + s.PICMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PICHits) / float64(total)
 }
 
 // Add accumulates o into s (for service-level aggregation across runs).
@@ -71,7 +112,25 @@ func (s *BlockStats) Add(o BlockStats) {
 	s.Invalidations += o.Invalidations
 	s.Dispatches += o.Dispatches
 	s.Retired += o.Retired
+	s.TracesBuilt += o.TracesBuilt
+	s.TraceHits += o.TraceHits
+	s.TraceRetired += o.TraceRetired
+	s.SideExits += o.SideExits
+	s.PICHits += o.PICHits
+	s.PICMisses += o.PICMisses
 }
+
+// Trace-tier continuation expectations burned into µops at stitch time.
+// expNone µops behave exactly as in the block tier; the others are guards
+// that keep execution inside a trace when the prediction holds and side-exit
+// with precise state when it does not.
+const (
+	expNone     uint8 = iota // block-tier semantics (also every trace-terminal µop)
+	expTaken                 // conditional branch predicted taken; next µop is the target
+	expNotTaken              // conditional branch predicted not taken; next µop is the fallthrough
+	expFold                  // JAL folded into the trace; next µop is the target
+	expJalr                  // indirect jump predicted to hit uop.target; guarded at runtime
+)
 
 // uop is one predecoded instruction: operands extracted, static targets and
 // cycle costs resolved at build time so dispatch touches no decoder state.
@@ -79,47 +138,129 @@ type uop struct {
 	op           riscv.Op
 	rd, rs1, rs2 riscv.Reg
 	rs3          riscv.Reg
+	expect       uint8
 	imm          int64
 	pc           uint64 // this instruction's address
 	next         uint64 // pc + length
-	target       uint64 // branch/JAL target; LUI/AUIPC result
+	target       uint64 // branch/JAL target; LUI/AUIPC result; expJalr predicted target
 	costN, costT uint64 // cycle charge not-taken / taken
 	inst         riscv.Inst
 }
 
-// block is one translated basic block plus its exit chain.
+// block is one translated basic block plus its exit chain and trace-tier
+// bookkeeping.
 type block struct {
-	pc   uint64
-	gen  uint64
-	mem  *Memory
-	isa  riscv.Ext
-	cost *CostModel
-	uops []uop
+	pc     uint64
+	mapGen uint64
+	mem    *Memory
+	isa    riscv.Ext
+	cost   *CostModel
+	uops   []uop
+
+	// Frame validity: the code frames the block's bytes live in, with their
+	// patch generations at build time. A block spans at most two frames (the
+	// builder stops at page boundaries; only the final instruction may
+	// straddle into the next page).
+	pg0, pg1     *Page
+	pgen0, pgen1 uint64
 
 	// Exit chaining: successors patched in by runBlocks on first use.
 	// succFall is the fallthrough / branch-not-taken successor, succTake
-	// the taken-branch / JAL successor, and jSucc a one-entry inline cache
-	// for the last JALR target.
+	// the taken-branch / JAL successor. Indirect jumps chain through the
+	// polymorphic inline cache picPC/picB, kept in MRU order (way 0 is the
+	// most recent and is what the trace builder predicts).
 	succFall *block
 	succTake *block
-	jTarget  uint64
-	jSucc    *block
+	picPC    [picWays]uint64
+	picB     [picWays]*block
+
+	// Trace-tier state: heat counts dispatches toward promotion; trace is
+	// the compiled superblock once promoted; noTrace pins blocks whose
+	// chains cannot be usefully stitched so they stop paying the heat check.
+	heat    uint32
+	noTrace bool
+	trace   *trace
 }
 
-// Exit codes from execBlock, used to pick the chain slot to follow/patch.
+// picGet returns the inline-cache successor for target pc, rotating a hit
+// to MRU position. Validity is the caller's job (blockValid against pc).
+func (b *block) picGet(pc uint64) *block {
+	if pc == 0 {
+		return nil
+	}
+	for w := 0; w < picWays; w++ {
+		if b.picPC[w] == pc {
+			s := b.picB[w]
+			for ; w > 0; w-- {
+				b.picPC[w], b.picB[w] = b.picPC[w-1], b.picB[w-1]
+			}
+			b.picPC[0], b.picB[0] = pc, s
+			return s
+		}
+	}
+	return nil
+}
+
+// picPut installs succ as the MRU successor for target pc, evicting the LRU
+// way.
+func (b *block) picPut(pc uint64, succ *block) {
+	w := picWays - 1
+	for i := 0; i < picWays; i++ {
+		if b.picPC[i] == pc {
+			w = i
+			break
+		}
+	}
+	for ; w > 0; w-- {
+		b.picPC[w], b.picB[w] = b.picPC[w-1], b.picB[w-1]
+	}
+	b.picPC[0], b.picB[0] = pc, succ
+}
+
+// Exit codes from execUops, used to pick the chain slot to follow/patch.
 const (
 	exitNone = iota
 	exitFall // fell through the block end / branch not taken
 	exitTake // taken branch or JAL
 	exitJalr // indirect jump
 	exitPart // budget exhausted mid-block, or halted
+	exitSide // trace guard failed; architectural state is at the actual successor
 )
 
 // blockValid reports whether b may run at pc on the CPU's current address
-// space, generation, ISA and cost model.
+// space, mapping generation, code-frame patch generations, ISA and cost
+// model. Note Pokes outside the block's own frames do not invalidate it,
+// and Pokes through *another* address space sharing a frame do.
 func (c *CPU) blockValid(b *block, pc uint64) bool {
-	return b.pc == pc && b.mem == c.Mem && b.gen == c.Mem.gen &&
-		b.isa == c.ISA && b.cost == c.Cost
+	return b.pc == pc && b.mem == c.Mem && b.mapGen == c.Mem.mapGen &&
+		b.isa == c.ISA && b.cost == c.Cost &&
+		b.pg0 != nil && b.pg0.gen == b.pgen0 &&
+		(b.pg1 == nil || b.pg1.gen == b.pgen1)
+}
+
+// newBlock pops a recycled block from the free list (reusing its µop
+// backing array) or allocates a fresh one.
+func (c *CPU) newBlock() *block {
+	if n := len(c.freeBlocks); n > 0 {
+		b := c.freeBlocks[n-1]
+		c.freeBlocks = c.freeBlocks[:n-1]
+		return b
+	}
+	return &block{}
+}
+
+// recycleBlock returns an evicted/invalidated block (and its trace, if any)
+// to the free lists. All identity fields are cleared so any dangling chain
+// or PIC pointer to it fails blockValid until it is legitimately reused.
+func (c *CPU) recycleBlock(b *block) {
+	if b == nil {
+		return
+	}
+	if b.trace != nil {
+		c.recycleTrace(b)
+	}
+	*b = block{uops: b.uops[:0]}
+	c.freeBlocks = append(c.freeBlocks, b)
 }
 
 // blockFor returns the cached block at pc, building and caching it on a
@@ -128,22 +269,34 @@ func (c *CPU) blockValid(b *block, pc uint64) bool {
 // the caller steps once so the precise fault is raised exactly as the
 // interpreter would.
 func (c *CPU) blockFor(pc uint64) *block {
-	idx := (pc >> 1) & (blockCacheSize - 1)
-	if b := c.bcache[idx]; b != nil {
-		if c.blockValid(b, pc) {
-			c.Blocks.Hits++
-			return b
-		}
-		if b.pc == pc {
-			c.Blocks.Invalidations++
-		}
+	set := ((pc >> 1) & (blockCacheSize - 1)) * blockCacheWays
+	w0, w1 := c.bcache[set], c.bcache[set+1]
+	if w0 != nil && c.blockValid(w0, pc) {
+		c.Blocks.Hits++
+		return w0
+	}
+	if w1 != nil && c.blockValid(w1, pc) {
+		// MRU promotion: swap into way 0.
+		c.bcache[set], c.bcache[set+1] = w1, w0
+		c.Blocks.Hits++
+		return w1
+	}
+	if (w0 != nil && w0.pc == pc) || (w1 != nil && w1.pc == pc) {
+		c.Blocks.Invalidations++
 	}
 	b := c.buildBlock(pc)
 	if b == nil {
 		return nil
 	}
 	c.Blocks.Built++
-	c.bcache[idx] = b
+	// Insert at MRU. Prefer evicting a stale way; otherwise the LRU way.
+	if w0 == nil || !c.blockValid(w0, w0.pc) {
+		c.recycleBlock(w0)
+		c.bcache[set] = b
+		return b
+	}
+	c.recycleBlock(w1)
+	c.bcache[set], c.bcache[set+1] = b, w0
 	return b
 }
 
@@ -191,10 +344,11 @@ func (c *CPU) decodeOne(pc uint64) (riscv.Inst, bool) {
 // makeUop predecodes one instruction at pc: operands, static jump/branch
 // targets, LUI/AUIPC results, and both cycle charges.
 func makeUop(inst riscv.Inst, pc uint64, cost *CostModel) uop {
+	n, t := cost.Costs(inst)
 	u := uop{
 		op: inst.Op, rd: inst.Rd, rs1: inst.Rs1, rs2: inst.Rs2, rs3: inst.Rs3,
 		imm: inst.Imm, pc: pc, next: pc + uint64(inst.Len),
-		costN: cost.Cost(inst, false), costT: cost.Cost(inst, true),
+		costN: n, costT: t,
 		inst: inst,
 	}
 	switch inst.Op {
@@ -213,7 +367,8 @@ func makeUop(inst riscv.Inst, pc uint64, cost *CostModel) uop {
 // (hoisting the per-instruction extension check to build time), a page
 // boundary, or maxBlockInsts.
 func (c *CPU) buildBlock(start uint64) *block {
-	b := &block{pc: start, gen: c.Mem.gen, mem: c.Mem, isa: c.ISA, cost: c.Cost}
+	b := c.newBlock()
+	b.pc, b.mapGen, b.mem, b.isa, b.cost = start, c.Mem.mapGen, c.Mem, c.ISA, c.Cost
 	pc := start
 	for len(b.uops) < maxBlockInsts {
 		inst, ok := c.decodeOne(pc)
@@ -230,13 +385,27 @@ func (c *CPU) buildBlock(start uint64) *block {
 		}
 	}
 	if len(b.uops) == 0 {
+		c.recycleBlock(b)
 		return nil
+	}
+	pg0, ok := c.Mem.Page(start)
+	if !ok {
+		c.recycleBlock(b)
+		return nil
+	}
+	b.pg0, b.pgen0 = pg0, pg0.gen
+	if end := b.uops[len(b.uops)-1].next - 1; pageOf(end) != pageOf(start) {
+		if pg1, ok := c.Mem.Page(end); ok {
+			b.pg1, b.pgen1 = pg1, pg1.gen
+		}
 	}
 	return b
 }
 
-// runBlocks is Run's block-dispatch loop: look up (or chain to) the block
-// at PC, execute it, follow the exit.
+// runBlocks is Run's dispatch loop for both translation tiers: look up (or
+// chain to) the block at PC, run its trace if one is compiled and valid
+// (building one when the block crosses the promotion threshold), otherwise
+// execute the block, then follow the exit.
 func (c *CPU) runBlocks(limit uint64) Stop {
 	remaining := limit
 	var prev *block
@@ -252,8 +421,11 @@ func (c *CPU) runBlocks(limit uint64) Stop {
 			case exitTake:
 				cand = prev.succTake
 			case exitJalr:
-				if prev.jTarget == pc {
-					cand = prev.jSucc
+				if cand = prev.picGet(pc); cand != nil && c.blockValid(cand, pc) {
+					c.Blocks.PICHits++
+				} else {
+					cand = nil
+					c.Blocks.PICMisses++
 				}
 			}
 			if cand != nil && c.blockValid(cand, pc) {
@@ -281,13 +453,54 @@ func (c *CPU) runBlocks(limit uint64) Stop {
 				case exitTake:
 					prev.succTake = blk
 				case exitJalr:
-					prev.jTarget, prev.jSucc = pc, blk
+					prev.picPut(pc, blk)
+				}
+			}
+		}
+		if c.TraceThreshold != 0 {
+			if t := blk.trace; t != nil {
+				if c.traceValid(t) {
+					before := c.Instret
+					cyclesBefore := c.Cycles
+					stop, halted, exit := c.execUops(t.uops, remaining)
+					retired := c.Instret - before
+					c.Blocks.Dispatches++
+					c.Blocks.TraceHits++
+					c.Blocks.Retired += retired
+					c.Blocks.TraceRetired += retired
+					remaining -= retired
+					if c.Prof != nil {
+						c.Prof.Sample(blk.pc, retired, c.Cycles-cyclesBefore)
+					}
+					if halted {
+						return stop
+					}
+					switch exit {
+					case exitSide:
+						c.Blocks.SideExits++
+						prev, prevExit = nil, exitNone
+					case exitPart:
+						prev, prevExit = nil, exitNone
+					default:
+						// Planned exit from the trace's final µop: chain from
+						// the last stitched block exactly as the block tier
+						// would.
+						prev, prevExit = t.last, exit
+					}
+					continue
+				}
+				c.Blocks.Invalidations++
+				c.recycleTrace(blk)
+			} else if !blk.noTrace {
+				blk.heat++
+				if blk.heat >= c.TraceThreshold {
+					c.buildTrace(blk)
 				}
 			}
 		}
 		before := c.Instret
 		cyclesBefore := c.Cycles
-		stop, halted, exit := c.execBlock(blk, remaining)
+		stop, halted, exit := c.execUops(blk.uops, remaining)
 		retired := c.Instret - before
 		c.Blocks.Dispatches++
 		c.Blocks.Retired += retired
@@ -303,27 +516,29 @@ func (c *CPU) runBlocks(limit uint64) Stop {
 	return Stop{Kind: StopLimit}
 }
 
-// blockFlush publishes locally-accumulated retirement state: uops
+// flushUops publishes locally-accumulated retirement state: uops
 // [base, k) retired since the last flush, plus the accumulated cycles, and
 // moves the architectural PC to pc.
-func (c *CPU) blockFlush(b *block, base, k int, cycles, pc uint64) {
+func (c *CPU) flushUops(uops []uop, base, k int, cycles, pc uint64) {
 	if k > base {
 		c.Instret += uint64(k - base)
-		c.LastInst = b.uops[k-1].inst
+		c.LastInst = uops[k-1].inst
 	}
 	c.Cycles += cycles
 	c.X[0] = 0
 	c.PC = pc
 }
 
-// execBlock executes up to max instructions of b. Architectural state
-// (PC/Instret/Cycles/X[0]) is maintained in locals between flush points;
-// every exit — block end, taken control transfer, halt, fault, budget —
-// flushes before returning, so faults are exactly as precise as stepping.
-func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
+// execUops executes up to max instructions of a µop vector — a basic block
+// (every µop expNone) or a stitched trace (interior control transfers carry
+// expectations). Architectural state (PC/Instret/Cycles/X[0]) is maintained
+// in locals between flush points; every exit — vector end, unpredicted
+// control transfer, failed guard, halt, fault, budget — flushes before
+// returning, so faults and side exits are exactly as precise as stepping.
+func (c *CPU) execUops(uops []uop, max uint64) (Stop, bool, int) {
 	x := &c.X
 	mem := c.Mem
-	n := len(b.uops)
+	n := len(uops)
 	partial := false
 	if max < uint64(n) {
 		n = int(max)
@@ -332,7 +547,7 @@ func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
 	var cycles uint64
 	base := 0
 	for i := 0; i < n; i++ {
-		u := &b.uops[i]
+		u := &uops[i]
 		switch u.op {
 		case riscv.ADDI:
 			if u.rd != 0 {
@@ -482,8 +697,8 @@ func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
 			} else {
 				v, fa, ok := c.memLoad(addr, 8, true)
 				if !ok {
-					c.blockFlush(b, base, i, cycles, u.pc)
-					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("load %d bytes", 8))
+					c.flushUops(uops, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, errLoad)
 					return stop, h, exitPart
 				}
 				if u.rd != 0 {
@@ -499,8 +714,8 @@ func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
 			} else {
 				v, fa, ok := c.memLoad(addr, 4, true)
 				if !ok {
-					c.blockFlush(b, base, i, cycles, u.pc)
-					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("load %d bytes", 4))
+					c.flushUops(uops, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, errLoad)
 					return stop, h, exitPart
 				}
 				if u.rd != 0 {
@@ -516,8 +731,8 @@ func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
 			} else {
 				v, fa, ok := c.memLoad(addr, 4, false)
 				if !ok {
-					c.blockFlush(b, base, i, cycles, u.pc)
-					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("load %d bytes", 4))
+					c.flushUops(uops, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, errLoad)
 					return stop, h, exitPart
 				}
 				if u.rd != 0 {
@@ -536,8 +751,8 @@ func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
 			}
 			v, fa, ok := c.memLoad(x[u.rs1]+uint64(u.imm), nbytes, signed)
 			if !ok {
-				c.blockFlush(b, base, i, cycles, u.pc)
-				stop, h := c.fault(FaultAccess, fa, fmt.Errorf("load %d bytes", nbytes))
+				c.flushUops(uops, base, i, cycles, u.pc)
+				stop, h := c.fault(FaultAccess, fa, errLoad)
 				return stop, h, exitPart
 			}
 			if u.rd != 0 {
@@ -547,8 +762,8 @@ func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
 			addr := x[u.rs1] + uint64(u.imm)
 			if !mem.storeU64(addr, x[u.rs2]) {
 				if fa, ok := c.memStore(addr, x[u.rs2], 8); !ok {
-					c.blockFlush(b, base, i, cycles, u.pc)
-					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("store %d bytes", 8))
+					c.flushUops(uops, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, errStore)
 					return stop, h, exitPart
 				}
 			}
@@ -556,8 +771,8 @@ func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
 			addr := x[u.rs1] + uint64(u.imm)
 			if !mem.storeU32(addr, uint32(x[u.rs2])) {
 				if fa, ok := c.memStore(addr, x[u.rs2], 4); !ok {
-					c.blockFlush(b, base, i, cycles, u.pc)
-					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("store %d bytes", 4))
+					c.flushUops(uops, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, errStore)
 					return stop, h, exitPart
 				}
 			}
@@ -567,8 +782,8 @@ func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
 				nbytes = 2
 			}
 			if fa, ok := c.memStore(x[u.rs1]+uint64(u.imm), x[u.rs2], nbytes); !ok {
-				c.blockFlush(b, base, i, cycles, u.pc)
-				stop, h := c.fault(FaultAccess, fa, fmt.Errorf("store %d bytes", nbytes))
+				c.flushUops(uops, base, i, cycles, u.pc)
+				stop, h := c.fault(FaultAccess, fa, errStore)
 				return stop, h, exitPart
 			}
 
@@ -579,8 +794,8 @@ func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
 			} else {
 				v, fa, ok := c.memLoad(addr, 8, false)
 				if !ok {
-					c.blockFlush(b, base, i, cycles, u.pc)
-					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("fld"))
+					c.flushUops(uops, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, errLoad)
 					return stop, h, exitPart
 				}
 				c.F[u.rd] = v
@@ -589,8 +804,8 @@ func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
 			addr := x[u.rs1] + uint64(u.imm)
 			if !mem.storeU64(addr, c.F[u.rs2]) {
 				if fa, ok := c.memStore(addr, c.F[u.rs2], 8); !ok {
-					c.blockFlush(b, base, i, cycles, u.pc)
-					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("fsd"))
+					c.flushUops(uops, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, errStore)
 					return stop, h, exitPart
 				}
 			}
@@ -601,8 +816,8 @@ func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
 			} else {
 				v, fa, ok := c.memLoad(addr, 4, false)
 				if !ok {
-					c.blockFlush(b, base, i, cycles, u.pc)
-					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("flw"))
+					c.flushUops(uops, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, errLoad)
 					return stop, h, exitPart
 				}
 				c.F[u.rd] = 0xFFFFFFFF_00000000 | v
@@ -611,8 +826,8 @@ func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
 			addr := x[u.rs1] + uint64(u.imm)
 			if !mem.storeU32(addr, uint32(c.F[u.rs2])) {
 				if fa, ok := c.memStore(addr, c.F[u.rs2]&0xFFFFFFFF, 4); !ok {
-					c.blockFlush(b, base, i, cycles, u.pc)
-					stop, h := c.fault(FaultAccess, fa, fmt.Errorf("fsw"))
+					c.flushUops(uops, base, i, cycles, u.pc)
+					stop, h := c.fault(FaultAccess, fa, errStore)
 					return stop, h, exitPart
 				}
 			}
@@ -636,45 +851,71 @@ func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
 				x[u.rd] = uint64(int64(f64(c.F[u.rs1])))
 			}
 
-		case riscv.BEQ:
-			if x[u.rs1] == x[u.rs2] {
-				c.blockFlush(b, base, i+1, cycles+u.costT, u.target)
-				return Stop{}, false, exitTake
+		case riscv.BEQ, riscv.BNE, riscv.BLT, riscv.BGE, riscv.BLTU, riscv.BGEU:
+			var taken bool
+			switch u.op {
+			case riscv.BEQ:
+				taken = x[u.rs1] == x[u.rs2]
+			case riscv.BNE:
+				taken = x[u.rs1] != x[u.rs2]
+			case riscv.BLT:
+				taken = int64(x[u.rs1]) < int64(x[u.rs2])
+			case riscv.BGE:
+				taken = int64(x[u.rs1]) >= int64(x[u.rs2])
+			case riscv.BLTU:
+				taken = x[u.rs1] < x[u.rs2]
+			case riscv.BGEU:
+				taken = x[u.rs1] >= x[u.rs2]
 			}
-		case riscv.BNE:
-			if x[u.rs1] != x[u.rs2] {
-				c.blockFlush(b, base, i+1, cycles+u.costT, u.target)
-				return Stop{}, false, exitTake
-			}
-		case riscv.BLT:
-			if int64(x[u.rs1]) < int64(x[u.rs2]) {
-				c.blockFlush(b, base, i+1, cycles+u.costT, u.target)
-				return Stop{}, false, exitTake
-			}
-		case riscv.BGE:
-			if int64(x[u.rs1]) >= int64(x[u.rs2]) {
-				c.blockFlush(b, base, i+1, cycles+u.costT, u.target)
-				return Stop{}, false, exitTake
-			}
-		case riscv.BLTU:
-			if x[u.rs1] < x[u.rs2] {
-				c.blockFlush(b, base, i+1, cycles+u.costT, u.target)
-				return Stop{}, false, exitTake
-			}
-		case riscv.BGEU:
-			if x[u.rs1] >= x[u.rs2] {
-				c.blockFlush(b, base, i+1, cycles+u.costT, u.target)
-				return Stop{}, false, exitTake
+			if u.expect == expNone {
+				if taken {
+					c.flushUops(uops, base, i+1, cycles+u.costT, u.target)
+					return Stop{}, false, exitTake
+				}
+				// not taken: fall through; costN charged below
+			} else if taken == (u.expect == expTaken) {
+				// Guard held: stay in the trace. The next µop is the
+				// predicted successor's first instruction.
+				cont := u.next
+				if taken {
+					cycles += u.costT
+					cont = u.target
+				} else {
+					cycles += u.costN
+				}
+				if i+1 == n {
+					// Budget truncation landed on the seam.
+					c.flushUops(uops, base, i+1, cycles, cont)
+					return Stop{}, false, exitPart
+				}
+				continue
+			} else {
+				// Guard failed: precise side exit to the actual successor.
+				if taken {
+					c.flushUops(uops, base, i+1, cycles+u.costT, u.target)
+				} else {
+					c.flushUops(uops, base, i+1, cycles+u.costN, u.next)
+				}
+				return Stop{}, false, exitSide
 			}
 		case riscv.JAL:
 			if u.rd != 0 {
 				x[u.rd] = u.next
 			}
-			c.blockFlush(b, base, i+1, cycles+u.costT, u.target)
+			if u.expect == expFold {
+				cycles += u.costT
+				if i+1 == n {
+					c.flushUops(uops, base, i+1, cycles, u.target)
+					return Stop{}, false, exitPart
+				}
+				continue
+			}
+			c.flushUops(uops, base, i+1, cycles+u.costT, u.target)
 			return Stop{}, false, exitTake
 		case riscv.JALR:
 			target := (x[u.rs1] + uint64(u.imm)) &^ 1
-			if c.IndirectHook != nil {
+			hooked := c.IndirectHook != nil
+			if hooked {
 				nt, extra := c.IndirectHook(u.pc, target)
 				target = nt
 				cycles += extra
@@ -683,14 +924,28 @@ func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
 			if u.rd != 0 {
 				x[u.rd] = u.next
 			}
-			c.blockFlush(b, base, i+1, cycles+u.costT, target)
+			if u.expect == expJalr {
+				// The hook may have patched code or redirected the target;
+				// only an unhooked, matching jump may stay in the trace.
+				if !hooked && target == u.target {
+					cycles += u.costT
+					if i+1 == n {
+						c.flushUops(uops, base, i+1, cycles, target)
+						return Stop{}, false, exitPart
+					}
+					continue
+				}
+				c.flushUops(uops, base, i+1, cycles+u.costT, target)
+				return Stop{}, false, exitSide
+			}
+			c.flushUops(uops, base, i+1, cycles+u.costT, target)
 			return Stop{}, false, exitJalr
 
 		default:
 			// Anything else — ECALL/EBREAK, division, the FP/vector long
 			// tail — runs through the interpreter's exec after flushing, so
 			// stops and faults observe exact architectural state.
-			c.blockFlush(b, base, i, cycles, u.pc)
+			c.flushUops(uops, base, i, cycles, u.pc)
 			cycles = 0
 			stop, halted := c.exec(u.inst)
 			if halted {
@@ -701,8 +956,8 @@ func (c *CPU) execBlock(b *block, max uint64) (Stop, bool, int) {
 		}
 		cycles += u.costN
 	}
-	last := &b.uops[n-1]
-	c.blockFlush(b, base, n, cycles, last.next)
+	last := &uops[n-1]
+	c.flushUops(uops, base, n, cycles, last.next)
 	if partial {
 		return Stop{}, false, exitPart
 	}

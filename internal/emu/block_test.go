@@ -218,12 +218,16 @@ func TestBlockFaultOnFirstInstruction(t *testing.T) {
 }
 
 // TestBlockStatsCounters sanity-checks the counters the service exports.
+// The trace tier is pinned off: with it on, a hot loop dispatches as an
+// unrolled trace and RetiredPerDispatch is legitimately much higher
+// (trace_test.go covers that shape).
 func TestBlockStatsCounters(t *testing.T) {
 	cpu := codeCPU(t, enc(t,
 		riscv.Inst{Op: riscv.ADDI, Rd: riscv.A0, Rs1: riscv.A0, Imm: 1},
 		riscv.Inst{Op: riscv.ADDI, Rd: riscv.A0, Rs1: riscv.A0, Imm: 1},
 		riscv.Inst{Op: riscv.JAL, Rd: riscv.Zero, Imm: -8},
 	))
+	cpu.TraceThreshold = 0
 	if stop := cpu.Run(300); stop.Kind != StopLimit {
 		t.Fatalf("stop: %+v", stop)
 	}

@@ -41,6 +41,13 @@ var DefaultCost = CostModel{
 	VReduce:    6,
 }
 
+// Costs returns both cycle charges for inst — (not-taken, taken) — in one
+// call, the shape the block/trace builders predecode into µops so dispatch
+// never consults the model.
+func (c *CostModel) Costs(inst riscv.Inst) (n, t uint64) {
+	return c.Cost(inst, false), c.Cost(inst, true)
+}
+
 // Cost returns the cycle charge for one retired instruction; taken reports
 // whether a branch/jump redirected control flow.
 func (c *CostModel) Cost(inst riscv.Inst, taken bool) uint64 {

@@ -119,8 +119,13 @@ type CPU struct {
 	// engines. Zero means unbounded.
 	MaxInstret uint64
 
-	// Blocks tallies basic-block translation cache events (block.go).
+	// Blocks tallies translation events for both tiers (block.go).
 	Blocks BlockStats
+
+	// TraceThreshold is the block dispatch count that promotes a chain into
+	// a superblock trace (trace.go). Zero disables the trace tier; NewCPU
+	// sets DefaultTraceThreshold.
+	TraceThreshold uint32
 
 	// Prof, when non-nil, accumulates per-block cycle/instret samples on
 	// every block dispatch (the guest profiler). Nil means off: the block
@@ -128,24 +133,34 @@ type CPU struct {
 	Prof *telemetry.GuestProfiler
 
 	// icache is a direct-mapped decoded-instruction cache, invalidated by
-	// the memory generation counter (code patching bumps it).
+	// the mapping generation and the code frame's patch generation.
 	icache [4096]icacheEntry
 
-	// bcache is the direct-mapped basic-block cache (block.go).
-	bcache [blockCacheSize]*block
+	// bcache is the 2-way set-associative basic-block cache (block.go):
+	// blockCacheSize sets of blockCacheWays ways, MRU first.
+	bcache [blockCacheSize * blockCacheWays]*block
+
+	// freeBlocks/freeTraces are the per-CPU recycling arenas: evicted and
+	// invalidated translations park here (µop backing arrays intact) so
+	// steady-state rebuild churn allocates nothing.
+	freeBlocks []*block
+	freeTraces []*trace
 }
 
 type icacheEntry struct {
-	pc   uint64
-	gen  uint64
-	mem  *Memory
-	inst riscv.Inst
-	ok   bool
+	pc     uint64
+	mapGen uint64
+	mem    *Memory
+	pg     *Page
+	pgen   uint64
+	inst   riscv.Inst
+	ok     bool
 }
 
-// NewCPU returns a hart with the default cost model.
+// NewCPU returns a hart with the default cost model and the trace tier
+// enabled at the default promotion threshold.
 func NewCPU(mem *Memory, isa riscv.Ext) *CPU {
-	return &CPU{Mem: mem, ISA: isa, Cost: &DefaultCost}
+	return &CPU{Mem: mem, ISA: isa, Cost: &DefaultCost, TraceThreshold: DefaultTraceThreshold}
 }
 
 // Reset prepares the hart to run an image: pc at the entry, sp at the stack
@@ -173,10 +188,22 @@ func f32of(bits uint64) float32 {
 }
 func f32b(v float32) uint64 { return 0xFFFFFFFF_00000000 | uint64(math.Float32bits(v)) }
 
+// Sentinel fault causes for the hot paths. Fault classification carries
+// Kind/PC/Addr; building a fresh message per fault would make the fault
+// paths allocate, which fault-heavy guests (SMILE recovery, trampoline
+// storms) would pay per event.
+var (
+	errFetch  = errors.New("instruction fetch")
+	errFetch2 = errors.New("instruction fetch (second parcel)")
+	errLoad   = errors.New("load access")
+	errStore  = errors.New("store access")
+)
+
 // Step executes one instruction. It returns (stop, true) when the kernel
 // must intervene; otherwise execution advanced normally.
 func (c *CPU) Step() (Stop, bool) {
-	if e := &c.icache[(c.PC>>1)&4095]; e.ok && e.pc == c.PC && e.mem == c.Mem && e.gen == c.Mem.gen {
+	if e := &c.icache[(c.PC>>1)&4095]; e.ok && e.pc == c.PC && e.mem == c.Mem &&
+		e.mapGen == c.Mem.mapGen && e.pg.gen == e.pgen {
 		if ext := e.inst.Extension(); !c.ISA.Has(ext) {
 			return c.fault(FaultIllegal, c.PC,
 				fmt.Errorf("unsupported extension %v for %s", ext, e.inst))
@@ -185,7 +212,7 @@ func (c *CPU) Step() (Stop, bool) {
 	}
 	var ibuf [4]byte
 	if fa, ok := c.Mem.Fetch(c.PC, ibuf[:2]); !ok {
-		return c.fault(FaultAccess, fa, errors.New("instruction fetch"))
+		return c.fault(FaultAccess, fa, errFetch)
 	}
 	parcel := binary.LittleEndian.Uint16(ibuf[:2])
 	ilen, err := riscv.ParcelLen(parcel)
@@ -203,14 +230,25 @@ func (c *CPU) Step() (Stop, bool) {
 		}
 	} else {
 		if fa, ok := c.Mem.Fetch(c.PC+2, ibuf[2:4]); !ok {
-			return c.fault(FaultAccess, fa, errors.New("instruction fetch (second parcel)"))
+			return c.fault(FaultAccess, fa, errFetch2)
 		}
 		inst, err = riscv.Decode32(binary.LittleEndian.Uint32(ibuf[:4]))
 	}
 	if err != nil {
 		return c.fault(FaultIllegal, c.PC, err)
 	}
-	c.icache[(c.PC>>1)&4095] = icacheEntry{pc: c.PC, gen: c.Mem.gen, mem: c.Mem, inst: inst, ok: true}
+	// Cache the decode keyed on the code frame's patch generation, so a
+	// Poke through *any* address space sharing the frame invalidates it.
+	// Instructions straddling a page boundary are not cached (two frames
+	// would need tracking for a case that essentially never recurs hot).
+	if off := c.PC & (1<<12 - 1); off+uint64(inst.Len) <= 1<<12 {
+		if pg, ok := c.Mem.Page(c.PC); ok {
+			c.icache[(c.PC>>1)&4095] = icacheEntry{
+				pc: c.PC, mapGen: c.Mem.mapGen, mem: c.Mem,
+				pg: pg, pgen: pg.gen, inst: inst, ok: true,
+			}
+		}
+	}
 	if ext := inst.Extension(); !c.ISA.Has(ext) {
 		return c.fault(FaultIllegal, c.PC,
 			fmt.Errorf("unsupported extension %v for %s", ext, inst))
@@ -319,7 +357,7 @@ func (c *CPU) execLoad(inst riscv.Inst, next uint64, n int, signed bool) (Stop, 
 	addr := c.X[inst.Rs1] + uint64(inst.Imm)
 	v, fa, ok := c.memLoad(addr, n, signed)
 	if !ok {
-		return c.fault(FaultAccess, fa, fmt.Errorf("load %d bytes", n))
+		return c.fault(FaultAccess, fa, errLoad)
 	}
 	c.X[inst.Rd] = v
 	return c.retire(inst, next, false)
@@ -329,7 +367,7 @@ func (c *CPU) execLoad(inst riscv.Inst, next uint64, n int, signed bool) (Stop, 
 func (c *CPU) execStore(inst riscv.Inst, next uint64, n int) (Stop, bool) {
 	addr := c.X[inst.Rs1] + uint64(inst.Imm)
 	if fa, ok := c.memStore(addr, c.X[inst.Rs2], n); !ok {
-		return c.fault(FaultAccess, fa, fmt.Errorf("store %d bytes", n))
+		return c.fault(FaultAccess, fa, errStore)
 	}
 	return c.retire(inst, next, false)
 }

@@ -7,6 +7,7 @@ package emu_test
 import (
 	"testing"
 
+	"github.com/eurosys26p57/chimera/internal/bench"
 	"github.com/eurosys26p57/chimera/internal/emu"
 	"github.com/eurosys26p57/chimera/internal/kernel"
 	"github.com/eurosys26p57/chimera/internal/obj"
@@ -37,15 +38,19 @@ func compareState(t *testing.T, tag string, blk, ref *emu.CPU) {
 	}
 }
 
-// diffImage runs img on a block-engine hart and a stepping hart in
-// lockstep slices and compares full state at every boundary.
-func diffImage(t *testing.T, img *obj.Image, isa riscv.Ext) {
+// diffImage runs img on a block-engine hart (trace tier at threshold, 0 =
+// off) and a stepping hart in lockstep slices and compares full state at
+// every boundary.
+func diffImage(t *testing.T, img *obj.Image, isa riscv.Ext, threshold uint32) {
 	t.Helper()
 	mk := func(interp bool) *emu.CPU {
 		mem := emu.NewMemory()
 		mem.MapImage(img)
 		cpu := emu.NewCPU(mem, isa)
 		cpu.Interp = interp
+		if !interp {
+			cpu.TraceThreshold = threshold
+		}
 		cpu.Reset(img)
 		return cpu
 	}
@@ -71,12 +76,26 @@ func diffImage(t *testing.T, img *obj.Image, isa riscv.Ext) {
 	t.Fatal("workload did not terminate")
 }
 
+// Each workload diffs under three block-engine configurations: the trace
+// tier off (pure block tier), the production promotion threshold, and an
+// aggressive threshold of 2 that pushes nearly all execution through
+// superblocks (guards, side exits, seam truncation all hot).
+func diffTiers(t *testing.T, img *obj.Image, isa riscv.Ext) {
+	t.Helper()
+	for _, m := range []struct {
+		name      string
+		threshold uint32
+	}{{"blocks", 0}, {"traces", emu.DefaultTraceThreshold}, {"traces-hot", 2}} {
+		t.Run(m.name, func(t *testing.T) { diffImage(t, img, isa, m.threshold) })
+	}
+}
+
 func TestDifferentialFib(t *testing.T) {
 	img, err := workload.Fibonacci(200, riscv.RV64GC, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	diffImage(t, img, riscv.RV64GC)
+	diffTiers(t, img, riscv.RV64GC)
 }
 
 func TestDifferentialMatmulScalar(t *testing.T) {
@@ -84,7 +103,7 @@ func TestDifferentialMatmulScalar(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diffImage(t, img, riscv.RV64GC)
+	diffTiers(t, img, riscv.RV64GC)
 }
 
 func TestDifferentialMatmulRVV(t *testing.T) {
@@ -92,7 +111,7 @@ func TestDifferentialMatmulRVV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diffImage(t, img, riscv.RV64GCV)
+	diffTiers(t, img, riscv.RV64GCV)
 }
 
 // TestDifferentialSPEC drives SPEC-shaped synthetics through the kernel —
@@ -108,7 +127,7 @@ func TestDifferentialSPEC(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			mk := func(interp bool) *kernel.Process {
+			mk := func(interp bool, threshold uint32) *kernel.Process {
 				v, err := kernel.VariantFromImage(img)
 				if err != nil {
 					t.Fatal(err)
@@ -118,45 +137,55 @@ func TestDifferentialSPEC(t *testing.T) {
 					t.Fatal(err)
 				}
 				p.CPU.Interp = interp
+				p.CPU.TraceThreshold = threshold
 				return p
 			}
-			blk, ref := mk(false), mk(true)
-			for i := 0; i < 1_000_000; i++ {
-				_, stB, errB := blk.Run(4099)
-				_, stR, errR := ref.Run(4099)
-				if (errB == nil) != (errR == nil) || stB != stR {
-					t.Fatalf("slice %d: status %v/%v != ref %v/%v", i, stB, errB, stR, errR)
-				}
-				compareState(t, "slice", blk.CPU, ref.CPU)
-				if stB == kernel.StatusExited {
-					if blk.ExitCode != ref.ExitCode {
-						t.Fatalf("exit %d != ref %d", blk.ExitCode, ref.ExitCode)
+			// traces-hot (threshold 2) routes nearly every kernel-visible
+			// dispatch through superblocks — syscall ecalls, trampoline
+			// ebreaks, and runtime-rewrite pokes all land mid-trace.
+			for _, m := range []struct {
+				name      string
+				threshold uint32
+			}{{"traces", emu.DefaultTraceThreshold}, {"traces-hot", 2}} {
+				t.Run(m.name, func(t *testing.T) {
+					blk, ref := mk(false, m.threshold), mk(true, 0)
+					for i := 0; i < 1_000_000; i++ {
+						_, stB, errB := blk.Run(4099)
+						_, stR, errR := ref.Run(4099)
+						if (errB == nil) != (errR == nil) || stB != stR {
+							t.Fatalf("slice %d: status %v/%v != ref %v/%v", i, stB, errB, stR, errR)
+						}
+						compareState(t, "slice", blk.CPU, ref.CPU)
+						if stB == kernel.StatusExited {
+							if blk.ExitCode != ref.ExitCode {
+								t.Fatalf("exit %d != ref %d", blk.ExitCode, ref.ExitCode)
+							}
+							return
+						}
 					}
-					return
-				}
+					t.Fatal("did not terminate")
+				})
 			}
-			t.Fatal("did not terminate")
 		})
 	}
 }
 
-// TestRunMatmulZeroAllocs is the alloc regression test: once the block
-// cache is warm, a full matmul run must not allocate — neither under the
-// block engine nor under the refactored per-instruction loop.
+// TestRunMatmulZeroAllocs is the alloc regression test: once the
+// translation caches are warm, a full matmul run must not allocate — not
+// under traces, not under the block tier alone, not under the
+// per-instruction loop.
 func TestRunMatmulZeroAllocs(t *testing.T) {
 	img, err := workload.Matmul(12, false, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, mode := range []struct {
-		name   string
-		interp bool
-	}{{"blocks", false}, {"interp", true}} {
+	for _, mode := range tierModes {
 		t.Run(mode.name, func(t *testing.T) {
 			mem := emu.NewMemory()
 			mem.MapImage(img)
 			cpu := emu.NewCPU(mem, riscv.RV64GC)
 			cpu.Interp = mode.interp
+			cpu.TraceThreshold = mode.threshold
 			full := func() {
 				cpu.Reset(img)
 				for {
@@ -170,9 +199,46 @@ func TestRunMatmulZeroAllocs(t *testing.T) {
 					return
 				}
 			}
-			full() // warm block cache / icache
+			warmStable(mode.threshold, func() emu.BlockStats { return cpu.Blocks }, full)
 			if allocs := testing.AllocsPerRun(5, full); allocs != 0 {
 				t.Errorf("steady-state Run allocates %.1f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestRunSPECZeroAllocs is the serving-path alloc gate: a warmed kernel
+// process re-run via Process.Reset must execute a full SPEC-shaped workload
+// — syscalls, trampolines, indirect hooks, trace promotion — without a
+// single heap allocation, under all three tiers.
+func TestRunSPECZeroAllocs(t *testing.T) {
+	c := workload.SpecSuite()[0]
+	c.Params.Rounds = 4
+	img, err := workload.BuildSpec(c.Params, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range tierModes {
+		t.Run(mode.name, func(t *testing.T) {
+			v, err := kernel.VariantFromImage(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := kernel.NewProcess(c.Params.Name, []kernel.Variant{v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.CPU.Interp = mode.interp
+			p.CPU.TraceThreshold = mode.threshold
+			full := func() {
+				p.Reset()
+				if _, err := bench.RunOnCore(p, riscv.RV64GCV); err != nil {
+					t.Fatal(err)
+				}
+			}
+			warmStable(mode.threshold, func() emu.BlockStats { return p.CPU.Blocks }, full)
+			if allocs := testing.AllocsPerRun(5, full); allocs != 0 {
+				t.Errorf("steady-state process run allocates %.1f allocs/op, want 0", allocs)
 			}
 		})
 	}

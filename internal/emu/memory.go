@@ -23,7 +23,17 @@ import (
 type Page struct {
 	Data [obj.PageSize]byte
 	Perm obj.Perm
+
+	// gen counts Pokes into this frame. Because frames are shared by
+	// reference, decoded-code caches (icache, blocks, traces) validate
+	// against it in addition to the per-address-space generation: a Poke
+	// through one Memory invalidates cached translations of every CPU whose
+	// address space maps the same frame.
+	gen uint64
 }
+
+// Gen returns the frame's code-patch generation.
+func (p *Page) Gen() uint64 { return p.gen }
 
 // Memory is a sparse paged address space. A one-entry translation cache
 // keeps the hot-loop lookup off the page map.
@@ -36,13 +46,23 @@ type Memory struct {
 	lastFetchPN   uint64
 	lastFetchPage *Page
 
-	// gen counts mapping/code mutations; decoded-instruction caches key on
-	// it so runtime code patching invalidates them.
+	// gen counts every mapping/code mutation — the coarse observable
+	// exposed by Gen() for tests and diagnostics.
 	gen uint64
+
+	// mapGen counts only mapping mutations (Map/MapPage/ShareFrom).
+	// Translation caches key on (mapGen, per-frame patch generations): a
+	// remap invalidates every cached translation of this address space,
+	// while a Poke invalidates only translations spanning the poked frames
+	// — in every address space sharing them.
+	mapGen uint64
 }
 
 // Gen returns the mutation generation of the address space.
 func (m *Memory) Gen() uint64 { return m.gen }
+
+// MapGen returns the mapping-mutation generation of the address space.
+func (m *Memory) MapGen() uint64 { return m.mapGen }
 
 // Poke writes bytes bypassing page permissions — the kernel's code-patching
 // primitive (runtime rewriting, §4.3). It bumps the generation so decoded
@@ -63,11 +83,48 @@ func (m *Memory) Poke(addr uint64, data []byte) bool {
 		p := m.pages[pageOf(addr)]
 		off := addr & (obj.PageSize - 1)
 		n := copy(p.Data[off:], data)
+		p.gen++
 		data = data[n:]
 		addr += uint64(n)
 	}
 	m.gen++
 	return true
+}
+
+// RestoreBytes writes bytes bypassing permissions without bumping any
+// generation. It is a loader-grade primitive for resetting *data* frames to
+// a known image between runs (kernel.Process.Reset): because no generation
+// moves, cached code translations stay warm, so it must never be used to
+// change bytes that may be executed — that is what Poke is for.
+func (m *Memory) RestoreBytes(addr uint64, data []byte) bool {
+	if len(data) == 0 {
+		return true
+	}
+	for pn := pageOf(addr); pn <= pageOf(addr+uint64(len(data))-1); pn++ {
+		if _, ok := m.pages[pn]; !ok {
+			return false
+		}
+	}
+	m.write(addr, data)
+	return true
+}
+
+// ZeroRange zeroes [addr, addr+size) bypassing permissions without bumping
+// any generation, with the same data-frames-only contract as RestoreBytes.
+// Unmapped pages inside the range are skipped.
+func (m *Memory) ZeroRange(addr, size uint64) {
+	for size > 0 {
+		off := addr & (obj.PageSize - 1)
+		n := uint64(obj.PageSize) - off
+		if n > size {
+			n = size
+		}
+		if p, ok := m.pages[pageOf(addr)]; ok {
+			clear(p.Data[off : off+n])
+		}
+		addr += n
+		size -= n
+	}
 }
 
 // NewMemory returns an empty address space.
@@ -87,6 +144,7 @@ func (m *Memory) MapPage(addr uint64, p *Page) {
 	m.pages[pageOf(addr)] = p
 	m.lastPage, m.lastFetchPage = nil, nil
 	m.gen++
+	m.mapGen++
 }
 
 // lookup resolves a page through the one-entry caches (instruction fetches
@@ -122,6 +180,7 @@ func (m *Memory) Map(addr, size uint64, perm obj.Perm) {
 	}
 	m.lastPage, m.lastFetchPage = nil, nil
 	m.gen++
+	m.mapGen++
 }
 
 // MapSection maps a section's bytes at its address.
@@ -301,4 +360,5 @@ func (m *Memory) ShareFrom(src *Memory, addr, size uint64) {
 	}
 	m.lastPage, m.lastFetchPage = nil, nil
 	m.gen++
+	m.mapGen++
 }

@@ -23,6 +23,9 @@ func TestGuestProfilerMatmul(t *testing.T) {
 	mem := emu.NewMemory()
 	mem.MapImage(img)
 	cpu := emu.NewCPU(mem, riscv.RV64GC)
+	// Pin the block tier: this test asserts per-block dispatch attribution,
+	// which the trace tier legitimately coarsens (one sample per trace).
+	cpu.TraceThreshold = 0
 	cpu.Reset(img)
 	cpu.Prof = telemetry.NewGuestProfiler()
 	for {

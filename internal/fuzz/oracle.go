@@ -67,6 +67,15 @@ const runSlice = 100_000
 // boundaries drift across loop iterations instead of resonating with them.
 const lockSlice = 1021
 
+// EngineTraceThreshold is the trace-tier promotion threshold applied to
+// every block-engine hart the oracles run (interpreter harts never use the
+// tier). Deliberately aggressive — generated programs are short, so the
+// production threshold would leave superblocks cold; at 2 nearly every
+// repeated block promotes and guards/side-exits/seam flushes get fuzzed.
+// chimera-fuzz overrides it via -trace-threshold or
+// CHIMERA_FUZZ_TRACE_THRESHOLD.
+var EngineTraceThreshold uint32 = 2
+
 // newProc loads a single variant and pins the hart to the given core ISA.
 func newProc(v kernel.Variant, coreISA riscv.Ext, interp bool) (*kernel.Process, error) {
 	p, err := kernel.NewProcess(v.Image.Name, []kernel.Variant{v})
@@ -75,6 +84,11 @@ func newProc(v kernel.Variant, coreISA riscv.Ext, interp bool) (*kernel.Process,
 	}
 	p.CPU.ISA = coreISA
 	p.CPU.Interp = interp
+	if interp {
+		p.CPU.TraceThreshold = 0
+	} else {
+		p.CPU.TraceThreshold = EngineTraceThreshold
+	}
 	return p, nil
 }
 
@@ -209,9 +223,10 @@ func stateDiff(a, b *kernel.Process) string {
 	return ""
 }
 
-// DiffEngines is oracle axis A: the per-instruction interpreter and the
-// basic-block engine must produce bit-identical state trajectories on the
-// same image. Compared at every lockstep slice boundary.
+// DiffEngines is oracle axis A: the per-instruction interpreter, the
+// basic-block engine with the trace tier off, and the block engine with the
+// trace tier forced hot must all produce bit-identical state trajectories
+// on the same image. Compared pairwise at every lockstep slice boundary.
 func (s *Spec) DiffEngines() (*Divergence, error) {
 	img, budget, err := s.Assemble()
 	if err != nil {
@@ -222,51 +237,73 @@ func (s *Spec) DiffEngines() (*Divergence, error) {
 		return nil, err
 	}
 	isa := img.ISA
-	mk := func(interp bool) func() (*kernel.Process, error) {
-		return func() (*kernel.Process, error) { return newProc(v, isa, interp) }
+	mk := func(interp bool, threshold uint32) func() (*kernel.Process, error) {
+		return func() (*kernel.Process, error) {
+			p, err := newProc(v, isa, interp)
+			if err != nil {
+				return nil, err
+			}
+			p.CPU.TraceThreshold = threshold
+			return p, nil
+		}
 	}
-	a, err := mk(true)()
-	if err != nil {
-		return nil, err
+	engines := []struct {
+		label string
+		make  func() (*kernel.Process, error)
+	}{
+		{"interpreter", mk(true, 0)},
+		{"block-engine", mk(false, 0)},
+		{"trace-engine", mk(false, EngineTraceThreshold)},
 	}
-	b, err := mk(false)()
-	if err != nil {
-		return nil, err
+	procs := make([]*kernel.Process, len(engines))
+	for i, e := range engines {
+		if procs[i], err = e.make(); err != nil {
+			return nil, err
+		}
 	}
-	for !a.Exited || !b.Exited {
-		if a.CPU.Instret >= budget || b.CPU.Instret >= budget {
+	ref := procs[0]
+	for {
+		done := true
+		for _, p := range procs {
+			if !p.Exited && p.CPU.Instret < budget {
+				done = false
+			}
+		}
+		if done {
 			break
 		}
-		if _, _, err := a.Run(lockSlice); err != nil {
-			return nil, fmt.Errorf("fuzz: interpreter: %w", err)
-		}
-		if _, _, err := b.Run(lockSlice); err != nil {
-			return nil, fmt.Errorf("fuzz: block engine: %w", err)
-		}
-		if diff := stateDiff(a, b); diff != "" {
-			until := a.CPU.Instret
-			if b.CPU.Instret > until {
-				until = b.CPU.Instret
+		for i, p := range procs {
+			if _, _, err := p.Run(lockSlice); err != nil {
+				return nil, fmt.Errorf("fuzz: %s: %w", engines[i].label, err)
 			}
-			ra := report("interpreter", a, img, false, nil)
-			rb := report("block-engine", b, img, false, nil)
-			ra.Trace = capture(mk(true), until, budget)
-			rb.Trace = capture(mk(false), until, budget)
-			return &Divergence{
-				Axis: AxisEngines, Seed: s.Seed, Spec: s,
-				Detail: "engine state divergence: " + diff,
-				A:      ra, B: rb,
-			}, nil
+		}
+		for i := 1; i < len(procs); i++ {
+			if diff := stateDiff(ref, procs[i]); diff != "" {
+				until := ref.CPU.Instret
+				if procs[i].CPU.Instret > until {
+					until = procs[i].CPU.Instret
+				}
+				ra := report(engines[0].label, ref, img, false, nil)
+				rb := report(engines[i].label, procs[i], img, false, nil)
+				ra.Trace = capture(engines[0].make, until, budget)
+				rb.Trace = capture(engines[i].make, until, budget)
+				return &Divergence{
+					Axis: AxisEngines, Seed: s.Seed, Spec: s,
+					Detail: fmt.Sprintf("%s state divergence: %s", engines[i].label, diff),
+					A:      ra, B: rb,
+				}, nil
+			}
 		}
 	}
-	hangA, hangB := !a.Exited, !b.Exited
-	if hangA || hangB {
-		return &Divergence{
-			Axis: AxisEngines, Seed: s.Seed, Spec: s,
-			Detail: fmt.Sprintf("budget %d exceeded (interp hang=%v, blocks hang=%v)", budget, hangA, hangB),
-			A:      report("interpreter", a, img, hangA, nil),
-			B:      report("block-engine", b, img, hangB, nil),
-		}, nil
+	for i, p := range procs {
+		if !p.Exited {
+			return &Divergence{
+				Axis: AxisEngines, Seed: s.Seed, Spec: s,
+				Detail: fmt.Sprintf("budget %d exceeded (%s hang)", budget, engines[i].label),
+				A:      report(engines[0].label, ref, img, !ref.Exited, nil),
+				B:      report(engines[i].label, p, img, true, nil),
+			}, nil
+		}
 	}
 	return nil, nil
 }

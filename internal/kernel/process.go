@@ -61,6 +61,7 @@ type Process struct {
 	CPU   *emu.CPU
 	views map[riscv.Ext]*View
 	cur   *View
+	first *View // the initial view, where Reset restarts execution
 
 	FAM FAMPolicy
 
@@ -183,10 +184,44 @@ func NewProcess(name string, variants []Variant) (*Process, error) {
 		p.views[v.ISA] = view
 	}
 	p.cur = first
+	p.first = first
 	p.CPU = emu.NewCPU(first.mem, first.isa)
 	p.CPU.Reset(first.img)
 	p.CPU.IndirectHook = first.hook
 	return p, nil
+}
+
+// Reset rewinds the process to its load state without rebuilding it: every
+// view's writable sections are restored from its image, the stack is
+// zeroed, and the architectural state returns to the first view's entry —
+// but runtime rewrites (trap trampolines, patch-area code, trap tables) and
+// the emulator's warm translation caches survive, because no bytes they
+// depend on change and no generation moves. This is the steady-state shape
+// of a long-lived server re-running the same guest: re-execution costs
+// neither page mapping nor re-translation, which is what makes repeated
+// runs allocation-free.
+func (p *Process) Reset() {
+	for _, v := range p.views {
+		for _, s := range v.img.Sections {
+			if s.Perm&obj.PermW == 0 || len(s.Data) == 0 {
+				continue
+			}
+			v.mem.RestoreBytes(s.Addr, s.Data)
+		}
+	}
+	// The stack frames are shared across views; zero them once.
+	p.first.mem.ZeroRange(obj.StackTop-obj.StackSize, obj.StackSize)
+	p.cur = p.first
+	p.CPU.Mem = p.first.mem
+	p.CPU.ISA = p.first.isa
+	p.CPU.IndirectHook = p.first.hook
+	p.CPU.Reset(p.first.img)
+	p.Exited, p.ExitCode = false, 0
+	p.Output = p.Output[:0]
+	clear(p.handlers)
+	p.pending = p.pending[:0]
+	p.inSignal = false
+	p.sigFrame = sigContext{}
 }
 
 // ViewFor returns the view whose binary runs on the given core ISA: an

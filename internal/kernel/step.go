@@ -297,11 +297,19 @@ func (p *Process) syscall() (Status, error) {
 			cpu.X[riscv.A0] = ^uint64(0) // EFAULT-ish
 			break
 		}
-		buf := make([]byte, a2)
-		if fa, ok := cpu.Mem.Read(a1, buf); !ok {
+		// Read straight into Output's grown tail: no per-call scratch
+		// buffer, so a reset-and-rerun process writes allocation-free once
+		// Output's capacity has seen its high-water mark.
+		n := len(p.Output)
+		need := n + int(a2)
+		for cap(p.Output) < need {
+			p.Output = append(p.Output[:cap(p.Output)], 0)
+		}
+		p.Output = p.Output[:need]
+		if fa, ok := cpu.Mem.Read(a1, p.Output[n:]); !ok {
+			p.Output = p.Output[:n]
 			return st, fmt.Errorf("kernel: write(2) buffer fault at %#x", fa)
 		}
-		p.Output = append(p.Output, buf...)
 		cpu.X[riscv.A0] = a2
 	case SysGetTID:
 		cpu.X[riscv.A0] = 1

@@ -88,6 +88,14 @@ type serviceMetrics struct {
 	blockDisp     *telemetry.Counter
 	blockRetired  *telemetry.Counter
 
+	// Trace-tier (superblock) counters, same lifecycle as the block family.
+	tracesBuilt  *telemetry.Counter
+	traceHits    *telemetry.Counter
+	traceRetired *telemetry.Counter
+	traceSides   *telemetry.Counter
+	picHits      *telemetry.Counter
+	picMisses    *telemetry.Counter
+
 	// kernelTel folds each run's kernel.Counters into the shared
 	// chimera_kernel_* families (and registers the scheduler families).
 	kernelTel *kernel.SchedTelemetry
@@ -151,6 +159,13 @@ func newServiceMetrics() *serviceMetrics {
 		blockInvalids: r.Counter("chimera_block_invalidations_total", "cached blocks dropped for a stale generation or ISA"),
 		blockDisp:     r.Counter("chimera_block_dispatches_total", "basic-block executions"),
 		blockRetired:  r.Counter("chimera_block_retired_total", "instructions retired via block dispatch"),
+
+		tracesBuilt:  r.Counter("chimera_emu_trace_built_total", "superblock traces stitched from hot block chains"),
+		traceHits:    r.Counter("chimera_emu_trace_hits_total", "dispatches served by a compiled trace"),
+		traceRetired: r.Counter("chimera_emu_trace_retired_total", "instructions retired inside traces"),
+		traceSides:   r.Counter("chimera_emu_trace_side_exits_total", "trace guard failures that fell back to the block tier"),
+		picHits:      r.Counter("chimera_emu_trace_pic_hits_total", "indirect-jump chains served by the polymorphic inline cache"),
+		picMisses:    r.Counter("chimera_emu_trace_pic_misses_total", "indirect-jump chains that probed the block cache"),
 	}
 	m.stageCacheLookup = m.stageSeconds.With("cache_lookup")
 	m.stageFlightWait = m.stageSeconds.With("singleflight_wait")
@@ -177,6 +192,12 @@ func (m *serviceMetrics) recordRun(res *RunResult, wall time.Duration) {
 	m.blockInvalids.Add(res.Blocks.Invalidations)
 	m.blockDisp.Add(res.Blocks.Dispatches)
 	m.blockRetired.Add(res.Blocks.Retired)
+	m.tracesBuilt.Add(res.Blocks.TracesBuilt)
+	m.traceHits.Add(res.Blocks.TraceHits)
+	m.traceRetired.Add(res.Blocks.TraceRetired)
+	m.traceSides.Add(res.Blocks.SideExits)
+	m.picHits.Add(res.Blocks.PICHits)
+	m.picMisses.Add(res.Blocks.PICMisses)
 	m.kernelTel.AddCounters(res.Counters)
 }
 
@@ -188,5 +209,11 @@ func (m *serviceMetrics) blockStats() emu.BlockStats {
 		Invalidations: m.blockInvalids.Value(),
 		Dispatches:    m.blockDisp.Value(),
 		Retired:       m.blockRetired.Value(),
+		TracesBuilt:   m.tracesBuilt.Value(),
+		TraceHits:     m.traceHits.Value(),
+		TraceRetired:  m.traceRetired.Value(),
+		SideExits:     m.traceSides.Value(),
+		PICHits:       m.picHits.Value(),
+		PICMisses:     m.picMisses.Value(),
 	}
 }

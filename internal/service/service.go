@@ -318,10 +318,13 @@ type EmuStats struct {
 	// EmulatedMIPS is Instret/RunSeconds/1e6 across all runs.
 	EmulatedMIPS float64        `json:"emulated_mips"`
 	Blocks       emu.BlockStats `json:"blocks"`
-	// BlockHitRatio / RetiredPerDispatch summarize Blocks (see
-	// emu.BlockStats) so dashboards don't recompute them.
+	// BlockHitRatio / RetiredPerDispatch / TraceSideExitRate / PICHitRatio
+	// summarize Blocks (see emu.BlockStats) so dashboards don't recompute
+	// them.
 	BlockHitRatio      float64 `json:"block_hit_ratio"`
 	RetiredPerDispatch float64 `json:"retired_per_dispatch"`
+	TraceSideExitRate  float64 `json:"trace_side_exit_rate"`
+	PICHitRatio        float64 `json:"pic_hit_ratio"`
 }
 
 // New starts a server with cfg's worker pool already running. It panics if
@@ -1216,6 +1219,8 @@ func (s *Server) Stats() Stats {
 	}
 	es.BlockHitRatio = es.Blocks.HitRatio()
 	es.RetiredPerDispatch = es.Blocks.RetiredPerDispatch()
+	es.TraceSideExitRate = es.Blocks.SideExitRate()
+	es.PICHitRatio = es.Blocks.PICHitRatio()
 	fs := FaultStats{
 		Panics:             m.panics.Value(),
 		Retries:            m.retries.Value(),

@@ -26,6 +26,17 @@ echo "== cluster smoke (3 chimera-served processes, kill the shard owner, degrad
 go run ./cmd/chimera-smoke
 echo "== bench smoke (1 iteration)"
 go test -run=- -bench=. -benchtime=1x ./... >/dev/null
+echo "== alloc gate (warm CPURun* hot loops must not allocate)"
+ALLOC_RAW="$(mktemp)"
+go test -run=- -bench='BenchmarkCPURun' -benchtime=1x -benchmem ./internal/emu/ | tee "$ALLOC_RAW"
+awk '/^BenchmarkCPURun/ {
+    for (i = 2; i < NF; i++)
+        if ($(i+1) == "allocs/op" && $i + 0 > 0) {
+            printf "alloc gate: %s reports %s allocs/op, want 0\n", $1, $i > "/dev/stderr"
+            bad = 1
+        }
+} END { exit bad }' "$ALLOC_RAW"
+rm -f "$ALLOC_RAW"
 echo "== fuzz smoke (10s per target)"
 go test -run=- -fuzz=FuzzDifferential -fuzztime=10s ./internal/fuzz >/dev/null
 go test -run=- -fuzz=FuzzRewrite -fuzztime=10s ./internal/fuzz >/dev/null

@@ -1,10 +1,12 @@
 // chimera-fuzz drives the differential fuzzing and rewriter-soundness
 // oracle: seeded random RV64GC(V) programs are generated, assembled, and
-// checked along three axes — interpreter vs. block engine, original vs.
-// rewritten images (every rewriter configuration), and fault-and-migrate
-// scheduling vs. a single-core reference. Divergences are emitted as JSON
-// reports carrying the spec and both execution traces; -minimize
-// delta-debugs each diverging spec down to a small reproducer.
+// checked along four axes — interpreter vs. block engine, original vs.
+// rewritten images (every rewriter configuration), the resolver's
+// exhaustive-site claims vs. dynamically taken indirect targets, and
+// fault-and-migrate scheduling vs. a single-core reference. Divergences
+// are emitted as JSON reports carrying the spec and both execution
+// traces; -minimize delta-debugs each diverging spec down to a small
+// reproducer.
 //
 // Usage:
 //
@@ -32,7 +34,7 @@ import (
 func main() {
 	n := flag.Int("n", 500, "number of seeds to run")
 	seed := flag.Int64("seed", 0, "first seed")
-	axesFlag := flag.String("axes", "", "comma-separated axes to check: engines,rewriters,migration (default all)")
+	axesFlag := flag.String("axes", "", "comma-separated axes to check: engines,rewriters,resolve,migration (default all)")
 	minimize := flag.Bool("minimize", false, "delta-debug each diverging spec to a minimal reproducer")
 	corpus := flag.String("corpus", "", "run spec files from this directory instead of generating")
 	out := flag.String("o", "", "write JSON divergence reports to this file (default stdout)")

@@ -14,6 +14,7 @@ import (
 
 	"github.com/eurosys26p57/chimera/internal/chbp"
 	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/resolve"
 	"github.com/eurosys26p57/chimera/internal/rewriters"
 	"github.com/eurosys26p57/chimera/internal/riscv"
 )
@@ -24,6 +25,7 @@ func main() {
 	empty := flag.Bool("empty", false, "empty patching (replicate sources; §6.2 methodology)")
 	noShift := flag.Bool("no-exit-shift", false, "disable exit-position shifting (ablation)")
 	noBatch := flag.Bool("no-batching", false, "disable basic-block batching (ablation)")
+	doResolve := flag.Bool("resolve", false, "run the static indirect-target resolver first (recover hidden jump-table arms)")
 	out := flag.String("o", "", "output image path")
 	flag.Parse()
 	if flag.NArg() != 1 || *out == "" {
@@ -50,6 +52,11 @@ func main() {
 		fatal(err)
 	}
 
+	var ts *resolve.TargetSet
+	if *doResolve {
+		ts = resolve.Resolve(img)
+		fmt.Printf("resolver: %s\n", ts.Summary())
+	}
 	var result *obj.Image
 	switch *method {
 	case "chbp", "strawman":
@@ -58,6 +65,7 @@ func main() {
 			EmptyPatch:       *empty,
 			DisableExitShift: *noShift,
 			DisableBatching:  *noBatch,
+			Resolve:          *doResolve,
 		}
 		if *method == "strawman" {
 			opts.Trampoline = chbp.TrapEntry
@@ -76,17 +84,26 @@ func main() {
 			s.DeadRegFailShifted, s.DeadRegFailTraditional)
 		fmt.Printf("target section: %d bytes (%d block instructions, %d padding)\n",
 			s.TargetBytes, s.BlockInsts, s.PaddingBytes)
+		if *doResolve {
+			fmt.Printf("resolved: %d sites, %d targets; %d recovered instructions, %d pre-materialized sites (%d runtime rewrites avoided)\n",
+				s.ResolvedSites, s.ResolvedTargets, s.RecoveredInsts,
+				s.PrematerializedSites, s.AvoidedRewrites)
+		}
 	case "safer":
-		res, err := rewriters.Safer(img, isa, *empty)
+		res, err := saferOrWith(img, isa, *empty, ts)
 		if err != nil {
 			fatal(err)
 		}
 		result = res.Image
 		fmt.Printf("%s: regenerated %d instructions into %d bytes\n",
 			img.Name, res.Stats.Insts, res.Stats.NewCodeBytes)
+		if *doResolve {
+			fmt.Printf("resolved: %d recovered instructions, %d statically-encoded targets\n",
+				res.Stats.RecoveredInsts, len(res.Resolved))
+		}
 		fmt.Println("note: Safer's address map is runtime state; use the in-process API for execution")
 	case "armore":
-		res, err := rewriters.ARMore(img, isa, *empty)
+		res, err := armoreOrWith(img, isa, *empty, ts)
 		if err != nil {
 			fatal(err)
 		}
@@ -94,6 +111,9 @@ func main() {
 		fmt.Printf("%s: %d trampolines (%d trap-based, %.1f%%)\n",
 			img.Name, res.Stats.Trampolines, res.Stats.TrapTrampolines,
 			100*float64(res.Stats.TrapTrampolines)/float64(max(1, res.Stats.Trampolines)))
+		if *doResolve {
+			fmt.Printf("resolved: %d recovered instructions\n", res.Stats.RecoveredInsts)
+		}
 	default:
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}
@@ -107,6 +127,22 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// saferOrWith/armoreOrWith pick the resolver-seeded entry point when the
+// -resolve flag computed a TargetSet.
+func saferOrWith(img *obj.Image, isa riscv.Ext, empty bool, ts *resolve.TargetSet) (*rewriters.Rewritten, error) {
+	if ts != nil {
+		return rewriters.SaferWith(img, isa, empty, ts)
+	}
+	return rewriters.Safer(img, isa, empty)
+}
+
+func armoreOrWith(img *obj.Image, isa riscv.Ext, empty bool, ts *resolve.TargetSet) (*rewriters.Rewritten, error) {
+	if ts != nil {
+		return rewriters.ARMoreWith(img, isa, empty, ts)
+	}
+	return rewriters.ARMore(img, isa, empty)
 }
 
 func usage(msg string) {

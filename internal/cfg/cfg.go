@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"github.com/eurosys26p57/chimera/internal/dis"
+	"github.com/eurosys26p57/chimera/internal/resolve"
 	"github.com/eurosys26p57/chimera/internal/riscv"
 )
 
@@ -28,6 +29,11 @@ type Block struct {
 	// IsRet marks a block ending in the canonical return (jalr x0, 0(ra)).
 	// Liveness treats returns with ABI knowledge instead of all-live.
 	IsRet bool
+	// ResolvedTargets lists the statically recovered High-confidence
+	// targets of the block's indirect terminator (BuildResolved). They
+	// are also appended to Succs, completing the edge set; HasIndirect
+	// stays true so liveness remains conservative about the site.
+	ResolvedTargets []uint64
 }
 
 // End returns the address one past the final instruction.
@@ -137,6 +143,44 @@ func Build(d *dis.Result) *Graph {
 		b.Succs = kept
 	}
 	sort.Slice(g.Order, func(i, j int) bool { return g.Order[i] < g.Order[j] })
+	return g
+}
+
+// BuildResolved constructs the CFG and completes indirect successor
+// edges from a resolver TargetSet: for every block whose terminator is
+// an exhaustive High-confidence site, the recovered targets become real
+// successor edges (deduplicated, remapped to block leaders like every
+// other edge). The disassembly should be the TargetSet's completed one
+// (resolve.TargetSet.Dis) so the targets exist as blocks.
+func BuildResolved(d *dis.Result, ts *resolve.TargetSet) *Graph {
+	g := Build(d)
+	if ts == nil {
+		return g
+	}
+	for _, b := range g.Blocks {
+		if !b.HasIndirect || len(b.Addrs) == 0 {
+			continue
+		}
+		site := ts.Site(b.Addrs[len(b.Addrs)-1])
+		if site == nil || !site.Exhaustive {
+			continue
+		}
+		have := make(map[uint64]bool, len(b.Succs))
+		for _, s := range b.Succs {
+			have[s] = true
+		}
+		for _, tgt := range site.HighTargets() {
+			start, ok := g.BlockOf[tgt]
+			if !ok {
+				continue
+			}
+			b.ResolvedTargets = append(b.ResolvedTargets, tgt)
+			if !have[start] {
+				have[start] = true
+				b.Succs = append(b.Succs, start)
+			}
+		}
+	}
 	return g
 }
 

@@ -35,6 +35,10 @@ type patchSite struct {
 	// genReg, when nonzero, selects the Fig. 5 general-register trampoline
 	// through this register instead of the gp-based SMILE.
 	genReg riscv.Reg
+	// resolved marks a site in resolver-recovered code (reachable only
+	// through a statically resolved indirect target): its fault-table row
+	// is pre-materialized behind a trap entry instead of a SMILE patch.
+	resolved bool
 
 	block targetBlock
 }

@@ -9,6 +9,7 @@ import (
 	"github.com/eurosys26p57/chimera/internal/dis"
 	"github.com/eurosys26p57/chimera/internal/liveness"
 	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/resolve"
 	"github.com/eurosys26p57/chimera/internal/riscv"
 	"github.com/eurosys26p57/chimera/internal/translate"
 )
@@ -38,6 +39,12 @@ type Options struct {
 	// MaxBatchGap bounds how many non-source instructions batching may copy
 	// between two sources; 0 means the default (10).
 	MaxBatchGap int
+	// Resolve runs the static indirect-target resolver (internal/resolve)
+	// first and rewrites the code it recovers: sites in recovered regions
+	// get their fault-table rows pre-materialized behind trap entries, so
+	// jump-table arms that would otherwise be runtime-rewritten fault by
+	// fault (§4.3) are translated ahead of time.
+	Resolve bool
 }
 
 // Stats reports what the rewrite did — the Table 3 columns plus internals.
@@ -60,6 +67,13 @@ type Stats struct {
 	PaddingBytes uint64 // inter-block layout padding from compressed-mode constraints
 	TargetBytes  int    // generated target-section size
 	RedirectKeys int
+
+	// Resolver integration (Options.Resolve).
+	ResolvedSites        int // indirect sites resolved High/exhaustive
+	ResolvedTargets      int // High-confidence targets across those sites
+	RecoveredInsts       int // instructions reachable only through resolved targets
+	PrematerializedSites int // trap sites in recovered code with pre-built fault-table rows
+	AvoidedRewrites      int // runtime-rewrite faults those rows avoid (unique source pcs)
 }
 
 // Result is a completed rewrite.
@@ -89,11 +103,30 @@ func Rewrite(img *obj.Image, opts Options) (*Result, error) {
 		opts.MaxBatchGap = 10
 	}
 	d := dis.Disassemble(img)
-	g := cfg.Build(d)
+	stats := Stats{CodeSize: img.CodeSize()}
+	var g *cfg.Graph
+	var recovered map[uint64]bool
+	if opts.Resolve {
+		ts := resolve.Resolve(img)
+		recovered = make(map[uint64]bool)
+		for a := range ts.Dis.Insns {
+			if _, ok := d.Insns[a]; !ok {
+				recovered[a] = true
+			}
+		}
+		d = ts.Dis
+		sum := ts.Summary()
+		stats.ResolvedSites = sum.SitesHigh
+		stats.ResolvedTargets = sum.TargetsHigh
+		stats.RecoveredInsts = len(recovered)
+		g = cfg.BuildResolved(d, ts)
+	} else {
+		g = cfg.Build(d)
+	}
 	la := liveness.Analyze(g)
 	compressed := img.ISA.Has(riscv.ExtC)
 
-	stats := Stats{CodeSize: img.CodeSize(), TotalInsts: len(d.Order)}
+	stats.TotalInsts = len(d.Order)
 
 	// ---- Identify sources -------------------------------------------------
 	isSource := func(in riscv.Inst) bool {
@@ -208,6 +241,16 @@ func Rewrite(img *obj.Image, opts Options) (*Result, error) {
 		}
 		site := &patchSite{start: seed.start, upgrade: seed.upgrade}
 		switch {
+		case recovered[seed.start]:
+			// Resolver-recovered code: pre-materialize the fault-table row
+			// behind a trap entry. The trap is fail-safe — if the static
+			// resolution were ever wrong about this region, a stray landing
+			// raises SIGTRAP instead of executing a half-patched SMILE pair
+			// — and keeps the site visible to the kernel, which counts the
+			// runtime-rewrite faults the pre-built row avoids.
+			site.trapOnly = true
+			site.resolved = true
+			site.spaceEnd = seed.start + uint64(d.Insns[seed.start].Len)
 		case opts.Trampoline == TrapEntry:
 			site.trapOnly = true
 			site.spaceEnd = seed.start + uint64(d.Insns[seed.start].Len)
@@ -283,6 +326,7 @@ func Rewrite(img *obj.Image, opts Options) (*Result, error) {
 
 	// ---- Layout & patching -------------------------------------------------
 	tables := NewTables(img.GP)
+	avoidedSources := make(map[uint64]bool)
 	alloc := &layoutAlloc{cursor: targetBase, compressed: compressed}
 	type placed struct {
 		site *patchSite
@@ -360,6 +404,27 @@ func Rewrite(img *obj.Image, opts Options) (*Result, error) {
 				return nil, err
 			}
 			tables.Trap[site.start] = T
+			if site.resolved {
+				// Each unique source pc in the region would have been one
+				// runtime-rewrite fault (RuntimeRewriteCost apiece) without
+				// the resolver; the kernel credits the count on first entry.
+				// Consecutive sites' regions overlap (each keeps its own
+				// trampoline but extends over the shared batch), so the
+				// per-site table rows count their own region while the
+				// stats total dedups by source pc.
+				avoided := uint64(0)
+				for _, item := range site.region {
+					if isSource(item.inst) {
+						avoided++
+						if !avoidedSources[item.addr] {
+							avoidedSources[item.addr] = true
+							stats.AvoidedRewrites++
+						}
+					}
+				}
+				tables.Resolved[site.start] = avoided
+				stats.PrematerializedSites++
+			}
 		case site.genReg != 0:
 			stats.SmileEntries++
 			smile, err := EncodeGeneralSmile(site.start, T, site.genReg)

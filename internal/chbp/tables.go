@@ -42,6 +42,11 @@ type Tables struct {
 	// ExitOf maps a target-block entry to the original resume address of its
 	// normal exit — the probe point used to delay migrations (§4.3).
 	ExitOf map[uint64]uint64
+	// Resolved maps the trap address of a pre-materialized site — one whose
+	// region was recovered statically by the resolver (Options.Resolve) —
+	// to the number of runtime-rewrite faults its pre-built row avoids.
+	// The kernel credits the count the first time the site is entered.
+	Resolved map[uint64]uint64
 }
 
 // NewTables returns an empty table set.
@@ -53,6 +58,7 @@ func NewTables(gp uint64) *Tables {
 		ExitTrap: make(map[uint64]uint64),
 		ExitOf:   make(map[uint64]uint64),
 		Spaces:   make(map[uint64]uint64),
+		Resolved: make(map[uint64]uint64),
 	}
 }
 
@@ -110,6 +116,7 @@ func (t *Tables) Marshal() []byte {
 	writeMap(&buf, t.ExitTrap)
 	writeMap(&buf, t.ExitOf)
 	writeMap(&buf, t.Spaces)
+	writeMap(&buf, t.Resolved)
 	return buf.Bytes()
 }
 
@@ -140,6 +147,9 @@ func UnmarshalTables(data []byte) (*Tables, error) {
 		return nil, err
 	}
 	if t.Spaces, err = readMap(r); err != nil {
+		return nil, err
+	}
+	if t.Resolved, err = readMap(r); err != nil {
 		return nil, err
 	}
 	return t, nil

@@ -61,6 +61,16 @@ func (r *Result) Next(addr uint64) (uint64, bool) {
 // Disassemble recursively disassembles the image starting from the entry
 // point and every function symbol.
 func Disassemble(img *obj.Image) *Result {
+	return DisassembleWithRoots(img, nil)
+}
+
+// DisassembleWithRoots disassembles like Disassemble but seeds the
+// recursion with extra roots on top of the entry point and function
+// symbols. The resolver (internal/resolve) feeds statically recovered
+// High-confidence indirect targets back through this entry point so code
+// reachable only through jump tables is still recognized. Extra roots
+// outside executable sections are ignored; duplicates are deduplicated.
+func DisassembleWithRoots(img *obj.Image, extra []uint64) *Result {
 	res := &Result{
 		Insns:       make(map[uint64]riscv.Inst),
 		Undecodable: make(map[uint64]error),
@@ -69,7 +79,22 @@ func Disassemble(img *obj.Image) *Result {
 	for _, sym := range img.FuncSymbols() {
 		work = append(work, sym.Addr)
 	}
+	seen := make(map[uint64]bool, len(work)+len(extra))
+	for _, a := range work {
+		seen[a] = true
+	}
+	for _, a := range extra {
+		if seen[a] {
+			continue
+		}
+		if sec := img.SectionAt(a); sec == nil || sec.Perm&obj.PermX == 0 {
+			continue
+		}
+		seen[a] = true
+		work = append(work, a)
+	}
 	res.Roots = append([]uint64(nil), work...)
+	sort.Slice(res.Roots, func(i, j int) bool { return res.Roots[i] < res.Roots[j] })
 
 	var buf [4]byte
 	for len(work) > 0 {

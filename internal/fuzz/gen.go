@@ -6,7 +6,7 @@ import (
 )
 
 // Config bounds the shape of generated programs. The defaults keep single
-// seeds cheap enough that `chimera-fuzz -n 500` runs all three oracle axes
+// seeds cheap enough that `chimera-fuzz -n 500` runs every oracle axis
 // in seconds, while still covering every adversarial construct.
 type Config struct {
 	MaxFuncs int // functions per program (≥1)

@@ -7,6 +7,7 @@ import (
 	"github.com/eurosys26p57/chimera/internal/emu"
 	"github.com/eurosys26p57/chimera/internal/kernel"
 	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/resolve"
 	"github.com/eurosys26p57/chimera/internal/rewriters"
 	"github.com/eurosys26p57/chimera/internal/riscv"
 )
@@ -15,6 +16,7 @@ import (
 const (
 	AxisEngines   = "engines"   // interpreter vs. block engine, lockstep
 	AxisRewriters = "rewriters" // original vs. rewritten images, end state
+	AxisResolve   = "resolve"   // static exhaustive claims vs. dynamic targets
 	AxisMigration = "migration" // fault-and-migrate vs. single-core reference
 )
 
@@ -350,6 +352,8 @@ func rewriteCandidates(img *obj.Image, vector bool) []struct {
 		fromCHBP("chbp-trapentry", res, err, base)
 		res, err = chbp.Rewrite(img, chbp.Options{TargetISA: base, Trampoline: chbp.GeneralReg})
 		fromCHBP("chbp-generalreg", res, err, base)
+		res, err = chbp.Rewrite(img, chbp.Options{TargetISA: base, Resolve: true})
+		fromCHBP("chbp-resolve", res, err, base)
 		if rw, err := rewriters.Safer(img, base, false); err != nil {
 			add("safer", kernel.Variant{}, base, err)
 		} else {
@@ -358,10 +362,29 @@ func rewriteCandidates(img *obj.Image, vector bool) []struct {
 				AddrMap: rw.AddrMap, SaferChecks: true,
 			}, base, nil)
 		}
+		// Resolver-assisted regeneration baselines: same rewriters, seeded
+		// with the TargetSet, so statically patched indirect paths (and
+		// Safer's resolved-target fast path) get differential coverage too.
+		ts := resolve.Resolve(img)
+		if rw, err := rewriters.SaferWith(img, base, false, ts); err != nil {
+			add("safer-resolve", kernel.Variant{}, base, err)
+		} else {
+			add("safer-resolve", kernel.Variant{
+				ISA: rw.Image.ISA, Image: rw.Image, Tables: rw.Tables,
+				AddrMap: rw.AddrMap, SaferChecks: true, SaferResolved: rw.Resolved,
+			}, base, nil)
+		}
 		if rw, err := rewriters.ARMore(img, base, false); err != nil {
 			add("armore", kernel.Variant{}, base, err)
 		} else {
 			add("armore", kernel.Variant{
+				ISA: rw.Image.ISA, Image: rw.Image, Tables: rw.Tables, AddrMap: rw.AddrMap,
+			}, base, nil)
+		}
+		if rw, err := rewriters.ARMoreWith(img, base, false, ts); err != nil {
+			add("armore-resolve", kernel.Variant{}, base, err)
+		} else {
+			add("armore-resolve", kernel.Variant{
 				ISA: rw.Image.ISA, Image: rw.Image, Tables: rw.Tables, AddrMap: rw.AddrMap,
 			}, base, nil)
 		}
@@ -541,7 +564,7 @@ func (s *Spec) DiffMigration() (*Divergence, error) {
 // AxisMigration}; nil means all three.
 func (s *Spec) Check(axes []string) (*Divergence, error) {
 	if axes == nil {
-		axes = []string{AxisEngines, AxisRewriters, AxisMigration}
+		axes = []string{AxisEngines, AxisRewriters, AxisResolve, AxisMigration}
 	}
 	for _, ax := range axes {
 		var d *Divergence
@@ -551,6 +574,8 @@ func (s *Spec) Check(axes []string) (*Divergence, error) {
 			d, err = s.DiffEngines()
 		case AxisRewriters:
 			d, err = s.DiffRewriters()
+		case AxisResolve:
+			d, err = s.DiffResolve()
 		case AxisMigration:
 			d, err = s.DiffMigration()
 		default:

@@ -1,0 +1,99 @@
+package fuzz
+
+import (
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/resolve"
+)
+
+// TestResolveSoundnessSweep sweeps oracle axis D over the seed space: on
+// every generated program, each site the resolver marks Exhaustive must
+// contain every target a real execution takes there. Indirect dispatch
+// through the anchored pointer table and the published mid-region entry
+// both produce exhaustive sites in roughly half the seeds, so the sweep
+// exercises the claim constantly, not incidentally.
+func TestResolveSoundnessSweep(t *testing.T) {
+	n := int64(1000)
+	if testing.Short() {
+		n = 120
+	}
+	checked := 0
+	for seed := int64(0); seed < n; seed++ {
+		s := Generate(seed, DefaultConfig())
+		if s.Indirect || s.midFunc() >= 0 {
+			checked++
+		}
+		d, err := s.DiffResolve()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if d != nil {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+	}
+	if checked < int(n)/4 {
+		t.Errorf("only %d/%d seeds carried an indirect construct; generator drifted", checked, n)
+	}
+}
+
+// tamperedResolveDiff runs the resolver honestly, then corrupts its output
+// the way an unsound rule would: the last candidate of each exhaustive
+// site's set is dropped while the exhaustiveness claim stands. The oracle
+// must notice the moment a run takes the dropped target.
+func tamperedResolveDiff(s Spec) (*Divergence, error) {
+	img, budget, err := s.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	ts := resolve.Resolve(img)
+	tampered := false
+	for _, site := range ts.Sites {
+		if site.Exhaustive && len(site.Targets) > 0 {
+			site.Targets = site.Targets[:len(site.Targets)-1]
+			tampered = true
+		}
+	}
+	if !tampered {
+		return nil, nil // no exhaustive site to corrupt: no signal
+	}
+	return s.diffResolveWith(img, budget, ts)
+}
+
+// TestResolverMissCaught verifies the end-to-end promise of the soundness
+// axis: a candidate set that silently under-covers an exhaustive site is
+// detected, and the spec-level minimizer shrinks the reproducer while the
+// divergence persists.
+func TestResolverMissCaught(t *testing.T) {
+	var spec Spec
+	keep := func(s Spec) bool {
+		d, err := tamperedResolveDiff(s)
+		return err == nil && d != nil
+	}
+	found := false
+	for seed := int64(0); seed < 50; seed++ {
+		spec = Generate(seed, DefaultConfig())
+		if keep(spec) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no seed in 0..49 exposes the injected under-coverage; generator drifted")
+	}
+	min := Minimize(spec, keep)
+	n, err := min.BodyInsts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 20 {
+		t.Errorf("minimized reproducer has %d body instructions, want <= 20", n)
+	}
+	d, err := tamperedResolveDiff(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("minimized spec no longer reproduces the injected miss")
+	}
+	t.Logf("minimized to %d body insts: %s", n, d.Detail)
+}

@@ -1,7 +1,7 @@
 // Package fuzz is Chimera's correctness backbone: a seeded random RV64GC(V)
-// program generator, a lockstep differential oracle with three comparison
-// axes (engine equivalence, rewriter soundness, migration transparency), and
-// a spec-level divergence minimizer.
+// program generator, a lockstep differential oracle with four comparison
+// axes (engine equivalence, rewriter soundness, resolver soundness, and
+// migration transparency), and a spec-level divergence minimizer.
 //
 // The unit of fuzzing is a Spec — a structured program description, not raw
 // bytes — so every mutation and every delta-debugging step still assembles

@@ -112,9 +112,14 @@ type Counters struct {
 	Traps           uint64 // trap-based trampoline redirections
 	Checks          uint64 // indirect-jump pointer checks (Safer hook)
 	RuntimeRewrites uint64 // unrecognized instructions rewritten at run time
-	SpuriousFaults  uint64 // spurious faults re-validated and absorbed
-	Migrations      uint64
-	Syscalls        uint64
-	SignalsTaken    uint64
-	KernelCycles    uint64 // cycles charged for all kernel events
+	// RewriteFaultsAvoided counts the runtime-rewrite faults that never
+	// happened because the resolver pre-materialized the site's fault-table
+	// row at rewrite time (chbp.Tables.Resolved). Credited once per site,
+	// the first time execution actually enters it.
+	RewriteFaultsAvoided uint64
+	SpuriousFaults       uint64 // spurious faults re-validated and absorbed
+	Migrations           uint64
+	Syscalls             uint64
+	SignalsTaken         uint64
+	KernelCycles         uint64 // cycles charged for all kernel events
 }

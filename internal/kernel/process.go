@@ -22,6 +22,10 @@ type Variant struct {
 	AddrMap map[uint64]uint64
 	// SaferChecks installs the regeneration pointer-check hook.
 	SaferChecks bool
+	// SaferResolved lists original-space indirect targets the resolver
+	// statically encoded (rewriters.Rewritten.Resolved): the check hook
+	// skips the translation-table penalty for them.
+	SaferResolved map[uint64]bool
 }
 
 // View is one loaded MMView: an address space instantiated from a variant,
@@ -40,6 +44,10 @@ type View struct {
 	revMap  map[uint64]uint64
 	// runtime rewriting area
 	patchBase, patchCursor, patchEnd uint64
+	// resolvedSeen records resolver-pre-materialized trap sites already
+	// credited to Counters.RewriteFaultsAvoided. It survives Reset, like
+	// the rewrites themselves.
+	resolvedSeen map[uint64]bool
 }
 
 // sharedSections are mapped once and shared by reference across views.
@@ -134,11 +142,12 @@ func NewProcess(name string, variants []Variant) (*Process, error) {
 				ts, te = s.Addr, s.End()
 			}
 			m := v.AddrMap
+			resolved := v.SaferResolved
 			view.hook = func(pc, target uint64) (uint64, uint64) {
 				cost := uint64(12)
 				if target >= ts && target < te {
 					if nt, ok := m[target]; ok {
-						if (target>>1)%10 == 0 {
+						if !resolved[target] && (target>>1)%10 == 0 {
 							cost += 28
 						}
 						return nt, cost
@@ -408,6 +417,12 @@ func (p *Process) runtimeRewrite(v *View, pc uint64) error {
 	}
 	v.tables.Trap[pc] = blockAddr
 	v.tables.ExitTrap[exitAddr] = pc + uint64(inst.Len)
+	// Advance past this block: without this, the next rewrite would overlay
+	// its block at the same address, leaving every earlier trap entry
+	// pointing into the newer block's bytes — correct on the first, purely
+	// sequential pass that triggered the rewrites, and silently wrong the
+	// next time any earlier site is re-entered.
+	v.patchCursor += need
 	p.Counters.RuntimeRewrites++
 	p.Counters.KernelCycles += RuntimeRewriteCost
 	return nil

@@ -130,6 +130,17 @@ func (p *Process) handleBreak() bool {
 		return false
 	}
 	if tgt, ok := t.Trap[p.CPU.PC]; ok {
+		// A resolver-pre-materialized site: the first time execution enters
+		// it, credit the runtime-rewrite faults its pre-built row avoided.
+		// The seen set survives Reset, like the runtime rewrites themselves:
+		// a site is only ever materialized once per process lifetime.
+		if n := t.Resolved[p.CPU.PC]; n > 0 && !p.cur.resolvedSeen[p.CPU.PC] {
+			if p.cur.resolvedSeen == nil {
+				p.cur.resolvedSeen = make(map[uint64]bool)
+			}
+			p.cur.resolvedSeen[p.CPU.PC] = true
+			p.Counters.RewriteFaultsAvoided += n
+		}
 		p.CPU.PC = tgt
 		p.Counters.Traps++
 		p.Counters.KernelCycles += TrapCost

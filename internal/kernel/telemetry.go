@@ -14,14 +14,15 @@ type SchedTelemetry struct {
 	completions *telemetry.Counter
 	failures    *telemetry.Counter
 
-	faultRecoveries *telemetry.Counter
-	traps           *telemetry.Counter
-	checks          *telemetry.Counter
-	runtimeRewrites *telemetry.Counter
-	spuriousFaults  *telemetry.Counter
-	syscalls        *telemetry.Counter
-	signals         *telemetry.Counter
-	kernelCycles    *telemetry.Counter
+	faultRecoveries      *telemetry.Counter
+	traps                *telemetry.Counter
+	checks               *telemetry.Counter
+	runtimeRewrites      *telemetry.Counter
+	rewriteFaultsAvoided *telemetry.Counter
+	spuriousFaults       *telemetry.Counter
+	syscalls             *telemetry.Counter
+	signals              *telemetry.Counter
+	kernelCycles         *telemetry.Counter
 }
 
 // NewSchedTelemetry registers the scheduler and kernel metric families on r.
@@ -33,15 +34,26 @@ func NewSchedTelemetry(r *telemetry.Registry) *SchedTelemetry {
 		completions: r.Counter("chimera_sched_tasks_completed_total", "tasks run to completion"),
 		failures:    r.Counter("chimera_sched_tasks_failed_total", "tasks whose process died on a signal"),
 
-		faultRecoveries: r.Counter("chimera_kernel_fault_recoveries_total", "deterministic faults recovered via tables"),
-		traps:           r.Counter("chimera_kernel_traps_total", "trap-based trampoline redirections"),
-		checks:          r.Counter("chimera_kernel_checks_total", "indirect-jump pointer checks"),
-		runtimeRewrites: r.Counter("chimera_kernel_runtime_rewrites_total", "unrecognized instructions rewritten at run time"),
-		spuriousFaults:  r.Counter("chimera_kernel_spurious_faults_total", "spurious faults re-validated and absorbed"),
-		syscalls:        r.Counter("chimera_kernel_syscalls_total", "guest syscalls serviced"),
-		signals:         r.Counter("chimera_kernel_signals_total", "signals delivered to guest processes"),
-		kernelCycles:    r.Counter("chimera_kernel_cycles_total", "cycles charged for all kernel events"),
+		faultRecoveries:      r.Counter("chimera_kernel_fault_recoveries_total", "deterministic faults recovered via tables"),
+		traps:                r.Counter("chimera_kernel_traps_total", "trap-based trampoline redirections"),
+		checks:               r.Counter("chimera_kernel_checks_total", "indirect-jump pointer checks"),
+		runtimeRewrites:      r.Counter("chimera_kernel_runtime_rewrites_total", "unrecognized instructions rewritten at run time"),
+		rewriteFaultsAvoided: r.Counter("chimera_kernel_rewrite_faults_avoided_total", "runtime-rewrite faults avoided by resolver pre-materialization"),
+		spuriousFaults:       r.Counter("chimera_kernel_spurious_faults_total", "spurious faults re-validated and absorbed"),
+		syscalls:             r.Counter("chimera_kernel_syscalls_total", "guest syscalls serviced"),
+		signals:              r.Counter("chimera_kernel_signals_total", "signals delivered to guest processes"),
+		kernelCycles:         r.Counter("chimera_kernel_cycles_total", "cycles charged for all kernel events"),
 	}
+}
+
+// RewriteFaultsAvoided reads back the total runtime-rewrite faults the
+// resolver's pre-materialized rows avoided across every folded process
+// (for JSON views rendered from the same registry, e.g. /stats).
+func (t *SchedTelemetry) RewriteFaultsAvoided() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.rewriteFaultsAvoided.Value()
 }
 
 func (t *SchedTelemetry) dispatch() {
@@ -88,6 +100,7 @@ func (t *SchedTelemetry) AddCounters(c Counters) {
 	t.traps.Add(c.Traps)
 	t.checks.Add(c.Checks)
 	t.runtimeRewrites.Add(c.RuntimeRewrites)
+	t.rewriteFaultsAvoided.Add(c.RewriteFaultsAvoided)
 	t.spuriousFaults.Add(c.SpuriousFaults)
 	t.syscalls.Add(c.Syscalls)
 	t.signals.Add(c.SignalsTaken)

@@ -1,0 +1,110 @@
+package resolve
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// codePtr is a code-pointer-constant fact: a pointer-sized value at rest
+// in a data section that looks like the address of an instruction.
+type codePtr struct {
+	Slot     uint64 // address of the slot holding the pointer
+	Target   uint64
+	Writable bool // slot lies in writable data
+}
+
+// scanCodePointers walks every readable non-executable section at
+// pointer alignment and records values that name a decodable address in
+// an executable section. These are weak facts — an arena of arbitrary
+// integers can alias into the text range — so on their own they only
+// ever produce Medium (read-only slot) or Low (writable slot)
+// candidates for otherwise-unresolved sites.
+func scanCodePointers(img *obj.Image) []codePtr {
+	var out []codePtr
+	for _, sec := range img.Sections {
+		if sec.Perm&obj.PermX != 0 || sec.Perm&obj.PermR == 0 {
+			continue
+		}
+		if sec.Name == obj.SecFaultTab || sec.Name == obj.SecVRegFile {
+			continue
+		}
+		writable := sec.Perm&obj.PermW != 0
+		data := sec.Data
+		for off := 0; off+8 <= len(data); off += 8 {
+			v := binary.LittleEndian.Uint64(data[off:])
+			if !validCode(img, v) {
+				continue
+			}
+			out = append(out, codePtr{Slot: sec.Addr + uint64(off), Target: v, Writable: writable})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Slot < out[j].Slot })
+	return out
+}
+
+// validCode reports whether addr plausibly starts an instruction: it is
+// nonzero, 2-byte aligned, inside an executable section, and decodes.
+func validCode(img *obj.Image, addr uint64) bool {
+	if addr == 0 || addr&1 != 0 {
+		return false
+	}
+	sec := img.SectionAt(addr)
+	if sec == nil || sec.Perm&obj.PermX == 0 {
+		return false
+	}
+	var buf [4]byte
+	n := copy(buf[:], sec.Data[addr-sec.Addr:])
+	_, err := riscv.Decode(buf[:n])
+	return err == nil
+}
+
+// maxTableBytes caps how large a claimed jump table may be before the
+// slice fact is rejected as implausible.
+const maxTableBytes = 1 << 15
+
+// readTable reads count entries of the given width starting at base and
+// returns the raw values (lw entries sign-extend like the hardware
+// would). It fails unless the whole extent lies inside one readable,
+// non-executable section.
+func readTable(img *obj.Image, base uint64, count, width int) ([]uint64, *obj.Section, bool) {
+	if count <= 0 || count*width > maxTableBytes {
+		return nil, nil, false
+	}
+	sec := img.SectionAt(base)
+	if sec == nil || sec.Perm&obj.PermX != 0 || sec.Perm&obj.PermR == 0 {
+		return nil, nil, false
+	}
+	end := base + uint64(count*width)
+	if end > sec.End() {
+		return nil, nil, false
+	}
+	out := make([]uint64, count)
+	data := sec.Data[base-sec.Addr:]
+	for i := 0; i < count; i++ {
+		switch width {
+		case 8:
+			out[i] = binary.LittleEndian.Uint64(data[i*8:])
+		case 4:
+			out[i] = uint64(int64(int32(binary.LittleEndian.Uint32(data[i*4:]))))
+		default:
+			return nil, nil, false
+		}
+	}
+	return out, sec, true
+}
+
+// anchorSet builds the symbol-anchor fact set: the recursion roots the
+// base disassembly trusts (entry point + function symbols). A writable
+// jump table whose every entry is an anchor still earns High confidence
+// — the targets independently exist, so a guest overwrite can redirect
+// control but not invent an address the rewriter has not covered.
+func anchorSet(roots []uint64) map[uint64]bool {
+	m := make(map[uint64]bool, len(roots))
+	for _, r := range roots {
+		m[r] = true
+	}
+	return m
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/eurosys26p57/chimera/internal/chbp"
 	"github.com/eurosys26p57/chimera/internal/dis"
 	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/resolve"
 	"github.com/eurosys26p57/chimera/internal/riscv"
 	"github.com/eurosys26p57/chimera/internal/translate"
 )
@@ -19,7 +20,22 @@ import (
 // binaries degrade to traps — the effect the paper measures at 171.5%
 // average overhead.
 func ARMore(img *obj.Image, targetISA riscv.Ext, emptyPatch bool) (*Rewritten, error) {
+	return ARMoreWith(img, targetISA, emptyPatch, nil)
+}
+
+// ARMoreWith is ARMore seeded with a resolver TargetSet: the completed
+// disassembly covers code reachable only through recovered jump tables,
+// so those arms get relocated copies and per-instruction trampolines
+// like any other code instead of faulting at their original addresses.
+// ts came from resolve.Resolve on the same image; nil means plain ARMore.
+func ARMoreWith(img *obj.Image, targetISA riscv.Ext, emptyPatch bool, ts *resolve.TargetSet) (*Rewritten, error) {
 	d := dis.Disassemble(img)
+	recovered := 0
+	resolved := resolvedTargets(ts)
+	if ts != nil && ts.Dis != nil {
+		recovered = len(ts.Dis.Insns) - len(d.Insns)
+		d = ts.Dis
+	}
 	vregAddr, newBase := newLayout(img)
 	rel, err := relocateAll(d, relocOptions{
 		targetISA:  targetISA,
@@ -34,7 +50,7 @@ func ARMore(img *obj.Image, targetISA riscv.Ext, emptyPatch bool) (*Rewritten, e
 	rw := img.Clone()
 	rw.Name = img.Name + ".armore"
 	tables := chbp.NewTables(img.GP)
-	stats := Stats{Insts: len(d.Order), NewCodeBytes: len(rel.code)}
+	stats := Stats{Insts: len(d.Order), NewCodeBytes: len(rel.code), RecoveredInsts: recovered}
 
 	// Fill the original text with single-instruction trampolines.
 	for _, a := range d.Order {
@@ -83,7 +99,7 @@ func ARMore(img *obj.Image, targetISA riscv.Ext, emptyPatch bool) (*Rewritten, e
 	if err := rw.Validate(); err != nil {
 		return nil, err
 	}
-	return &Rewritten{Image: rw, Tables: tables, AddrMap: rel.addrMap, Stats: stats}, nil
+	return &Rewritten{Image: rw, Tables: tables, AddrMap: rel.addrMap, Resolved: resolved, Stats: stats}, nil
 }
 
 func writeEbreak(img *obj.Image, addr uint64, length int) error {

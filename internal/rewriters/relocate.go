@@ -291,6 +291,11 @@ type Rewritten struct {
 	// AddrMap maps original to relocated instruction addresses (Safer and
 	// ARMore). The kernel's Safer hook consults it.
 	AddrMap map[uint64]uint64
+	// Resolved is the set of High-confidence indirect targets (original
+	// addresses) the resolver recovered, when the rewrite was seeded with
+	// one (SaferWith/ARMoreWith). The Safer hook skips the translation
+	// table-path penalty for them.
+	Resolved map[uint64]bool
 	// Stats summarizes the rewrite.
 	Stats Stats
 }
@@ -302,4 +307,5 @@ type Stats struct {
 	Trampolines     int // single-inst trampolines placed (ARMore)
 	TrapTrampolines int // trampolines that had to be trap-based
 	NewCodeBytes    int
+	RecoveredInsts  int // instructions only the resolver's roots reached
 }

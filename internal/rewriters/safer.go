@@ -6,6 +6,7 @@ import (
 	"github.com/eurosys26p57/chimera/internal/chbp"
 	"github.com/eurosys26p57/chimera/internal/dis"
 	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/resolve"
 	"github.com/eurosys26p57/chimera/internal/riscv"
 	"github.com/eurosys26p57/chimera/internal/translate"
 )
@@ -27,7 +28,25 @@ const (
 // translated from the original address space. The original code section is
 // dropped from the executable mapping — regeneration keeps no trampolines.
 func Safer(img *obj.Image, targetISA riscv.Ext, emptyPatch bool) (*Rewritten, error) {
+	return SaferWith(img, targetISA, emptyPatch, nil)
+}
+
+// SaferWith is Safer seeded with a resolver TargetSet: the completed
+// disassembly (recursive descent plus every High-confidence indirect
+// target) replaces the plain one, so code reachable only through jump
+// tables is regenerated too instead of being dropped with the original
+// text. Resolved targets are also statically encoded, shrinking Safer's
+// runtime translation tables — SaferHookWith skips the table-path
+// penalty for them. ts came from resolve.Resolve on the same image; nil
+// means plain Safer.
+func SaferWith(img *obj.Image, targetISA riscv.Ext, emptyPatch bool, ts *resolve.TargetSet) (*Rewritten, error) {
 	d := dis.Disassemble(img)
+	recovered := 0
+	resolved := resolvedTargets(ts)
+	if ts != nil && ts.Dis != nil {
+		recovered = len(ts.Dis.Insns) - len(d.Insns)
+		d = ts.Dis
+	}
 	vregAddr, newBase := newLayout(img)
 	rel, err := relocateAll(d, relocOptions{
 		targetISA:  targetISA,
@@ -75,22 +94,48 @@ func Safer(img *obj.Image, targetISA riscv.Ext, emptyPatch bool) (*Rewritten, er
 		return nil, err
 	}
 	return &Rewritten{
-		Image:   rw,
-		Tables:  tables,
-		AddrMap: rel.addrMap,
-		Stats:   Stats{Insts: len(d.Order), NewCodeBytes: len(rel.code)},
+		Image:    rw,
+		Tables:   tables,
+		AddrMap:  rel.addrMap,
+		Resolved: resolved,
+		Stats:    Stats{Insts: len(d.Order), NewCodeBytes: len(rel.code), RecoveredInsts: recovered},
 	}, nil
+}
+
+// resolvedTargets collects the High-confidence targets of a TargetSet as
+// a set of original addresses, or nil.
+func resolvedTargets(ts *resolve.TargetSet) map[uint64]bool {
+	if ts == nil {
+		return nil
+	}
+	out := make(map[uint64]bool)
+	for _, s := range ts.Sites {
+		for _, t := range s.Targets {
+			if t.Tier == resolve.TierHigh {
+				out[t.Addr] = true
+			}
+		}
+	}
+	return out
 }
 
 // SaferHook builds the per-CPU indirect-jump hook realizing Safer's runtime
 // pointer checks: targets inside the original text range are translated to
 // their regenerated addresses. textStart/textEnd bound the original code.
 func SaferHook(addrMap map[uint64]uint64, textStart, textEnd uint64) func(pc, target uint64) (uint64, uint64) {
+	return SaferHookWith(addrMap, textStart, textEnd, nil)
+}
+
+// SaferHookWith is SaferHook with the resolver's statically-encoded
+// target set: a resolved target's translation was encoded at rewrite
+// time, so it never takes the table path regardless of the encoding
+// hit-rate model.
+func SaferHookWith(addrMap map[uint64]uint64, textStart, textEnd uint64, resolved map[uint64]bool) func(pc, target uint64) (uint64, uint64) {
 	return func(pc, target uint64) (uint64, uint64) {
 		cost := uint64(SaferCheckCycles)
 		if target >= textStart && target < textEnd {
 			if nt, ok := addrMap[target]; ok {
-				if (target>>1)%saferUnencodedDenom == 0 {
+				if !resolved[target] && (target>>1)%saferUnencodedDenom == 0 {
 					cost += SaferTableCycles // unencoded: table path
 				}
 				return nt, cost

@@ -114,6 +114,7 @@ func (s *Server) handleRewriteBatch(w http.ResponseWriter, r *http.Request) {
 			DisableExitShift: item.DisableExitShift,
 			DisableBatching:  item.DisableBatching,
 			DisableUpgrade:   item.DisableUpgrade,
+			Resolve:          item.Resolve,
 			Image:            img,
 		}
 		live = append(live, i)

@@ -28,6 +28,7 @@ type rewriteHTTPRequest struct {
 	DisableExitShift bool   `json:"disable_exit_shift,omitempty"`
 	DisableBatching  bool   `json:"disable_batching,omitempty"`
 	DisableUpgrade   bool   `json:"disable_upgrade,omitempty"`
+	Resolve          bool   `json:"resolve,omitempty"`
 	Image            []byte `json:"image"`
 }
 
@@ -144,6 +145,7 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		DisableExitShift: body.DisableExitShift,
 		DisableBatching:  body.DisableBatching,
 		DisableUpgrade:   body.DisableUpgrade,
+		Resolve:          body.Resolve,
 		Image:            img,
 	})
 	if err != nil {

@@ -63,6 +63,15 @@ type serviceMetrics struct {
 	batchRequests *telemetry.Counter
 	batchItems    *telemetry.Counter
 
+	// Static resolver (RewriteRequest.Resolve): per-tier site and target
+	// tallies across resolver-on rewrites, recovered instructions, and the
+	// runtime-rewrite faults pre-materialized rows statically avoid.
+	resolveRewrites  *telemetry.Counter
+	resolveSites     *telemetry.CounterVec // {tier} = high|medium|low|unresolved
+	resolveTargets   *telemetry.CounterVec // {tier} = high|medium|low
+	resolveRecovered *telemetry.Counter
+	resolveAvoided   *telemetry.Counter
+
 	// Latency distributions.
 	requestSeconds *telemetry.HistogramVec // {endpoint}
 	methodSeconds  *telemetry.HistogramVec // {method}
@@ -146,6 +155,12 @@ func newServiceMetrics() *serviceMetrics {
 		batchRequests: r.Counter("chimera_batch_requests_total", "POST /rewrite/batch requests"),
 		batchItems:    r.Counter("chimera_batch_items_total", "individual items across all batch requests"),
 
+		resolveRewrites:  r.Counter("chimera_resolve_rewrites_total", "rewrites that ran the static indirect-target resolver"),
+		resolveSites:     r.CounterVec("chimera_resolve_sites_total", "indirect sites seen by the resolver, by best confidence tier", "tier"),
+		resolveTargets:   r.CounterVec("chimera_resolve_targets_total", "candidate targets recovered by the resolver, by confidence tier", "tier"),
+		resolveRecovered: r.Counter("chimera_resolve_recovered_insts_total", "instructions reachable only through resolver-recovered targets"),
+		resolveAvoided:   r.Counter("chimera_resolve_avoided_rewrites_total", "runtime-rewrite faults avoided by pre-materialized fault-table rows"),
+
 		requestSeconds: r.HistogramVec("chimera_request_seconds", "end-to-end request latency by endpoint", db, "endpoint"),
 		methodSeconds:  r.HistogramVec("chimera_method_seconds", "successful rewrite latency by rewriter method", db, "method"),
 		stageSeconds:   r.HistogramVec("chimera_stage_seconds", "per-stage latency within the request pipeline", db, "stage"),
@@ -180,6 +195,26 @@ func newServiceMetrics() *serviceMetrics {
 
 // observeStage records one stage duration on a pre-resolved child.
 func observeStage(h *telemetry.Histogram, d time.Duration) { h.Observe(d.Seconds()) }
+
+// recordResolve folds one resolver-on rewrite's recovery stats into the
+// chimera_resolve_* families. Called only on cold rewrites (the worker
+// path), so cache hits never double-count.
+func (m *serviceMetrics) recordResolve(st *RewriteStats) {
+	if st.Resolve == nil {
+		return
+	}
+	m.resolveRewrites.Inc()
+	sum := st.Resolve
+	m.resolveSites.With("high").Add(uint64(sum.SitesHigh))
+	m.resolveSites.With("medium").Add(uint64(sum.SitesMedium))
+	m.resolveSites.With("low").Add(uint64(sum.SitesLow))
+	m.resolveSites.With("unresolved").Add(uint64(sum.SitesUnresolved))
+	m.resolveTargets.With("high").Add(uint64(sum.TargetsHigh))
+	m.resolveTargets.With("medium").Add(uint64(sum.TargetsMedium))
+	m.resolveTargets.With("low").Add(uint64(sum.TargetsLow))
+	m.resolveRecovered.Add(uint64(st.RecoveredInsts))
+	m.resolveAvoided.Add(uint64(st.AvoidedRewrites))
+}
 
 // recordRun folds one completed execution into the registry.
 func (m *serviceMetrics) recordRun(res *RunResult, wall time.Duration) {

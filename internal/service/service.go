@@ -30,6 +30,7 @@ import (
 	"github.com/eurosys26p57/chimera/internal/emu"
 	"github.com/eurosys26p57/chimera/internal/kernel"
 	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/resolve"
 	"github.com/eurosys26p57/chimera/internal/rewriters"
 	"github.com/eurosys26p57/chimera/internal/riscv"
 	"github.com/eurosys26p57/chimera/internal/store"
@@ -168,7 +169,12 @@ type RewriteRequest struct {
 	DisableExitShift bool   // ablation A2
 	DisableBatching  bool   // ablation A3
 	DisableUpgrade   bool   // no idiom upgrading
-	Image            *obj.Image
+	// Resolve runs the static indirect-target resolver first: CHBP
+	// pre-materializes fault-table rows for recovered jump-table arms,
+	// Safer/ARMore regenerate the recovered code and (for Safer) skip the
+	// translation-table penalty on resolved targets.
+	Resolve bool
+	Image   *obj.Image
 }
 
 // RewriteStats carries the per-method rewrite counters. Fields are a union
@@ -187,6 +193,15 @@ type RewriteStats struct {
 	TrapTrampolines int     `json:"trap_trampolines,omitempty"`
 	Insts           int     `json:"insts,omitempty"`
 	NewCodeBytes    int     `json:"new_code_bytes,omitempty"`
+
+	// Resolver integration (RewriteRequest.Resolve).
+	ResolvedSites        int `json:"resolved_sites,omitempty"`
+	ResolvedTargets      int `json:"resolved_targets,omitempty"`
+	RecoveredInsts       int `json:"recovered_insts,omitempty"`
+	PrematerializedSites int `json:"prematerialized_sites,omitempty"`
+	AvoidedRewrites      int `json:"avoided_rewrites,omitempty"`
+	// Resolve is the per-tier site/target breakdown of the resolver pass.
+	Resolve *resolve.Summary `json:"resolve,omitempty"`
 }
 
 // RewriteResult is a completed rewrite. ImageBytes is the rewritten image
@@ -554,9 +569,9 @@ func cacheKey(req *RewriteRequest, isa riscv.Ext) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("service: hashing image: %w", err)
 	}
-	return fmt.Sprintf("m=%s;t=%x;empty=%t;noshift=%t;nobatch=%t;noupg=%t;img=%s",
+	return fmt.Sprintf("m=%s;t=%x;empty=%t;noshift=%t;nobatch=%t;noupg=%t;res=%t;img=%s",
 		req.Method, uint32(isa), req.EmptyPatch, req.DisableExitShift,
-		req.DisableBatching, req.DisableUpgrade, id), nil
+		req.DisableBatching, req.DisableUpgrade, req.Resolve, id), nil
 }
 
 func validateRewrite(req *RewriteRequest) (riscv.Ext, error) {
@@ -751,6 +766,7 @@ func (s *Server) doRewriteChaos(ctx context.Context, req *RewriteRequest, isa ri
 	v, err := doRewrite(req, isa, key)
 	if err == nil {
 		observeStage(s.tel.stageRewrite, time.Since(start))
+		s.tel.recordResolve(&v.Stats)
 	}
 	return v, err
 }
@@ -869,9 +885,17 @@ func (s *Server) offerToOwner(res *RewriteResult) {
 }
 
 // doRewrite performs the actual rewrite on a worker. The rewriters clone
-// the input internally, so req.Image may be shared across requests.
+// the input internally, so req.Image may be shared across requests. With
+// Resolve set, the resolver pass runs here on the worker too, and its
+// per-tier summary rides along in the stats.
 func doRewrite(req *RewriteRequest, isa riscv.Ext, key string) (*RewriteResult, error) {
 	out := &RewriteResult{Key: key, Method: req.Method, Target: isa.String()}
+	var ts *resolve.TargetSet
+	if req.Resolve {
+		ts = resolve.Resolve(req.Image)
+		sum := ts.Summary()
+		out.Stats.Resolve = &sum
+	}
 	var img *obj.Image
 	switch req.Method {
 	case "chbp", "strawman":
@@ -881,6 +905,7 @@ func doRewrite(req *RewriteRequest, isa riscv.Ext, key string) (*RewriteResult, 
 			DisableExitShift: req.DisableExitShift,
 			DisableBatching:  req.DisableBatching,
 			DisableUpgrade:   req.DisableUpgrade,
+			Resolve:          req.Resolve,
 		}
 		if req.Method == "strawman" {
 			opts.Trampoline = chbp.TrapEntry
@@ -891,28 +916,37 @@ func doRewrite(req *RewriteRequest, isa riscv.Ext, key string) (*RewriteResult, 
 		}
 		img = res.Image
 		st := res.Stats
+		sum := out.Stats.Resolve
 		out.Stats = RewriteStats{
 			TotalInsts: st.TotalInsts, SourceInsts: st.SourceInsts, ExtPct: st.ExtPct,
 			Sites: st.Sites, SmileEntries: st.SmileEntries, TrapEntries: st.TrapEntries,
 			TrapExits: st.TrapExits, UpgradeSites: st.UpgradeSites, TargetBytes: st.TargetBytes,
+			ResolvedSites: st.ResolvedSites, ResolvedTargets: st.ResolvedTargets,
+			RecoveredInsts: st.RecoveredInsts, PrematerializedSites: st.PrematerializedSites,
+			AvoidedRewrites: st.AvoidedRewrites, Resolve: sum,
 		}
 	case "safer":
-		res, err := rewriters.Safer(req.Image, isa, req.EmptyPatch)
+		res, err := rewriters.SaferWith(req.Image, isa, req.EmptyPatch, ts)
 		if err != nil {
 			return nil, err
 		}
 		img = res.Image
-		out.Stats = RewriteStats{Insts: res.Stats.Insts, NewCodeBytes: res.Stats.NewCodeBytes}
+		out.Stats.Insts = res.Stats.Insts
+		out.Stats.NewCodeBytes = res.Stats.NewCodeBytes
+		out.Stats.RecoveredInsts = res.Stats.RecoveredInsts
+		out.Stats.ResolvedTargets = len(res.Resolved)
 	case "armore":
-		res, err := rewriters.ARMore(req.Image, isa, req.EmptyPatch)
+		res, err := rewriters.ARMoreWith(req.Image, isa, req.EmptyPatch, ts)
 		if err != nil {
 			return nil, err
 		}
 		img = res.Image
-		out.Stats = RewriteStats{
-			Insts: res.Stats.Insts, NewCodeBytes: res.Stats.NewCodeBytes,
-			Trampolines: res.Stats.Trampolines, TrapTrampolines: res.Stats.TrapTrampolines,
-		}
+		out.Stats.Insts = res.Stats.Insts
+		out.Stats.NewCodeBytes = res.Stats.NewCodeBytes
+		out.Stats.Trampolines = res.Stats.Trampolines
+		out.Stats.TrapTrampolines = res.Stats.TrapTrampolines
+		out.Stats.RecoveredInsts = res.Stats.RecoveredInsts
+		out.Stats.ResolvedTargets = len(res.Resolved)
 	default:
 		return nil, fmt.Errorf("%w: unknown method %q", ErrBadRequest, req.Method)
 	}
@@ -1173,6 +1207,7 @@ type Stats struct {
 	Store     store.TieredStats         `json:"store"`
 	Cluster   *cluster.Stats            `json:"cluster,omitempty"`
 	Emulator  EmuStats                  `json:"emulator"`
+	Resolve   ResolveStats              `json:"resolve"`
 	Faults    FaultStats                `json:"faults"`
 	Endpoints map[string]LatencySummary `json:"endpoints"`
 	PerMethod map[string]LatencySummary `json:"per_method"`
@@ -1183,6 +1218,24 @@ type Stats struct {
 	// Chaos is the injector's fire counts by fault kind; absent when chaos
 	// is off.
 	Chaos map[string]uint64 `json:"chaos,omitempty"`
+}
+
+// ResolveStats is the /stats resolver block: rewrite-side recovery
+// tallies (sites and targets per confidence tier across resolver-on
+// rewrites) plus the kernel-side runtime-rewrite faults that the
+// pre-materialized rows actually avoided during /run executions.
+type ResolveStats struct {
+	Rewrites        uint64 `json:"rewrites"`
+	SitesHigh       uint64 `json:"sites_high"`
+	SitesMedium     uint64 `json:"sites_medium"`
+	SitesLow        uint64 `json:"sites_low"`
+	SitesUnresolved uint64 `json:"sites_unresolved"`
+	TargetsHigh     uint64 `json:"targets_high"`
+	TargetsMedium   uint64 `json:"targets_medium"`
+	TargetsLow      uint64 `json:"targets_low"`
+	RecoveredInsts  uint64 `json:"recovered_insts"`
+	AvoidedRewrites uint64 `json:"avoided_rewrites"`
+	FaultsAvoided   uint64 `json:"faults_avoided"`
 }
 
 // Health returns the server's health state: unhealthy while draining or
@@ -1251,10 +1304,23 @@ func (s *Server) Stats() Stats {
 		Cache:         cs,
 		Store:         s.st.TierStats(),
 		Emulator:      es,
-		Endpoints:     summaries(m.requestSeconds),
-		PerMethod:     summaries(m.methodSeconds),
-		Stages:        summaries(m.stageSeconds),
-		Errors:        errorCounts(m.requestErrors),
+		Resolve: ResolveStats{
+			Rewrites:        m.resolveRewrites.Value(),
+			SitesHigh:       m.resolveSites.With("high").Value(),
+			SitesMedium:     m.resolveSites.With("medium").Value(),
+			SitesLow:        m.resolveSites.With("low").Value(),
+			SitesUnresolved: m.resolveSites.With("unresolved").Value(),
+			TargetsHigh:     m.resolveTargets.With("high").Value(),
+			TargetsMedium:   m.resolveTargets.With("medium").Value(),
+			TargetsLow:      m.resolveTargets.With("low").Value(),
+			RecoveredInsts:  m.resolveRecovered.Value(),
+			AvoidedRewrites: m.resolveAvoided.Value(),
+			FaultsAvoided:   m.kernelTel.RewriteFaultsAvoided(),
+		},
+		Endpoints: summaries(m.requestSeconds),
+		PerMethod: summaries(m.methodSeconds),
+		Stages:    summaries(m.stageSeconds),
+		Errors:    errorCounts(m.requestErrors),
 	}
 	if s.clu != nil {
 		cls := s.clu.Snapshot()

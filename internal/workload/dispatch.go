@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/eurosys26p57/chimera/internal/asm"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// BoundKind selects how the dispatch index bound is expressed in the
+// generated code. All four are dynamically identical (the index is a
+// nonnegative round counter reduced modulo the arm count); they differ
+// only in which static bound fact the resolver must derive.
+type BoundKind string
+
+// Bound idioms.
+const (
+	// BoundREMU: `remu idx, round, n` — the unsigned remainder alone
+	// proves idx < n.
+	BoundREMU BoundKind = "remu"
+	// BoundBGEU: `rem idx, round, n; bgeu idx, n, default` — the signed
+	// remainder taints the bound, and only the explicit unsigned guard's
+	// fallthrough re-proves it (the classic compiled-switch shape).
+	BoundBGEU BoundKind = "bgeu"
+	// BoundSLTIU: `rem; sltiu f, idx, n; beq f, zero, default` — the
+	// comparison flag carries the bound to the guard.
+	BoundSLTIU BoundKind = "sltiu"
+	// BoundBLTU: `rem; bltu idx, n, ok; j default; ok:` — the bound
+	// holds on the branch's TAKEN side and must be forwarded to the
+	// single-predecessor target label.
+	BoundBLTU BoundKind = "bltu"
+)
+
+// DispatchParams shapes the indirect-heavy synthetic family: a main loop
+// whose every round jumps through a jump table to one of Arms handler
+// arms. The arms are plain labels emitted BEFORE main, so recursive
+// descent from the entry point and function symbols never reaches them —
+// exactly the §4.1 incompleteness the resolver exists to repair. On a
+// downgraded core, every vector instruction inside an undiscovered arm
+// is a runtime-rewrite fault (§4.3); with the resolver the arms are
+// recovered, patched statically, and the faults disappear.
+type DispatchParams struct {
+	Name string
+	// Arms is the number of jump-table arms (≥ 2).
+	Arms int
+	// VecArms of them carry a vector block (downgrade pressure).
+	VecArms int
+	// Rounds is the number of main-loop rounds.
+	Rounds int64
+	// Compress emits compressed instructions where possible.
+	Compress bool
+	// TableInData places the jump table in writable .data instead of
+	// .rodata. The arms are then emitted as function symbols so the
+	// anchored-table rule still recovers the site as High confidence.
+	TableInData bool
+	// MidEntry adds one extra table slot targeting a label in the middle
+	// of arm 0 (past its vector block), taken every (Arms+1)-th round.
+	MidEntry bool
+	// Bound selects the bound-check idiom (default BoundREMU).
+	Bound BoundKind
+}
+
+// BuildDispatch generates the dispatch workload. vector selects the
+// RVV-optimized build; the base build computes the same sums with scalar
+// code only.
+func BuildDispatch(p DispatchParams, vector bool) (*obj.Image, error) {
+	if p.Arms < 2 || p.VecArms > p.Arms || p.Rounds <= 0 {
+		return nil, fmt.Errorf("workload: bad dispatch params %+v", p)
+	}
+	if p.Bound == "" {
+		p.Bound = BoundREMU
+	}
+	isa := riscv.RV64GC
+	if vector {
+		isa = riscv.RV64GCV
+	}
+	b := asm.NewBuilder(isa)
+	b.Compress = p.Compress
+
+	b.DataF64("vecX", seqFloats(vecElems, 3))
+	b.DataF64("vecY", seqFloats(vecElems, 5))
+	b.Zero("vecZ", vecElems*8)
+
+	arm := func(i int) string { return fmt.Sprintf("arm%02d", i) }
+	slots := p.Arms
+	if p.MidEntry {
+		slots++
+	}
+
+	// Arms first: nothing precedes them, every arm ends in ret, and (in
+	// the hidden-arm configuration) no symbol names them, so recursive
+	// descent cannot reach this region.
+	armAddrs := make([]uint64, 0, slots)
+	midAddr := uint64(0)
+	for i := 0; i < p.Arms; i++ {
+		if p.TableInData {
+			b.Func(arm(i))
+		} else {
+			b.Label(arm(i))
+		}
+		armAddrs = append(armAddrs, obj.TextBase+b.PC())
+		if i < p.VecArms {
+			b.La(riscv.A1, "vecX")
+			b.La(riscv.A2, "vecY")
+			b.La(riscv.A6, "vecZ")
+			if vector {
+				vt := riscv.VType(riscv.E64)
+				b.Li(riscv.T5, 8)
+				b.I(riscv.Inst{Op: riscv.VSETVLI, Rd: riscv.T5, Rs1: riscv.T5, Imm: vt})
+				b.I(riscv.Inst{Op: riscv.VLE64V, Rd: 1, Rs1: riscv.A1})
+				b.I(riscv.Inst{Op: riscv.VLE64V, Rd: 2, Rs1: riscv.A2})
+				b.I(riscv.Inst{Op: riscv.VFMACCVV, Rd: 2, Rs1: 1, Rs2: 1})
+				b.I(riscv.Inst{Op: riscv.VSE64V, Rd: 2, Rs1: riscv.A6})
+			} else {
+				// Scalar strip: z[j] = y[j] + x[j]*x[j] for 8 elements.
+				for j := 0; j < 8; j++ {
+					b.Load(riscv.FLD, 0, riscv.A1, int64(8*j))
+					b.Load(riscv.FLD, 1, riscv.A2, int64(8*j))
+					b.I(riscv.Inst{Op: riscv.FMADDD, Rd: 1, Rs1: 0, Rs2: 0, Rs3: 1})
+					b.Store(riscv.FSD, 1, riscv.A6, int64(8*j))
+				}
+			}
+		}
+		if i == 0 && p.MidEntry {
+			// The mid-region entry: a second legal landing point inside
+			// arm 0, past the vector block, reached through its own table
+			// slot. Scalar-only so a direct landing needs no vector state.
+			// A writable table needs the anchor (a function symbol) for
+			// the site to stay High confidence; a read-only one does not.
+			if p.TableInData {
+				b.Func("arm00.mid")
+			} else {
+				b.Label("arm00.mid")
+			}
+			midAddr = obj.TextBase + b.PC()
+		}
+		// Scalar tail: fold a per-arm constant (and, for vector arms, a
+		// lane of vecZ) into the return value.
+		b.Li(riscv.T0, int64(i*13+1))
+		b.Op(riscv.ADD, riscv.A0, riscv.A0, riscv.T0)
+		if i < p.VecArms {
+			b.La(riscv.T1, "vecZ")
+			b.Load(riscv.LD, riscv.T2, riscv.T1, 16)
+			b.Op(riscv.ADD, riscv.A0, riscv.A0, riscv.T2)
+		}
+		b.Imm(riscv.ANDI, riscv.A0, riscv.A0, 0x7FF)
+		b.Ret()
+	}
+	if p.MidEntry {
+		armAddrs = append(armAddrs, midAddr)
+	}
+
+	// main ---------------------------------------------------------------
+	b.Func("main")
+	b.Li(riscv.S1, p.Rounds)
+	b.Li(riscv.S11, 0) // checksum
+	b.Li(riscv.S9, 0)  // round counter
+	b.Label("round")
+	b.Li(riscv.A0, 7)
+	b.Li(riscv.T0, int64(slots))
+	switch p.Bound {
+	case BoundREMU:
+		b.Op(riscv.REMU, riscv.T1, riscv.S9, riscv.T0)
+	case BoundBGEU:
+		b.Op(riscv.REM, riscv.T1, riscv.S9, riscv.T0)
+		b.Bgeu(riscv.T1, riscv.T0, "calldef")
+	case BoundSLTIU:
+		b.Op(riscv.REM, riscv.T1, riscv.S9, riscv.T0)
+		b.Imm(riscv.SLTIU, riscv.T4, riscv.T1, int64(slots))
+		b.Beq(riscv.T4, riscv.Zero, "calldef")
+	case BoundBLTU:
+		b.Op(riscv.REM, riscv.T1, riscv.S9, riscv.T0)
+		b.Bltu(riscv.T1, riscv.T0, "inbounds")
+		b.J("calldef")
+		b.Label("inbounds")
+	default:
+		return nil, fmt.Errorf("workload: unknown bound kind %q", p.Bound)
+	}
+	b.Imm(riscv.SLLI, riscv.T1, riscv.T1, 3)
+	b.La(riscv.T2, "swtab")
+	b.Op(riscv.ADD, riscv.T2, riscv.T2, riscv.T1)
+	b.Load(riscv.LD, riscv.T2, riscv.T2, 0)
+	b.I(riscv.Inst{Op: riscv.JALR, Rd: riscv.RA, Rs1: riscv.T2})
+	b.J("joined")
+	b.Label("calldef")
+	b.Call("swdef.entry")
+	b.Label("joined")
+	b.Op(riscv.ADD, riscv.S11, riscv.S11, riscv.A0)
+	b.Imm(riscv.ADDI, riscv.S9, riscv.S9, 1)
+	b.Blt(riscv.S9, riscv.S1, "round")
+	b.Imm(riscv.ANDI, riscv.A0, riscv.S11, 0x7F)
+	exit(b)
+
+	// A named thunk for the default path (the guarded idioms never take
+	// it dynamically, but it must be legal code).
+	b.Func("swdef.entry")
+	b.Li(riscv.T0, 99)
+	b.Op(riscv.ADD, riscv.A0, riscv.A0, riscv.T0)
+	b.Ret()
+
+	// The jump table itself.
+	tab := make([]byte, 8*len(armAddrs))
+	for i, a := range armAddrs {
+		binary.LittleEndian.PutUint64(tab[i*8:], a)
+	}
+	if p.TableInData {
+		b.Data("swtab", tab)
+	} else {
+		b.Rodata("swtab", tab)
+	}
+	return b.Build(p.Name, "main")
+}

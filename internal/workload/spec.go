@@ -83,11 +83,14 @@ func BuildSpec(p SpecParams, vector bool) (*obj.Image, error) {
 	}
 	if p.IndirectEvery > 0 {
 		b.Li(riscv.T0, int64(p.IndirectEvery))
-		b.Op(riscv.REM, riscv.T1, riscv.S9, riscv.T0)
+		b.Op(riscv.REMU, riscv.T1, riscv.S9, riscv.T0)
 		b.Bne(riscv.T1, riscv.Zero, "noind")
-		// idx = round % Funcs
+		// idx = round % Funcs. remu, not rem: the round counter is never
+		// negative so they are dynamically identical, but only the unsigned
+		// remainder proves the index bound the static resolver needs
+		// (compilers make the same choice for switch indices).
 		b.Li(riscv.T0, int64(p.Funcs))
-		b.Op(riscv.REM, riscv.T1, riscv.S9, riscv.T0)
+		b.Op(riscv.REMU, riscv.T1, riscv.S9, riscv.T0)
 		b.Imm(riscv.SLLI, riscv.T1, riscv.T1, 3)
 		b.La(riscv.T2, "ftable")
 		b.Op(riscv.ADD, riscv.T2, riscv.T2, riscv.T1)
@@ -98,7 +101,7 @@ func BuildSpec(p SpecParams, vector bool) (*obj.Image, error) {
 	}
 	if p.ErrEntryEvery > 0 {
 		b.Li(riscv.T0, int64(p.ErrEntryEvery))
-		b.Op(riscv.REM, riscv.T1, riscv.S9, riscv.T0)
+		b.Op(riscv.REMU, riscv.T1, riscv.S9, riscv.T0)
 		b.Bne(riscv.T1, riscv.Zero, "noerr")
 		// Enter f0 at its mid-loop label with a coherent register state —
 		// a legal (if unusual) execution of the original binary, and the

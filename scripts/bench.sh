@@ -1,10 +1,13 @@
 #!/bin/sh
 # Emulator benchmark harness: runs the BenchmarkCPURun* emulated-MIPS
-# benchmarks, the BenchmarkService*/BenchmarkRewriteBatch service suite, and
-# the store hit-path benchmarks (memory-tier verified hits, disk-store hit
-# latency), and distills the results into BENCH_emu.json (per benchmark:
-# ns/op, emulated MIPS, ns per retired instruction, allocs/op, MB/s,
-# batch items/s). Run from anywhere; writes to the repo root.
+# benchmarks, the BenchmarkService*/BenchmarkRewriteBatch service suite, the
+# store hit-path benchmarks (memory-tier verified hits, disk-store hit
+# latency), and the BenchmarkResolve rewriter-config rows (runtime-rewrite
+# fault rate and per-task p50/p99 with the indirect-target resolver off vs
+# on), and distills the results into BENCH_emu.json (per benchmark: ns/op,
+# emulated MIPS, ns per retired instruction, allocs/op, MB/s, batch
+# items/s, faults/avoided/crashed per op, p50/p99 kcycles). Run from
+# anywhere; writes to the repo root.
 #
 #   scripts/bench.sh                # default -benchtime
 #   BENCHTIME=5s scripts/bench.sh   # longer runs for stable numbers
@@ -27,6 +30,12 @@ echo "== go test -bench store hit paths (internal/store, -benchtime $BENCHTIME)"
 go test -run=- -bench='BenchmarkMemoryHitParallel|BenchmarkDiskStoreHit' -benchmem \
     -benchtime "$BENCHTIME" ./internal/store/ | tee -a "$RAW"
 
+# The resolver rows are simulated-cycle metrics (fault rate, per-task
+# p50/p99), deterministic per pass — one iteration is the measurement.
+echo "== go test -bench Resolve (internal/bench, fault-rate/p99 per rewriter config)"
+go test -run=- -bench='BenchmarkResolve' -benchtime 1x \
+    ./internal/bench/ | tee -a "$RAW"
+
 # Distill `go test -bench` lines into JSON. Lines look like:
 #   BenchmarkCPURunFib/blocks-8  865  3062081 ns/op  148.6 Minst/s  6.730 ns/inst  7 B/op  0 allocs/op
 # The BenchmarkCPURunProfiler off/on pair also yields profiler_overhead_pct:
@@ -38,31 +47,53 @@ BEGIN { print "{"; print "  \"benchmarks\": ["; n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     nsop = ""; mips = ""; nsinst = ""; allocs = ""; mbs = ""; items = ""
+    faults = ""; avoided = ""; crashed = ""; p50 = ""; p99 = ""
     for (i = 2; i < NF; i++) {
-        if ($(i+1) == "ns/op")      nsop = $i
-        if ($(i+1) == "Minst/s")    mips = $i
-        if ($(i+1) == "ns/inst")    nsinst = $i
-        if ($(i+1) == "allocs/op")  allocs = $i
-        if ($(i+1) == "MB/s")       mbs = $i
-        if ($(i+1) == "items/s")    items = $i
+        if ($(i+1) == "ns/op")       nsop = $i
+        if ($(i+1) == "Minst/s")     mips = $i
+        if ($(i+1) == "ns/inst")     nsinst = $i
+        if ($(i+1) == "allocs/op")   allocs = $i
+        if ($(i+1) == "MB/s")        mbs = $i
+        if ($(i+1) == "items/s")     items = $i
+        if ($(i+1) == "faults/op")   faults = $i
+        if ($(i+1) == "avoided/op")  avoided = $i
+        if ($(i+1) == "crashed/op")  crashed = $i
+        if ($(i+1) == "p50-kcycles") p50 = $i
+        if ($(i+1) == "p99-kcycles") p99 = $i
     }
     if (nsop == "") next
     if (name == "BenchmarkCPURunProfiler/off" && nsinst != "") prof_off = nsinst
     if (name == "BenchmarkCPURunProfiler/on"  && nsinst != "") prof_on = nsinst
+    if (name == "BenchmarkResolve/chbp-off" && faults != "") { roff_f = faults; roff_p99 = p99 }
+    if (name == "BenchmarkResolve/chbp-on"  && faults != "") { ron_f = faults; ron_p99 = p99 }
     if (n++) printf ",\n"
     printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, nsop
-    if (mips != "")   printf ", \"emulated_mips\": %s", mips
-    if (nsinst != "") printf ", \"ns_per_inst\": %s", nsinst
-    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-    if (mbs != "")    printf ", \"mb_per_s\": %s", mbs
-    if (items != "")  printf ", \"items_per_s\": %s", items
+    if (mips != "")    printf ", \"emulated_mips\": %s", mips
+    if (nsinst != "")  printf ", \"ns_per_inst\": %s", nsinst
+    if (allocs != "")  printf ", \"allocs_per_op\": %s", allocs
+    if (mbs != "")     printf ", \"mb_per_s\": %s", mbs
+    if (items != "")   printf ", \"items_per_s\": %s", items
+    if (faults != "")  printf ", \"faults_per_op\": %s", faults
+    if (avoided != "") printf ", \"avoided_per_op\": %s", avoided
+    if (crashed != "") printf ", \"crashed_per_op\": %s", crashed
+    if (p50 != "")     printf ", \"p50_kcycles\": %s", p50
+    if (p99 != "")     printf ", \"p99_kcycles\": %s", p99
     printf "}"
 }
 END {
     print "\n  ],"
     if (prof_off + 0 > 0 && prof_on != "")
         printf "  \"profiler_overhead_pct\": %.2f,\n", (prof_on - prof_off) / prof_off * 100
-    print "  \"note\": \"profiler_overhead_pct = CPURunProfiler on-vs-off ns/inst delta\""
+    if (roff_f != "" && ron_f != "") {
+        printf "  \"resolver\": {\"chbp_faults_per_op_off\": %s, \"chbp_faults_per_op_on\": %s", roff_f, ron_f
+        if (ron_f + 0 > 0) printf ", \"fault_reduction_x\": %.1f", roff_f / ron_f
+        else               printf ", \"fault_reduction_x\": \"inf\""
+        printf ", \"chbp_p99_kcycles_off\": %s, \"chbp_p99_kcycles_on\": %s", roff_p99, ron_p99
+        if (roff_p99 + 0 > 0)
+            printf ", \"p99_reduction_pct\": %.2f", (roff_p99 - ron_p99) / roff_p99 * 100
+        print "},"
+    }
+    print "  \"note\": \"profiler_overhead_pct = CPURunProfiler on-vs-off ns/inst delta; resolver = BenchmarkResolve chbp off-vs-on fault-rate and p99 deltas\""
     print "}"
 }
 ' "$RAW" > BENCH_emu.json

@@ -24,6 +24,9 @@ echo "== chaos soak (1000 requests, fixed seed, -race; includes the 3-node clust
 CHIMERA_CHAOS_SOAK=1 go test -race -run 'TestChaosSoak' -count=1 -timeout 300s ./internal/service
 echo "== cluster smoke (3 chimera-served processes, kill the shard owner, degraded-but-correct)"
 go run ./cmd/chimera-smoke
+echo "== resolver smoke (static recovery exact pins + >=5x runtime-rewrite fault reduction)"
+go test -run 'TestResolverFaultReduction|TestResolverAvoidsRuntimeRewrites|TestDispatchFamilyRecovery' \
+    -count=1 ./internal/bench ./internal/kernel ./internal/resolve
 echo "== bench smoke (1 iteration)"
 go test -run=- -bench=. -benchtime=1x ./... >/dev/null
 echo "== alloc gate (warm CPURun* hot loops must not allocate)"

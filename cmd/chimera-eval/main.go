@@ -1,0 +1,176 @@
+// chimera-eval runs the rewriter robustness evaluation matrix: every
+// rewriter configuration (chbp, strawman, safer, armore — each with and
+// without resolver assistance) over every adversarial corpus family
+// (internal/corpus), grading each cell pass / degraded / reject / wrong /
+// crash with fault-rate, simulated-cycle, and code-size deltas. The matrix
+// is emitted as JSON and, optionally, a self-contained HTML scorecard; a
+// committed baseline gates regressions.
+//
+// Usage:
+//
+//	chimera-eval                                   # full matrix, summary to stdout
+//	chimera-eval -seeds 4 -o matrix.json -html matrix.html
+//	chimera-eval -families densetable,oversized -configs chbp,chbp-resolve
+//	chimera-eval -baseline internal/evalmatrix/testdata/matrix_baseline.json
+//	chimera-eval -baseline ... -gate grades -seeds 16   # wide sweep, grade gate only
+//	chimera-eval -baseline ... -update-baseline         # regenerate after a real change
+//	chimera-eval -summary                               # compact per-config JSON for bench.sh
+//
+// Exit status: 0 clean, 1 on gate violations or wrong/crash cells, 2 on
+// usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/eurosys26p57/chimera/internal/evalmatrix"
+)
+
+func main() {
+	families := flag.String("families", "", "comma-separated corpus families (default all)")
+	configs := flag.String("configs", "", "comma-separated rewriter configs (default all)")
+	seeds := flag.Int("seeds", 2, "seeds per family")
+	seed := flag.Int64("seed", 1, "first seed")
+	out := flag.String("o", "", "write the full matrix JSON to this file")
+	htmlOut := flag.String("html", "", "write the self-contained HTML scorecard to this file")
+	baseline := flag.String("baseline", "", "gate against this committed baseline JSON")
+	update := flag.Bool("update-baseline", false, "rewrite -baseline from this run instead of gating")
+	gate := flag.String("gate", "full", "baseline gate strictness: full (grades + metric tolerances, needs baseline-shaped run) or grades")
+	summary := flag.Bool("summary", false, "print compact per-config summary JSON to stdout (for bench.sh)")
+	traceThreshold := flag.Uint("trace-threshold", evalmatrix.DefaultTraceThreshold,
+		"trace-tier promotion threshold for all runs")
+	verbose := flag.Bool("v", false, "log every cell as it completes")
+	flag.Parse()
+
+	p := evalmatrix.Params{
+		Seeds:          *seeds,
+		Seed:           *seed,
+		TraceThreshold: uint32(*traceThreshold),
+	}
+	if *families != "" {
+		p.Families = strings.Split(*families, ",")
+	}
+	if *configs != "" {
+		p.Configs = strings.Split(*configs, ",")
+	}
+	if *verbose {
+		p.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	var mode evalmatrix.GateMode
+	switch *gate {
+	case "full":
+		mode = evalmatrix.GateFull
+	case "grades":
+		mode = evalmatrix.GateGrades
+	default:
+		fatal(fmt.Errorf("unknown -gate %q (want full or grades)", *gate))
+	}
+
+	m, err := evalmatrix.Run(p)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "matrix written to %s\n", *out)
+	}
+	if *htmlOut != "" {
+		if err := os.WriteFile(*htmlOut, []byte(m.HTML()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "scorecard written to %s\n", *htmlOut)
+	}
+
+	failed := false
+	var unsound int
+	for _, c := range m.Cells {
+		if c.Grade == evalmatrix.GradeWrong || c.Grade == evalmatrix.GradeCrash {
+			fmt.Fprintf(os.Stderr, "UNSOUND %s/%s: %s (%s)\n", c.Family, c.Config, c.Grade, c.Detail)
+			unsound++
+		}
+	}
+	if unsound > 0 {
+		failed = true
+	}
+
+	if *baseline != "" {
+		if *update {
+			if err := evalmatrix.BaselineOf(m).Save(*baseline); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "baseline updated: %s\n", *baseline)
+		} else {
+			b, err := evalmatrix.LoadBaseline(*baseline)
+			if err != nil {
+				fatal(err)
+			}
+			violations := evalmatrix.Compare(b, m, mode)
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "GATE %s\n", v)
+			}
+			if len(violations) > 0 {
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "baseline gate clean (%s mode, %d cells)\n", *gate, len(b.Cells))
+			}
+		}
+	}
+
+	if *summary {
+		data, err := json.MarshalIndent(m.Summaries, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+	} else {
+		printTable(m)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// printTable renders the human-readable grade grid to stdout.
+func printTable(m *evalmatrix.Matrix) {
+	fmt.Printf("%-15s", "")
+	for _, c := range m.Configs {
+		fmt.Printf(" %-17s", c)
+	}
+	fmt.Println()
+	for _, f := range m.Families {
+		fmt.Printf("%-15s", f)
+		for _, cfg := range m.Configs {
+			c, ok := m.Cell(f, cfg)
+			if !ok {
+				fmt.Printf(" %-17s", "-")
+				continue
+			}
+			fmt.Printf(" %-17s", c.Grade)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	for _, s := range m.Summaries {
+		fmt.Printf("%-17s pass %3.0f%%  degraded %3.0f%%  reject %3.0f%%  wrong %d  crash %d  size %+6.1f%%  cycles %+6.1f%%\n",
+			s.Config, s.PassRate*100, s.DegradedRate*100, s.RejectRate*100,
+			s.WrongCells, s.CrashCells, s.MeanSizeOverhead*100, s.MeanCycleOverhead*100)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chimera-eval:", err)
+	os.Exit(2)
+}

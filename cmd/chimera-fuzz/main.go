@@ -14,6 +14,7 @@
 //	chimera-fuzz -seed 1000 -n 200 -axes rewriters
 //	chimera-fuzz -minimize -o report.json      # minimize and save reports
 //	chimera-fuzz -corpus internal/fuzz/testdata/corpus
+//	chimera-fuzz -minimize -save-corpus internal/fuzz/testdata/corpus
 //
 // Exit status: 0 when every seed passes, 1 on any divergence, 2 on usage
 // or I/O errors.
@@ -37,6 +38,7 @@ func main() {
 	axesFlag := flag.String("axes", "", "comma-separated axes to check: engines,rewriters,resolve,migration (default all)")
 	minimize := flag.Bool("minimize", false, "delta-debug each diverging spec to a minimal reproducer")
 	corpus := flag.String("corpus", "", "run spec files from this directory instead of generating")
+	saveCorpus := flag.String("save-corpus", "", "save each diverging spec (minimized if -minimize) into this corpus directory, deduplicated by content hash")
 	out := flag.String("o", "", "write JSON divergence reports to this file (default stdout)")
 	maxFuncs := flag.Int("max-funcs", fuzz.DefaultConfig().MaxFuncs, "max functions per program")
 	maxSteps := flag.Int("max-steps", fuzz.DefaultConfig().MaxSteps, "max steps per function")
@@ -81,6 +83,17 @@ func main() {
 			}
 		}
 		divergences = append(divergences, d)
+		if *saveCorpus != "" {
+			path, added, err := fuzz.SaveCorpusSpec(*saveCorpus, *d.Spec)
+			if err != nil {
+				fatal(err)
+			}
+			if added {
+				fmt.Fprintf(os.Stderr, "     saved reproducer to %s\n", path)
+			} else {
+				fmt.Fprintf(os.Stderr, "     duplicate of existing reproducer %s\n", path)
+			}
+		}
 	}
 
 	if *corpus != "" {

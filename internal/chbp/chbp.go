@@ -2,6 +2,7 @@ package chbp
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -90,12 +91,36 @@ type siteSeed struct {
 	upgrade   *translate.UpgradeSite
 }
 
+// ErrRewriteReject marks an input the rewriter refused: a recovered panic
+// or an image-dependent failure while analyzing or regenerating code.
+// Rejects are a clean, deterministic function of the input image — callers
+// (the service worker path, the evaluation matrix) treat them as "this
+// binary stays original", never as transient infrastructure faults worth a
+// retry or a circuit-breaker strike.
+var ErrRewriteReject = errors.New("rewrite rejected")
+
 // Rewrite produces a rewritten binary for the target ISA (§3.4): step 1
-// generates target instructions, step 2 patches trampolines.
-func Rewrite(img *obj.Image, opts Options) (*Result, error) {
+// generates target instructions, step 2 patches trampolines. Adversarial
+// images never panic out of here: any panic or image-dependent error is
+// folded into ErrRewriteReject, so callers see a typed reject instead of a
+// crash.
+func Rewrite(img *obj.Image, opts Options) (res *Result, err error) {
 	if opts.TargetISA == 0 {
 		return nil, fmt.Errorf("chbp: no target ISA")
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("%w: chbp: panic: %v", ErrRewriteReject, r)
+		}
+	}()
+	res, err = rewrite(img, opts)
+	if err != nil && !errors.Is(err, ErrRewriteReject) {
+		res, err = nil, fmt.Errorf("%w: %v", ErrRewriteReject, err)
+	}
+	return res, err
+}
+
+func rewrite(img *obj.Image, opts Options) (*Result, error) {
 	if opts.MaxShift == 0 {
 		opts.MaxShift = 16
 	}

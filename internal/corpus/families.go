@@ -1,0 +1,433 @@
+package corpus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/eurosys26p57/chimera/internal/asm"
+	"github.com/eurosys26p57/chimera/internal/fuzz"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/workload"
+)
+
+func init() {
+	families = []Family{
+		{
+			Name:  "stripped",
+			Axis:  "no symbols at all: discovery must work from the entry point alone",
+			Build: buildStripped,
+		},
+		{
+			Name:  "datatext",
+			Axis:  "rodata blob embedded inside the executable range (data-in-text)",
+			Build: buildDataText,
+		},
+		{
+			Name:  "misaligned",
+			Axis:  "dense compressed/uncompressed mixes with 2-byte-aligned branch targets",
+			Build: buildMisaligned,
+		},
+		{
+			Name:  "densetable",
+			Axis:  "dense read-only jump table whose arms no symbol names",
+			Build: buildDenseTable,
+		},
+		{
+			Name:  "writabletable",
+			Axis:  "jump table in writable .data with its arm symbols stripped",
+			Build: buildWritableTable,
+		},
+		{
+			Name:  "asmidioms",
+			Axis:  "hand-written-assembly idioms: mid-function entries, materialized-ra indirect flow",
+			Build: buildAsmIdioms,
+		},
+		{
+			Name:  "oversized",
+			Axis:  "multi-megabyte text span pushing relocated code outside jal range",
+			Build: buildOversized,
+		},
+	}
+}
+
+// name derives the image name for a family instance.
+func name(family string, seed int64) string { return fmt.Sprintf("%s-%d", family, seed) }
+
+// exit emits the exit(2) syscall with a0 masked below 128, so clean guest
+// exits are never confused with 128+signal kills.
+func exit(b *asm.Builder, result riscv.Reg) {
+	b.Imm(riscv.ANDI, riscv.A0, result, 0x7F)
+	b.Li(riscv.A7, 93)
+	b.Ecall()
+}
+
+// vecBlock emits one RVV strip over x/z: z[0:4] += x[0:4]*x[0:4], then
+// folds z[1] into the checksum register. Arena values are small exact
+// integers, so downgraded scalarizations are bit-exact.
+func vecBlock(b *asm.Builder, sum riscv.Reg) {
+	b.La(riscv.A1, "cx")
+	b.La(riscv.A6, "cz")
+	b.Li(riscv.T5, 4)
+	b.I(riscv.Inst{Op: riscv.VSETVLI, Rd: riscv.T5, Rs1: riscv.T5, Imm: riscv.VType(riscv.E64)})
+	b.I(riscv.Inst{Op: riscv.VLE64V, Rd: 1, Rs1: riscv.A1})
+	b.I(riscv.Inst{Op: riscv.VLE64V, Rd: 2, Rs1: riscv.A6})
+	b.I(riscv.Inst{Op: riscv.VFMACCVV, Rd: 2, Rs1: 1, Rs2: 1})
+	b.I(riscv.Inst{Op: riscv.VSE64V, Rd: 2, Rs1: riscv.A6})
+	b.La(riscv.T6, "cz")
+	b.Load(riscv.LD, riscv.T4, riscv.T6, 8)
+	b.Op(riscv.ADD, sum, sum, riscv.T4)
+}
+
+// arenas emits the shared data arenas every custom family references.
+func arenas(b *asm.Builder, seed int64) {
+	x := make([]float64, 8)
+	for i := range x {
+		v := (seed + int64(i)*3) % 5
+		if v < 0 {
+			v = -v
+		}
+		x[i] = float64(v + 1)
+	}
+	b.DataF64("cx", x)
+	b.Zero("cz", 8*8)
+	ints := make([]int64, 16)
+	s := seed*2654435761 + 99
+	for i := range ints {
+		s = s*6364136223846793005 + 1442695040888963407
+		ints[i] = s
+	}
+	b.DataI64("cints", ints)
+}
+
+// scalarMix emits a seed-derived run of ALU/load/store instructions over
+// cints, folding results into sum. Purely straight-line.
+func scalarMix(b *asm.Builder, rng *rand.Rand, n int, sum riscv.Reg) {
+	b.La(riscv.S2, "cints")
+	for i := 0; i < n; i++ {
+		off := int64(rng.Intn(16)) * 8
+		switch rng.Intn(4) {
+		case 0:
+			b.Load(riscv.LD, riscv.T0, riscv.S2, off)
+			b.Op(riscv.ADD, sum, sum, riscv.T0)
+		case 1:
+			b.Imm(riscv.XORI, riscv.T1, sum, int64(rng.Intn(2048)))
+			b.Op(riscv.ADD, sum, sum, riscv.T1)
+		case 2:
+			b.Imm(riscv.SLLI, riscv.T2, sum, int64(1+rng.Intn(3)))
+			b.Op(riscv.XOR, sum, sum, riscv.T2)
+		case 3:
+			b.Store(riscv.SD, sum, riscv.S2, off)
+		}
+	}
+}
+
+// stripped: every byte of code is reachable from the entry point through
+// direct jumps, branches, and fallthrough only — no calls through
+// auipc+jalr pairs, no indirect flow — and then every symbol is removed.
+// A rewriter that leans on function symbols for discovery roots sees
+// nothing but the entry; it must still find (and downgrade) the vector
+// blocks below it.
+func buildStripped(seed int64) (*Program, error) {
+	rng := rand.New(rand.NewSource(seed ^ 0x57717))
+	b := asm.NewBuilder(riscv.RV64GCV)
+	b.Compress = seed%2 == 0
+	arenas(b, seed)
+	b.Func("main")
+	b.Li(riscv.S11, 0)
+	rounds := int64(2 + rng.Intn(3))
+	b.Li(riscv.S1, rounds)
+	b.Li(riscv.S9, 0)
+	b.Label("round")
+	scalarMix(b, rng, 6+rng.Intn(8), riscv.S11)
+	// A conditional hop over a cold scalar block: both sides reachable.
+	b.Imm(riscv.ANDI, riscv.T0, riscv.S9, 1)
+	b.Bne(riscv.T0, riscv.Zero, "skipcold")
+	scalarMix(b, rng, 4, riscv.S11)
+	b.Label("skipcold")
+	vecBlock(b, riscv.S11)
+	b.Imm(riscv.ADDI, riscv.S9, riscv.S9, 1)
+	b.Blt(riscv.S9, riscv.S1, "round")
+	exit(b, riscv.S11)
+	img, err := b.Build(name("stripped", seed), "main")
+	if err != nil {
+		return nil, err
+	}
+	img.Symbols = nil // the axis: nothing to root discovery on but the entry
+	return &Program{
+		Image:  img,
+		Budget: uint64(rounds)*4000*32 + 100_000,
+		Family: "stripped",
+		Seed:   seed,
+	}, nil
+}
+
+// datatext: a seed-derived binary blob lives INSIDE the text section,
+// jumped over by an unconditional branch and read back through absolute
+// loads that feed the exit checksum. Recursive descent never enters the
+// blob; a linear sweep would decode garbage (some of the bytes decode as
+// vector instructions). Rewriters must leave the blob bytes in place —
+// moving or patching them corrupts the checksum and grades the cell wrong.
+func buildDataText(seed int64) (*Program, error) {
+	rng := rand.New(rand.NewSource(seed ^ 0xDA7A))
+	b := asm.NewBuilder(riscv.RV64GCV)
+	b.Compress = seed%2 != 0
+	arenas(b, seed)
+	blobWords := 8 + rng.Intn(9) // 64..128 bytes
+	b.Func("main")
+	b.J("start")
+	b.Align(8)
+	blobOff := b.PC()
+	b.Space(blobWords * 8)
+	b.Label("start")
+	b.Li(riscv.S11, 0)
+	rounds := int64(2 + rng.Intn(2))
+	b.Li(riscv.S1, rounds)
+	b.Li(riscv.S9, 0)
+	b.Label("round")
+	// Walk the blob with absolute-address loads, folding every word.
+	b.Li(riscv.T6, int64(obj.TextBase+blobOff))
+	b.Li(riscv.T1, int64(blobWords))
+	b.Label("blobsum")
+	b.Load(riscv.LD, riscv.T2, riscv.T6, 0)
+	b.Op(riscv.ADD, riscv.S11, riscv.S11, riscv.T2)
+	b.Imm(riscv.ADDI, riscv.T6, riscv.T6, 8)
+	b.Imm(riscv.ADDI, riscv.T1, riscv.T1, -1)
+	b.Bne(riscv.T1, riscv.Zero, "blobsum")
+	vecBlock(b, riscv.S11)
+	b.Imm(riscv.ADDI, riscv.S9, riscv.S9, 1)
+	b.Blt(riscv.S9, riscv.S1, "round")
+	exit(b, riscv.S11)
+	img, err := b.Build(name("datatext", seed), "main")
+	if err != nil {
+		return nil, err
+	}
+	// Fill the blob with seed-derived bytes — including runs that decode as
+	// plausible (even vector) instructions, the classic linear-sweep trap.
+	blob := make([]byte, blobWords*8)
+	rng.Read(blob)
+	binary.LittleEndian.PutUint32(blob[:4], 0x02008057)    // vsetvli-shaped
+	binary.LittleEndian.PutUint32(blob[8:12], 0x0000_0073) // ecall-shaped
+	start := obj.TextBase + blobOff
+	if err := img.WriteAt(start, blob); err != nil {
+		return nil, err
+	}
+	return &Program{
+		Image:      img,
+		Budget:     uint64(rounds)*(uint64(blobWords)*6+4000)*32 + 100_000,
+		Family:     "datatext",
+		Seed:       seed,
+		DataInText: []Range{{Start: start, End: start + uint64(len(blob))}},
+	}, nil
+}
+
+// misaligned: the fuzz generator's compressed mode forced on — dense
+// 2-byte/4-byte instruction mixes, branch targets on 2-mod-4 addresses,
+// batched regions whose interiors other code jumps into.
+func buildMisaligned(seed int64) (*Program, error) {
+	s := fuzz.Generate(seed, fuzz.DefaultConfig())
+	s.Name = name("misaligned", seed)
+	s.Compress = true
+	s.Vector = true
+	s.Indirect = false
+	for i := range s.Funcs {
+		s.Funcs[i].MidEntry = false // the asmidioms family owns mid entries
+	}
+	// Guarantee vector content and a branch into a batched region even when
+	// the seed generated a scalar-leaning spec.
+	s.Funcs = append(s.Funcs, fuzz.FuncSpec{Body: []fuzz.Step{
+		{Kind: fuzz.StepVec, N: 16},
+		{Kind: fuzz.StepBranch, Op: "bne", Rs1: 1, Rs2: 2, N: 2},
+		{Kind: fuzz.StepALU, Op: "add", Rd: 3, Rs1: 1, Rs2: 2},
+		{Kind: fuzz.StepALUImm, Op: "addi", Rd: 4, Rs1: 3, Imm: 17},
+		{Kind: fuzz.StepVec, N: 8},
+	}})
+	img, budget, err := s.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Image: img, Budget: budget, Family: "misaligned", Seed: seed}, nil
+}
+
+// denseTableParams derives the shared dispatch-family shape from a seed.
+func denseTableParams(family string, seed int64, inData bool) workload.DispatchParams {
+	rng := rand.New(rand.NewSource(seed ^ 0x7AB1E))
+	arms := 8 + rng.Intn(9) // 8..16
+	bounds := []workload.BoundKind{
+		workload.BoundREMU, workload.BoundBGEU, workload.BoundSLTIU, workload.BoundBLTU,
+	}
+	return workload.DispatchParams{
+		Name:        name(family, seed),
+		Arms:        arms,
+		VecArms:     arms/2 + rng.Intn(arms/2),
+		Rounds:      int64(arms) + 4,
+		Compress:    rng.Intn(2) == 0,
+		TableInData: inData,
+		MidEntry:    rng.Intn(2) == 0,
+		Bound:       bounds[rng.Intn(len(bounds))],
+	}
+}
+
+// densetable: a dense read-only jump table whose arms are plain labels —
+// no symbol names them, so recursive descent never reaches the arm
+// region. Only the resolver's anchored-table analysis recovers it; without
+// recovery every vector arm is a runtime-rewrite fault (chbp/armore) or a
+// dropped region (safer).
+func buildDenseTable(seed int64) (*Program, error) {
+	p := denseTableParams("densetable", seed, false)
+	img, err := workload.BuildDispatch(p, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{
+		Image:      img,
+		Budget:     uint64(p.Rounds)*30_000 + 300_000,
+		Family:     "densetable",
+		Seed:       seed,
+		HiddenCode: true,
+		MidEntry:   p.MidEntry,
+	}, nil
+}
+
+// writabletable: the same dispatch family with the table in writable
+// .data and the arms' function symbols stripped after the build. A
+// writable, unanchored table is below the resolver's patching confidence
+// tier, so even ±resolve cells stay on the fallback paths — the family
+// checks that the resolver correctly REFUSES unsound static patches.
+func buildWritableTable(seed int64) (*Program, error) {
+	p := denseTableParams("writabletable", seed, true)
+	img, err := workload.BuildDispatch(p, true)
+	if err != nil {
+		return nil, err
+	}
+	kept := img.Symbols[:0]
+	for _, sym := range img.Symbols {
+		if sym.Kind == obj.SymFunc && strings.HasPrefix(sym.Name, "arm") {
+			continue
+		}
+		kept = append(kept, sym)
+	}
+	img.Symbols = kept
+	return &Program{
+		Image:      img,
+		Budget:     uint64(p.Rounds)*30_000 + 300_000,
+		Family:     "writabletable",
+		Seed:       seed,
+		HiddenCode: true,
+		MidEntry:   p.MidEntry,
+	}, nil
+}
+
+// asmidioms: the fuzz generator with its hand-written-assembly paths
+// forced on — a mid-function entry published through a data pointer and
+// entered via an indirect jump with a materialized return address, plus
+// per-round calls through a writable pointer table.
+func buildAsmIdioms(seed int64) (*Program, error) {
+	s := fuzz.Generate(seed, fuzz.DefaultConfig())
+	s.Name = name("asmidioms", seed)
+	s.Vector = true
+	s.Indirect = true
+	for i := range s.Funcs {
+		s.Funcs[i].MidEntry = false
+	}
+	// One deterministic vector function carries the published mid entry.
+	s.Funcs = append(s.Funcs, fuzz.FuncSpec{MidEntry: true, Body: []fuzz.Step{
+		{Kind: fuzz.StepVec, N: 12},
+		{Kind: fuzz.StepALU, Op: "xor", Rd: 2, Rs1: 0, Rs2: 1},
+		{Kind: fuzz.StepVec, N: 4},
+	}})
+	img, budget, err := s.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Image: img, Budget: budget, Family: "asmidioms", Seed: seed, MidEntry: true}, nil
+}
+
+// oversized: a text section padded past direct-jump (jal ±1MB) range, so
+// regeneration rewriters must place relocated code far from the original
+// addresses — ARMore's single-instruction trampolines degrade to traps,
+// while CHBP's register-materialized SMILE entries are distance-immune
+// (the asymmetry the paper measures). Indirect calls through a pointer
+// table land on original addresses and exercise whatever the rewriter
+// left there.
+func buildOversized(seed int64) (*Program, error) {
+	rng := rand.New(rand.NewSource(seed ^ 0x0E51))
+	b := asm.NewBuilder(riscv.RV64GCV)
+	b.Compress = false
+	arenas(b, seed)
+	handlers := 3 + rng.Intn(3)
+	hname := func(i int) string { return fmt.Sprintf("h%02d", i) }
+	b.DataI64("ptab", make([]int64, handlers))
+
+	b.Func("main")
+	b.Li(riscv.S11, 0)
+	rounds := int64(3 + rng.Intn(3))
+	b.Li(riscv.S1, rounds)
+	b.Li(riscv.S9, 0)
+	b.Label("round")
+	// Indirect call through the pointer table: the target address is an
+	// ORIGINAL text address, whatever the rewriter did to that range.
+	b.Li(riscv.T0, int64(handlers))
+	b.Op(riscv.REMU, riscv.T1, riscv.S9, riscv.T0)
+	b.Imm(riscv.SLLI, riscv.T1, riscv.T1, 3)
+	b.La(riscv.T2, "ptab")
+	b.Op(riscv.ADD, riscv.T2, riscv.T2, riscv.T1)
+	b.Load(riscv.LD, riscv.T2, riscv.T2, 0)
+	b.I(riscv.Inst{Op: riscv.JALR, Rd: riscv.RA, Rs1: riscv.T2})
+	b.Op(riscv.ADD, riscv.S11, riscv.S11, riscv.A0)
+	vecBlock(b, riscv.S11)
+	b.Imm(riscv.ADDI, riscv.S9, riscv.S9, 1)
+	b.Blt(riscv.S9, riscv.S1, "round")
+	exit(b, riscv.S11)
+
+	for i := 0; i < handlers; i++ {
+		b.Func(hname(i))
+		b.Li(riscv.A0, int64(i*17+3))
+		if i%2 == 0 {
+			vecBlock(b, riscv.A0)
+		}
+		b.Ret()
+	}
+
+	// The size axis: a cold region holding the text span well past jal
+	// range from every hot instruction above it.
+	b.Align(8)
+	pad := 1_500_000 + rng.Intn(200_000)
+	b.Space(pad)
+
+	img, err := b.Build(name("oversized", seed), "main")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < handlers; i++ {
+		if err := patchPointer(img, "ptab", i, hname(i)); err != nil {
+			return nil, err
+		}
+	}
+	text := img.Text()
+	return &Program{
+		Image:    img,
+		Budget:   uint64(rounds)*5000*32 + 300_000,
+		Family:   "oversized",
+		Seed:     seed,
+		TextSpan: uint64(len(text.Data)),
+	}, nil
+}
+
+// patchPointer writes the address of symbol target into slot[idx], the
+// post-build fixup producing genuine code pointers in data.
+func patchPointer(img *obj.Image, slot string, idx int, target string) error {
+	tsym, ok := img.Lookup(target)
+	if !ok {
+		return fmt.Errorf("corpus: symbol %q missing", target)
+	}
+	ssym, ok := img.Lookup(slot)
+	if !ok {
+		return fmt.Errorf("corpus: symbol %q missing", slot)
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], tsym.Addr)
+	return img.WriteAt(ssym.Addr+uint64(8*idx), buf[:])
+}

@@ -1,0 +1,193 @@
+package evalmatrix
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Baseline is the committed matrix snapshot CI gates against. It carries
+// only the deterministic columns — grades, fault rates, simulated-cycle
+// and size overheads — never wall-clock figures, so the file is stable
+// across machines and only honest behavior changes can move it.
+type Baseline struct {
+	Seeds          []int64        `json:"seeds"`
+	TraceThreshold uint32         `json:"trace_threshold"`
+	Cells          []BaselineCell `json:"cells"`
+}
+
+// BaselineCell is the gateable projection of a matrix cell.
+type BaselineCell struct {
+	Family        string  `json:"family"`
+	Config        string  `json:"config"`
+	Grade         Grade   `json:"grade"`
+	FaultRate     float64 `json:"fault_rate"`
+	CycleOverhead float64 `json:"cycle_overhead"`
+	SizeOverhead  float64 `json:"size_overhead"`
+}
+
+// round4 keeps baseline floats short and update-diffs readable.
+func round4(v float64) float64 { return math.Round(v*1e4) / 1e4 }
+
+// BaselineOf projects a matrix onto its gateable columns.
+func BaselineOf(m *Matrix) *Baseline {
+	b := &Baseline{Seeds: m.Seeds, TraceThreshold: m.TraceThreshold}
+	for _, c := range m.Cells {
+		b.Cells = append(b.Cells, BaselineCell{
+			Family:        c.Family,
+			Config:        c.Config,
+			Grade:         c.Grade,
+			FaultRate:     round4(c.FaultRate),
+			CycleOverhead: round4(c.CycleOverhead),
+			SizeOverhead:  round4(c.SizeOverhead),
+		})
+	}
+	return b
+}
+
+// LoadBaseline reads a committed baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline as indented JSON.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// GateMode selects how strict Compare is.
+type GateMode int
+
+const (
+	// GateGrades fails only on cells that regressed INTO the unsound bands
+	// (wrong/crash) or disappeared. Metric drift is allowed — the mode for
+	// wide seed sweeps whose numbers are not baselined.
+	GateGrades GateMode = iota
+	// GateFull additionally fails on per-config pass-rate drops and on
+	// fault-rate / cycle-overhead / size-overhead regressions beyond
+	// tolerance. Requires the run to match the baseline's seeds and trace
+	// threshold, since metrics are only comparable cell-for-cell.
+	GateFull
+)
+
+// Metric tolerances for GateFull: a regression must clear both an absolute
+// floor (so near-zero baselines don't flag on noise-scale drift) and a
+// relative band (so huge fault-path overheads don't flag on proportionally
+// tiny shifts). Everything gated is deterministic, so these bound honest
+// behavior change, not measurement noise.
+const (
+	tolFaultRateAbs = 0.5  // assists per kilo-instruction
+	tolCycleAbs     = 0.10 // +10 points of relative cycle overhead
+	tolSizeAbs      = 0.05 // +5 points of relative size overhead
+	tolRel          = 0.10 // 10% of the baseline magnitude
+)
+
+func beyond(old, new, absTol float64) bool {
+	return new > old+math.Max(absTol, tolRel*math.Abs(old))
+}
+
+// Compare gates a fresh matrix against the committed baseline and returns
+// the violations (empty means the gate passes). Cells the baseline does
+// not know are new coverage and never violations; cells the baseline knows
+// that vanished always are.
+func Compare(b *Baseline, m *Matrix, mode GateMode) []string {
+	var v []string
+	if mode == GateFull {
+		if fmt.Sprint(b.Seeds) != fmt.Sprint(m.Seeds) || b.TraceThreshold != m.TraceThreshold {
+			return []string{fmt.Sprintf(
+				"full gate needs a baseline-shaped run: baseline seeds=%v threshold=%d, run seeds=%v threshold=%d",
+				b.Seeds, b.TraceThreshold, m.Seeds, m.TraceThreshold)}
+		}
+	}
+	for _, bc := range b.Cells {
+		mc, ok := m.Cell(bc.Family, bc.Config)
+		if !ok {
+			v = append(v, fmt.Sprintf("%s/%s: cell missing from run (baseline grade %s)",
+				bc.Family, bc.Config, bc.Grade))
+			continue
+		}
+		if mc.Grade.Rank() > bc.Grade.Rank() && mc.Grade.Rank() >= GradeWrong.Rank() {
+			v = append(v, fmt.Sprintf("%s/%s: grade regressed %s -> %s (%s)",
+				bc.Family, bc.Config, bc.Grade, mc.Grade, mc.Detail))
+			continue
+		}
+		if mode != GateFull {
+			continue
+		}
+		if mc.Grade.Rank() > bc.Grade.Rank() {
+			v = append(v, fmt.Sprintf("%s/%s: grade regressed %s -> %s (%s)",
+				bc.Family, bc.Config, bc.Grade, mc.Grade, mc.Detail))
+			continue
+		}
+		if beyond(bc.FaultRate, mc.FaultRate, tolFaultRateAbs) {
+			v = append(v, fmt.Sprintf("%s/%s: fault rate regressed %.3f -> %.3f assists/kinst",
+				bc.Family, bc.Config, bc.FaultRate, mc.FaultRate))
+		}
+		if beyond(bc.CycleOverhead, mc.CycleOverhead, tolCycleAbs) {
+			v = append(v, fmt.Sprintf("%s/%s: cycle overhead regressed %+.3f -> %+.3f",
+				bc.Family, bc.Config, bc.CycleOverhead, mc.CycleOverhead))
+		}
+		if beyond(bc.SizeOverhead, mc.SizeOverhead, tolSizeAbs) {
+			v = append(v, fmt.Sprintf("%s/%s: size overhead regressed %+.3f -> %+.3f",
+				bc.Family, bc.Config, bc.SizeOverhead, mc.SizeOverhead))
+		}
+	}
+	if mode == GateFull {
+		v = append(v, comparePassRates(b, m)...)
+	}
+	return v
+}
+
+// comparePassRates guards each config's pass rate over the cells both
+// sides know about — the headline number the scorecard reports.
+func comparePassRates(b *Baseline, m *Matrix) []string {
+	type rate struct{ pass, total int }
+	oldRates := map[string]*rate{}
+	newRates := map[string]*rate{}
+	for _, bc := range b.Cells {
+		mc, ok := m.Cell(bc.Family, bc.Config)
+		if !ok {
+			continue
+		}
+		o := oldRates[bc.Config]
+		if o == nil {
+			o = &rate{}
+			oldRates[bc.Config] = o
+			newRates[bc.Config] = &rate{}
+		}
+		n := newRates[bc.Config]
+		o.total++
+		n.total++
+		if bc.Grade == GradePass {
+			o.pass++
+		}
+		if mc.Grade == GradePass {
+			n.pass++
+		}
+	}
+	var v []string
+	for _, s := range m.Summaries {
+		o, n := oldRates[s.Config], newRates[s.Config]
+		if o == nil || o.total == 0 {
+			continue
+		}
+		if n.pass < o.pass {
+			v = append(v, fmt.Sprintf("%s: pass rate dropped %d/%d -> %d/%d",
+				s.Config, o.pass, o.total, n.pass, n.total))
+		}
+	}
+	return v
+}

@@ -1,0 +1,214 @@
+package evalmatrix
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallMatrix runs the gate-shaped configuration used across the tests:
+// every family, every config, one seed.
+func smallMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	m, err := Run(Params{Seeds: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMatrixSoundness is the acceptance property: across every family and
+// every configuration, no cell may be wrong (silent divergence) or crash
+// (escaped panic). Refusal and degradation are acceptable outcomes;
+// corruption and panics are not.
+func TestMatrixSoundness(t *testing.T) {
+	m := smallMatrix(t)
+	if len(m.Families) < 6 {
+		t.Fatalf("only %d families, want >= 6", len(m.Families))
+	}
+	if len(m.Configs) != 8 {
+		t.Fatalf("%d configs, want 8", len(m.Configs))
+	}
+	for _, c := range m.Cells {
+		if c.Grade == GradeWrong || c.Grade == GradeCrash {
+			t.Errorf("%s/%s graded %s: %s", c.Family, c.Config, c.Grade, c.Detail)
+		}
+	}
+}
+
+// TestMatrixStructure spot-checks the cells whose grades the corpus was
+// designed to force — the matrix must actually discriminate, not blur
+// everything into pass.
+func TestMatrixStructure(t *testing.T) {
+	m := smallMatrix(t)
+	mustGrade := func(family, config string, want Grade) {
+		t.Helper()
+		c, ok := m.Cell(family, config)
+		if !ok {
+			t.Fatalf("no cell %s/%s", family, config)
+		}
+		if c.Grade != want {
+			t.Errorf("%s/%s graded %s, want %s (%s)", family, config, c.Grade, want, c.Detail)
+		}
+	}
+	// Hidden jump-table arms fault their way through chbp...
+	mustGrade("densetable", "chbp", GradeDegraded)
+	// ...and the resolver lifts the regeneration rewriters to clean passes.
+	mustGrade("densetable", "safer-resolve", GradePass)
+	mustGrade("densetable", "armore-resolve", GradePass)
+	// Safer without the resolver fails CLOSED on hidden arms: a
+	// deterministic kill, graded reject — never wrong.
+	mustGrade("densetable", "safer", GradeReject)
+	// A writable, symbol-stripped table is below patching confidence, so
+	// resolve must change nothing: the resolver refuses the unsound patch.
+	for _, cfg := range []string{"chbp", "safer", "armore"} {
+		a, _ := m.Cell("writabletable", cfg)
+		b, ok := m.Cell("writabletable", cfg+"-resolve")
+		if !ok {
+			t.Fatalf("no cell writabletable/%s-resolve", cfg)
+		}
+		if a.Grade != b.Grade {
+			t.Errorf("writabletable %s=%s but %s-resolve=%s: resolver acted on an unsound table",
+				cfg, a.Grade, cfg, b.Grade)
+		}
+	}
+	// The oversized image pushes ARMore onto its trap path while CHBP's
+	// register-materialized entries stay distance-immune.
+	mustGrade("oversized", "armore", GradeDegraded)
+	mustGrade("oversized", "chbp", GradePass)
+	// densetable chbp-resolve must strictly beat chbp on fault rate.
+	plain, _ := m.Cell("densetable", "chbp")
+	res, _ := m.Cell("densetable", "chbp-resolve")
+	if res.FaultRate >= plain.FaultRate {
+		t.Errorf("densetable resolve did not reduce chbp fault rate: %.3f -> %.3f",
+			plain.FaultRate, res.FaultRate)
+	}
+}
+
+// TestBaselineRoundTrip: project, save, load, compare — a matrix must gate
+// clean against its own baseline in both modes.
+func TestBaselineRoundTrip(t *testing.T) {
+	m := smallMatrix(t)
+	b := BaselineOf(m)
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []GateMode{GateGrades, GateFull} {
+		if v := Compare(loaded, m, mode); len(v) != 0 {
+			t.Errorf("self-compare (mode %d) violated: %v", mode, v)
+		}
+	}
+}
+
+// TestBaselineGateCatchesRegressions injects each regression class into a
+// copy of the matrix and checks the gate trips — and stays quiet where the
+// mode says it must.
+func TestBaselineGateCatchesRegressions(t *testing.T) {
+	m := smallMatrix(t)
+	b := BaselineOf(m)
+	mutate := func(family, config string, f func(*Cell)) *Matrix {
+		c := *m
+		c.Cells = append([]Cell(nil), m.Cells...)
+		for i := range c.Cells {
+			if c.Cells[i].Family == family && c.Cells[i].Config == config {
+				f(&c.Cells[i])
+			}
+		}
+		c.summarize()
+		return &c
+	}
+
+	wrong := mutate("stripped", "chbp", func(c *Cell) { c.Grade = GradeWrong; c.Detail = "injected" })
+	for _, mode := range []GateMode{GateGrades, GateFull} {
+		if v := Compare(b, wrong, mode); len(v) == 0 {
+			t.Errorf("mode %d missed a pass->wrong regression", mode)
+		}
+	}
+
+	crash := mutate("densetable", "safer", func(c *Cell) { c.Grade = GradeCrash })
+	if v := Compare(b, crash, GateGrades); len(v) == 0 {
+		t.Error("grades gate missed a reject->crash regression")
+	}
+
+	// pass -> degraded: invisible to the grades gate, caught by full.
+	deg := mutate("stripped", "chbp", func(c *Cell) { c.Grade = GradeDegraded; c.FaultRate = 2 })
+	if v := Compare(b, deg, GateGrades); len(v) != 0 {
+		t.Errorf("grades gate flagged a non-wrong/crash move: %v", v)
+	}
+	if v := Compare(b, deg, GateFull); len(v) == 0 {
+		t.Error("full gate missed a pass->degraded regression")
+	}
+
+	perf := mutate("densetable", "chbp", func(c *Cell) { c.CycleOverhead *= 2 })
+	if v := Compare(b, perf, GateFull); len(v) == 0 {
+		t.Error("full gate missed a 2x cycle-overhead regression")
+	}
+
+	size := mutate("stripped", "armore", func(c *Cell) { c.SizeOverhead += 1.0 })
+	if v := Compare(b, size, GateFull); len(v) == 0 {
+		t.Error("full gate missed a +100-point size regression")
+	}
+
+	missing := &Matrix{Seeds: m.Seeds, TraceThreshold: m.TraceThreshold,
+		Families: m.Families, Configs: m.Configs}
+	for _, c := range m.Cells {
+		if !(c.Family == "oversized" && c.Config == "armore") {
+			missing.Cells = append(missing.Cells, c)
+		}
+	}
+	missing.summarize()
+	if v := Compare(b, missing, GateGrades); len(v) == 0 {
+		t.Error("grades gate missed a vanished cell")
+	}
+
+	// A shape mismatch must refuse the full gate rather than compare
+	// incomparable metrics.
+	shifted := *m
+	shifted.Seeds = []int64{99}
+	if v := Compare(b, &shifted, GateFull); len(v) == 0 || !strings.Contains(v[0], "baseline-shaped") {
+		t.Errorf("full gate accepted a seed-shape mismatch: %v", v)
+	}
+	if v := Compare(b, &shifted, GateGrades); len(v) != 0 {
+		t.Errorf("grades gate should tolerate seed-shape mismatch: %v", v)
+	}
+}
+
+// TestCommittedBaselineCurrent gates the checked-in baseline itself: a
+// code change that shifts the matrix must ship a regenerated baseline in
+// the same commit (chimera-eval -update-baseline), and the committed file
+// must never be behind what the code produces.
+func TestCommittedBaselineCurrent(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join("testdata", "matrix_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(Params{Seeds: len(b.Seeds), Seed: b.Seeds[0], TraceThreshold: b.TraceThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Compare(b, m, GateFull); len(v) != 0 {
+		for _, s := range v {
+			t.Error(s)
+		}
+	}
+}
+
+// TestHTMLScorecard sanity-checks the rendered page: self-contained, one
+// row per family, every grade cell colored.
+func TestHTMLScorecard(t *testing.T) {
+	m := smallMatrix(t)
+	page := m.HTML()
+	for _, want := range []string{"<!DOCTYPE html>", "densetable", "chbp-resolve", "Per-configuration summary"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("scorecard missing %q", want)
+		}
+	}
+	if strings.Contains(page, "http://") || strings.Contains(page, "https://") {
+		t.Error("scorecard references external assets")
+	}
+}

@@ -1,0 +1,87 @@
+package evalmatrix
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+)
+
+// gradeColor maps grades onto the scorecard palette.
+func gradeColor(g Grade) string {
+	switch g {
+	case GradePass:
+		return "#2e7d32"
+	case GradeDegraded:
+		return "#f9a825"
+	case GradeReject:
+		return "#757575"
+	case GradeWrong:
+		return "#c62828"
+	case GradeCrash:
+		return "#4a148c"
+	}
+	return "#000"
+}
+
+// HTML renders the matrix as a self-contained scorecard page: one colored
+// cell per (family, config) with metrics inline, plus the per-config
+// summary table. No external assets, so CI can publish the file as-is.
+func (m *Matrix) HTML() string {
+	var sb strings.Builder
+	sb.WriteString(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>chimera rewriter robustness matrix</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em; color: #222; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #ccc; padding: 6px 10px; text-align: left; vertical-align: top; }
+th { background: #f5f5f5; }
+td.cell { color: #fff; min-width: 9em; }
+td.cell .metrics { font-size: 11px; opacity: .9; }
+.legend span { display: inline-block; padding: 2px 10px; margin-right: 6px; color: #fff; border-radius: 3px; }
+caption { text-align: left; font-weight: 600; padding: 4px 0; }
+</style></head><body>
+<h1>Rewriter robustness matrix</h1>
+`)
+	fmt.Fprintf(&sb, "<p>seeds %v, trace threshold %d. Grades: clean pass &middot; degraded "+
+		"(correct, but leaning on runtime fault recovery &mdash; rate shown per kilo-instruction) &middot; "+
+		"reject (refused statically, or failed closed at run time) &middot; wrong (silent divergence) &middot; "+
+		"crash (escaped panic).</p>\n", m.Seeds, m.TraceThreshold)
+	sb.WriteString(`<p class="legend">`)
+	for _, g := range []Grade{GradePass, GradeDegraded, GradeReject, GradeWrong, GradeCrash} {
+		fmt.Fprintf(&sb, `<span style="background:%s">%s</span>`, gradeColor(g), g)
+	}
+	sb.WriteString("</p>\n<table>\n<caption>Grades by family &times; configuration</caption>\n<tr><th>family</th>")
+	configs := append([]string(nil), m.Configs...)
+	sort.Strings(configs)
+	for _, c := range configs {
+		fmt.Fprintf(&sb, "<th>%s</th>", html.EscapeString(c))
+	}
+	sb.WriteString("</tr>\n")
+	families := append([]string(nil), m.Families...)
+	sort.Strings(families)
+	for _, f := range families {
+		fmt.Fprintf(&sb, "<tr><th>%s</th>", html.EscapeString(f))
+		for _, cfg := range configs {
+			c, ok := m.Cell(f, cfg)
+			if !ok {
+				sb.WriteString("<td>&mdash;</td>")
+				continue
+			}
+			fmt.Fprintf(&sb,
+				`<td class="cell" style="background:%s" title="%s"><b>%s</b><div class="metrics">faults %.2f/ki &middot; cycles %+.0f%% &middot; size %+.0f%%</div></td>`,
+				gradeColor(c.Grade), html.EscapeString(c.Detail), c.Grade,
+				c.FaultRate, c.CycleOverhead*100, c.SizeOverhead*100)
+		}
+		sb.WriteString("</tr>\n")
+	}
+	sb.WriteString("</table>\n<table>\n<caption>Per-configuration summary</caption>\n")
+	sb.WriteString("<tr><th>config</th><th>pass</th><th>degraded</th><th>reject</th><th>wrong</th><th>crash</th><th>mean size overhead</th><th>mean cycle overhead</th></tr>\n")
+	for _, s := range m.Summaries {
+		fmt.Fprintf(&sb, "<tr><th>%s</th><td>%.0f%%</td><td>%.0f%%</td><td>%.0f%%</td><td>%d</td><td>%d</td><td>%+.1f%%</td><td>%+.1f%%</td></tr>\n",
+			html.EscapeString(s.Config), s.PassRate*100, s.DegradedRate*100, s.RejectRate*100,
+			s.WrongCells, s.CrashCells, s.MeanSizeOverhead*100, s.MeanCycleOverhead*100)
+	}
+	sb.WriteString("</table>\n</body></html>\n")
+	return sb.String()
+}

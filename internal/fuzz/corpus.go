@@ -1,0 +1,126 @@
+package fuzz
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SpecHash is the spec's content identity: a SHA-256 over its canonical
+// JSON with the Name field cleared. Two specs that assemble the same
+// program hash identically no matter what a human (or the minimizer)
+// called them — which is what keeps re-minimized reproducers from
+// accumulating as duplicate corpus entries.
+func SpecHash(s Spec) string {
+	s.Name = ""
+	data, err := json.Marshal(&s)
+	if err != nil {
+		// Spec is plain data; Marshal cannot fail on it. Keep the signature
+		// clean for callers.
+		panic("fuzz: marshaling spec: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// corpusSpecs loads every *.json spec in dir keyed by filename (sorted).
+func corpusSpecs(dir string) ([]string, map[string]Spec, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(files)
+	specs := make(map[string]Spec, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		var s Spec
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", f, err)
+		}
+		specs[f] = s
+	}
+	return files, specs, nil
+}
+
+// SaveCorpusSpec writes the spec into the regression corpus directory
+// unless an entry with the same content hash already exists. It returns
+// the path holding the spec and whether a new file was written. New
+// entries are named by seed and short content hash, so saves are
+// idempotent and names never collide across divergent seeds.
+func SaveCorpusSpec(dir string, s Spec) (string, bool, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", false, err
+	}
+	h := SpecHash(s)
+	files, specs, err := corpusSpecs(dir)
+	if err != nil {
+		return "", false, err
+	}
+	for _, f := range files {
+		if SpecHash(specs[f]) == h {
+			return f, false, nil
+		}
+	}
+	path := filepath.Join(dir, fmt.Sprintf("seed%d-%s.json", s.Seed, h[:12]))
+	data, err := json.MarshalIndent(&s, "", "  ")
+	if err != nil {
+		return "", false, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", false, err
+	}
+	return path, true, nil
+}
+
+// DedupeCorpus removes corpus entries whose content hash duplicates an
+// earlier (filename-sorted) entry and returns the removed paths. The
+// first file with a given hash survives, so curated, hand-named
+// reproducers win over later auto-saved duplicates.
+func DedupeCorpus(dir string) ([]string, error) {
+	files, specs, err := corpusSpecs(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]string, len(files))
+	var removed []string
+	for _, f := range files {
+		h := SpecHash(specs[f])
+		if _, dup := seen[h]; dup {
+			if err := os.Remove(f); err != nil {
+				return removed, err
+			}
+			removed = append(removed, f)
+			continue
+		}
+		seen[h] = f
+	}
+	return removed, nil
+}
+
+// CorpusDuplicates reports content-hash duplicates without removing them:
+// pairs of (kept, duplicate) paths. Empty means the corpus is dupe-free.
+func CorpusDuplicates(dir string) ([][2]string, error) {
+	files, specs, err := corpusSpecs(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]string, len(files))
+	var dups [][2]string
+	for _, f := range files {
+		h := SpecHash(specs[f])
+		if first, dup := seen[h]; dup {
+			dups = append(dups, [2]string{first, f})
+			continue
+		}
+		seen[h] = f
+	}
+	return dups, nil
+}

@@ -1,0 +1,92 @@
+package fuzz
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSpecHashIgnoresName: content identity must not depend on what the
+// spec file was called — that is exactly how re-minimized failures used to
+// accumulate as duplicates.
+func TestSpecHashIgnoresName(t *testing.T) {
+	a := Generate(7, DefaultConfig())
+	b := a
+	b.Name = "renamed-reproducer"
+	if SpecHash(a) != SpecHash(b) {
+		t.Fatal("renaming a spec changed its content hash")
+	}
+	c := Generate(8, DefaultConfig())
+	if SpecHash(a) == SpecHash(c) {
+		t.Fatal("distinct specs collided")
+	}
+}
+
+// TestSaveCorpusSpecDedupes: saving the same content twice (under any
+// name) yields one file; distinct content yields two.
+func TestSaveCorpusSpecDedupes(t *testing.T) {
+	dir := t.TempDir()
+	s := Generate(3, DefaultConfig())
+	p1, added, err := SaveCorpusSpec(dir, s)
+	if err != nil || !added {
+		t.Fatalf("first save: added=%v err=%v", added, err)
+	}
+	renamed := s
+	renamed.Name = "minimized-again"
+	p2, added, err := SaveCorpusSpec(dir, renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added || p2 != p1 {
+		t.Fatalf("duplicate content was re-saved: added=%v path=%s (first %s)", added, p2, p1)
+	}
+	if _, added, err = SaveCorpusSpec(dir, Generate(4, DefaultConfig())); err != nil || !added {
+		t.Fatalf("distinct spec not saved: added=%v err=%v", added, err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 2 {
+		t.Fatalf("corpus has %d files, want 2", len(files))
+	}
+}
+
+// TestDedupeCorpusRemovesLaterDuplicates seeds a directory with a curated
+// entry and an auto-saved duplicate; dedupe keeps the first in filename
+// order.
+func TestDedupeCorpusRemovesLaterDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	s := Generate(5, DefaultConfig())
+	if _, _, err := SaveCorpusSpec(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := filepath.Join(dir, "zzz-dup.json")
+	if err := os.WriteFile(dup, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := DedupeCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != dup {
+		t.Fatalf("removed %v, want [%s]", removed, dup)
+	}
+	if _, err := os.Stat(files[0]); err != nil {
+		t.Fatalf("curated entry was removed: %v", err)
+	}
+}
+
+// TestCommittedCorpusDupeFree gates the checked-in regression corpus: no
+// two entries may share a content hash.
+func TestCommittedCorpusDupeFree(t *testing.T) {
+	dups, err := CorpusDuplicates(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dups {
+		t.Errorf("duplicate corpus entries: %s and %s", d[0], d[1])
+	}
+}

@@ -28,7 +28,9 @@ func ARMore(img *obj.Image, targetISA riscv.Ext, emptyPatch bool) (*Rewritten, e
 // so those arms get relocated copies and per-instruction trampolines
 // like any other code instead of faulting at their original addresses.
 // ts came from resolve.Resolve on the same image; nil means plain ARMore.
-func ARMoreWith(img *obj.Image, targetISA riscv.Ext, emptyPatch bool, ts *resolve.TargetSet) (*Rewritten, error) {
+// Panics and image-dependent failures come back as ErrRewriteReject.
+func ARMoreWith(img *obj.Image, targetISA riscv.Ext, emptyPatch bool, ts *resolve.TargetSet) (out *Rewritten, err error) {
+	defer reject("armore", &out, &err)
 	d := dis.Disassemble(img)
 	recovered := 0
 	resolved := resolvedTargets(ts)

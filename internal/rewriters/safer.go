@@ -1,6 +1,7 @@
 package rewriters
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/eurosys26p57/chimera/internal/chbp"
@@ -31,6 +32,24 @@ func Safer(img *obj.Image, targetISA riscv.Ext, emptyPatch bool) (*Rewritten, er
 	return SaferWith(img, targetISA, emptyPatch, nil)
 }
 
+// ErrRewriteReject is the typed reject every rewriter entry point in this
+// package returns for adversarial inputs: recovered panics and
+// image-dependent analysis or regeneration failures. It aliases the chbp
+// error so errors.Is works across both packages.
+var ErrRewriteReject = chbp.ErrRewriteReject
+
+// reject folds a recovered panic or a returned error into ErrRewriteReject;
+// deferred at every regeneration entry point.
+func reject(name string, out **Rewritten, err *error) {
+	if r := recover(); r != nil {
+		*out, *err = nil, fmt.Errorf("%w: %s: panic: %v", ErrRewriteReject, name, r)
+		return
+	}
+	if *err != nil && !errors.Is(*err, ErrRewriteReject) {
+		*out, *err = nil, fmt.Errorf("%w: %s: %v", ErrRewriteReject, name, *err)
+	}
+}
+
 // SaferWith is Safer seeded with a resolver TargetSet: the completed
 // disassembly (recursive descent plus every High-confidence indirect
 // target) replaces the plain one, so code reachable only through jump
@@ -39,7 +58,8 @@ func Safer(img *obj.Image, targetISA riscv.Ext, emptyPatch bool) (*Rewritten, er
 // runtime translation tables — SaferHookWith skips the table-path
 // penalty for them. ts came from resolve.Resolve on the same image; nil
 // means plain Safer.
-func SaferWith(img *obj.Image, targetISA riscv.Ext, emptyPatch bool, ts *resolve.TargetSet) (*Rewritten, error) {
+func SaferWith(img *obj.Image, targetISA riscv.Ext, emptyPatch bool, ts *resolve.TargetSet) (out *Rewritten, err error) {
+	defer reject("safer", &out, &err)
 	d := dis.Disassemble(img)
 	recovered := 0
 	resolved := resolvedTargets(ts)

@@ -25,6 +25,7 @@ type serviceMetrics struct {
 	panics          *telemetry.Counter
 	retries         *telemetry.Counter
 	attemptFailures *telemetry.Counter
+	rewriteRejects  *telemetry.Counter
 	degradations    *telemetry.Counter
 	deadlineHits    *telemetry.Counter
 	budgetStops     *telemetry.Counter
@@ -124,6 +125,7 @@ func newServiceMetrics() *serviceMetrics {
 		panics:          r.Counter("chimera_worker_panics_total", "rewrites that panicked on a worker and were isolated"),
 		retries:         r.Counter("chimera_rewrite_retries_total", "rewrite attempts re-submitted after a transient failure"),
 		attemptFailures: r.Counter("chimera_rewrite_attempt_failures_total", "individual failed rewrite attempts before retry accounting"),
+		rewriteRejects:  r.Counter("chimera_rewrite_rejects_total", "rewrites refused by the rewriter itself (typed ErrRewriteReject; deterministic per input, no retry, no breaker strike)"),
 		degradations:    r.Counter("chimera_degradations_total", "requests answered with the original image via graceful degradation"),
 		deadlineHits:    r.Counter("chimera_deadline_exceeded_total", "requests that hit their per-request deadline"),
 		budgetStops:     r.Counter("chimera_run_budget_stops_total", "runs ended by the hard instruction budget"),

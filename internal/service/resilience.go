@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/eurosys26p57/chimera/internal/chbp"
 	"github.com/eurosys26p57/chimera/internal/telemetry"
 )
 
@@ -40,6 +41,11 @@ type FaultStats struct {
 	QuarantineTrips uint64 `json:"quarantine_trips"`
 	// QuarantinedConfigs is breakers currently open.
 	QuarantinedConfigs int `json:"quarantined_configs"`
+	// Rejects is rewrites the rewriter itself refused (typed
+	// ErrRewriteReject: recovered panics, image-dependent analysis
+	// failures). Deterministic per input — never retried and never counted
+	// against the config's circuit breaker, unlike transient failures.
+	Rejects uint64 `json:"rejects"`
 	// Degradations is requests answered with the original image via the
 	// graceful-degradation path (the paper's scalar-core fallback).
 	Degradations uint64 `json:"degradations"`
@@ -166,11 +172,14 @@ func backoff(base time.Duration, attempt int) time.Duration {
 
 // retryable reports whether an attempt error is worth retrying: transient
 // infrastructure failures (panics, injected transients) are; caller
-// mistakes, shutdown, and context expiry are not.
+// mistakes, shutdown, context expiry, and typed rewriter rejects (a
+// deterministic function of the input image — retrying cannot help) are
+// not.
 func retryable(err error) bool {
 	return err != nil &&
 		!errors.Is(err, ErrBadRequest) &&
 		!errors.Is(err, ErrShuttingDown) &&
+		!errors.Is(err, chbp.ErrRewriteReject) &&
 		!errors.Is(err, context.DeadlineExceeded) &&
 		!errors.Is(err, context.Canceled)
 }

@@ -720,8 +720,15 @@ func (s *Server) rewriteWithRetries(ctx context.Context, req *RewriteRequest, is
 		asp.End()
 		lastErr = err
 		if !retryable(err) {
-			// Caller mistakes, shutdown, and context expiry are not the
-			// config's fault; they neither retry nor count toward quarantine.
+			// Caller mistakes, shutdown, context expiry, and typed rewriter
+			// rejects are not the config's fault; they neither retry nor
+			// count toward quarantine. Rejects are tallied separately so an
+			// adversarial-input wave is distinguishable from an
+			// infrastructure failure wave on /stats.
+			if errors.Is(err, chbp.ErrRewriteReject) {
+				s.tel.rewriteRejects.Inc()
+				tr.Annotate("rewrite_rejected", err.Error())
+			}
 			return nil, err
 		}
 		s.tel.attemptFailures.Inc()
@@ -1280,6 +1287,7 @@ func (s *Server) Stats() Stats {
 		AttemptFailures:    m.attemptFailures.Value(),
 		QuarantineTrips:    s.brk.tripCount(),
 		QuarantinedConfigs: s.brk.active(time.Now()),
+		Rejects:            m.rewriteRejects.Value(),
 		Degradations:       m.degradations.Value(),
 		DeadlineExceeded:   m.deadlineHits.Value(),
 		BudgetStops:        m.budgetStops.Value(),

@@ -6,8 +6,10 @@
 # fault rate and per-task p50/p99 with the indirect-target resolver off vs
 # on), and distills the results into BENCH_emu.json (per benchmark: ns/op,
 # emulated MIPS, ns per retired instruction, allocs/op, MB/s, batch
-# items/s, faults/avoided/crashed per op, p50/p99 kcycles). Run from
-# anywhere; writes to the repo root.
+# items/s, faults/avoided/crashed per op, p50/p99 kcycles), plus a
+# "matrix" block distilled from chimera-eval: per rewriter config, the
+# pass/degraded/reject split and mean size/cycle overheads over the
+# adversarial corpus. Run from anywhere; writes to the repo root.
 #
 #   scripts/bench.sh                # default -benchtime
 #   BENCHTIME=5s scripts/bench.sh   # longer runs for stable numbers
@@ -97,6 +99,22 @@ END {
     print "}"
 }
 ' "$RAW" > BENCH_emu.json
+
+# The robustness-matrix distillation: per rewriter config, the pass /
+# degraded / reject split over the adversarial corpus plus mean size and
+# simulated-cycle overheads. Deterministic (simulated cycles, wire bytes),
+# so the block is comparable across runs and machines.
+echo "== chimera-eval -summary (robustness matrix per-config distillation)"
+MATRIX_SUMMARY="$(mktemp)"
+go run ./cmd/chimera-eval -summary > "$MATRIX_SUMMARY"
+{
+    sed '$ d' BENCH_emu.json
+    printf '  ,"matrix": '
+    sed 's/^/  /;1s/^  //' "$MATRIX_SUMMARY"
+    echo "}"
+} > BENCH_emu.json.tmp
+mv BENCH_emu.json.tmp BENCH_emu.json
+rm -f "$MATRIX_SUMMARY"
 
 echo "== wrote BENCH_emu.json"
 cat BENCH_emu.json

@@ -27,6 +27,8 @@ go run ./cmd/chimera-smoke
 echo "== resolver smoke (static recovery exact pins + >=5x runtime-rewrite fault reduction)"
 go test -run 'TestResolverFaultReduction|TestResolverAvoidsRuntimeRewrites|TestDispatchFamilyRecovery' \
     -count=1 ./internal/bench ./internal/kernel ./internal/resolve
+echo "== robustness matrix smoke (adversarial corpus x every rewriter config, baseline gate)"
+go run ./cmd/chimera-eval -baseline internal/evalmatrix/testdata/matrix_baseline.json >/dev/null
 echo "== bench smoke (1 iteration)"
 go test -run=- -bench=. -benchtime=1x ./... >/dev/null
 echo "== alloc gate (warm CPURun* hot loops must not allocate)"

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/eurosys26p57/chimera/internal/fuzzsvc"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/workload"
+)
+
+// campaignFlags carries the -campaign* flag values from main.
+type campaignFlags struct {
+	target      string // "demo" or a path to an image in the obj wire format
+	execs       uint64
+	seed        int64
+	budget      uint64
+	maxInput    int
+	expectCrash bool
+	out         string
+}
+
+// runCampaign is the CLI campaign mode: fuzz one guest binary with the
+// coverage-guided engine and report the triaged crashes as JSON. With
+// -campaign-expect-crash the exit status asserts the outcome (for CI): 0
+// when a crash was found and minimized, 1 otherwise.
+func runCampaign(f campaignFlags) {
+	var img *obj.Image
+	var err error
+	if f.target == "demo" {
+		img, err = workload.FuzzTarget(riscv.RV64GC, true)
+	} else {
+		var file *os.File
+		if file, err = os.Open(f.target); err == nil {
+			img, err = obj.ReadImage(file)
+			file.Close()
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	c, err := fuzzsvc.New(fuzzsvc.Config{
+		Image:       img,
+		MaxExecs:    f.execs,
+		MaxInput:    f.maxInput,
+		ExecBudget:  f.budget,
+		Seed:        f.seed,
+		StopOnCrash: f.expectCrash,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := c.Run(context.Background()); err != nil {
+		fatal(err)
+	}
+	s := c.Snapshot()
+	fmt.Fprintf(os.Stderr,
+		"campaign done: %d execs, %d corpus, %d edges, %d hang(s), %d crash bucket(s), trace %s\n",
+		s.Execs, s.Corpus, s.Edges, s.Hangs, len(s.Crashes), s.TraceDigest)
+	for _, cr := range s.Crashes {
+		fmt.Fprintf(os.Stderr, "  crash: signal %d at pc %#x, %d hits, minimized to %d byte(s)\n",
+			cr.Signal, cr.PC, cr.Count, len(cr.Minimized))
+	}
+	enc, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if f.out != "" {
+		if err := os.WriteFile(f.out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+	if f.expectCrash && len(s.Crashes) == 0 {
+		fmt.Fprintln(os.Stderr, "chimera-fuzz: expected a crash, none found")
+		os.Exit(1)
+	}
+}

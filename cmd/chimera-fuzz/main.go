@@ -16,7 +16,16 @@
 //	chimera-fuzz -corpus internal/fuzz/testdata/corpus
 //	chimera-fuzz -minimize -save-corpus internal/fuzz/testdata/corpus
 //
-// Exit status: 0 when every seed passes, 1 on any divergence, 2 on usage
+// Campaign mode fuzzes one guest binary with the coverage-guided engine
+// (internal/fuzzsvc) instead of generating spec programs: the guest reads
+// its test case via read(2), edge coverage and cmp-operand logging guide
+// the mutation loop, and crashes are triaged to minimal reproducers.
+//
+//	chimera-fuzz -campaign demo -campaign-expect-crash
+//	chimera-fuzz -campaign prog.img -campaign-execs 100000 -campaign-seed 7
+//
+// Exit status: 0 when every seed passes, 1 on any divergence (or, with
+// -campaign-expect-crash, when the campaign found no crash), 2 on usage
 // or I/O errors.
 package main
 
@@ -45,8 +54,28 @@ func main() {
 	traceThreshold := flag.Uint("trace-threshold", defaultTraceThreshold(),
 		"trace-tier promotion threshold for block-engine harts (0 disables the tier; also CHIMERA_FUZZ_TRACE_THRESHOLD)")
 	verbose := flag.Bool("v", false, "log every seed")
+	campaign := flag.String("campaign", "", `coverage-guided campaign mode: "demo" (the built-in seeded-bug guest) or a path to an image in the obj wire format`)
+	campaignExecs := flag.Uint64("campaign-execs", 50_000, "campaign execution budget")
+	campaignSeed := flag.Int64("campaign-seed", 1, "campaign PRNG seed (campaigns are deterministic per seed)")
+	campaignBudget := flag.Uint64("campaign-budget", 1_000_000, "per-execution instruction budget (past it, the exec is a hang)")
+	campaignInput := flag.Int("campaign-input", 256, "max generated input length in bytes")
+	campaignExpectCrash := flag.Bool("campaign-expect-crash", false, "exit 1 unless the campaign finds at least one crash (CI gate); also stops at the first triaged crash")
+	campaignOut := flag.String("campaign-o", "", "write the campaign snapshot JSON to this file (default stdout)")
 	flag.Parse()
 	fuzz.EngineTraceThreshold = uint32(*traceThreshold)
+
+	if *campaign != "" {
+		runCampaign(campaignFlags{
+			target:      *campaign,
+			execs:       *campaignExecs,
+			seed:        *campaignSeed,
+			budget:      *campaignBudget,
+			maxInput:    *campaignInput,
+			expectCrash: *campaignExpectCrash,
+			out:         *campaignOut,
+		})
+		return
+	}
 
 	var axes []string
 	if *axesFlag != "" {

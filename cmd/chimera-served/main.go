@@ -19,9 +19,12 @@
 // hashing — a miss consults the key's shard owner before rewriting, and a
 // dead peer only costs extra rewrites, never errors.
 //
-// Endpoints: POST /rewrite, POST /rewrite/batch, POST /run, GET /healthz,
-// GET /stats, GET /metrics (Prometheus), GET /trace/{id}, GET /profile,
-// GET/PUT /peer/store/{id} (the cluster peer protocol).
+// Endpoints: POST /rewrite, POST /rewrite/batch, POST /run, POST /fuzz
+// (coverage-guided fuzzing campaigns; GET /fuzz/{id} and /fuzz/{id}/corpus
+// for status and corpus), GET /healthz, GET /stats, GET /metrics
+// (Prometheus), GET /trace/{id}, GET /profile, GET/PUT /peer/store/{id}
+// (the cluster peer protocol). -fuzz-campaigns caps concurrent campaigns
+// (negative disables the fuzz endpoints entirely).
 //
 // Observability: every response to a traced endpoint carries an
 // X-Chimera-Trace header naming its /trace/{id} record; -debug-addr
@@ -69,6 +72,7 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 0, "enable fault injection with this seed (0 = off; NEVER in production)")
 	traceCap := flag.Int("trace-capacity", 0, "request traces retained for /trace/{id} (0 = default 256, negative = tracing off)")
 	guestProfile := flag.Bool("guest-profile", false, "profile guest execution per image and serve it at /profile")
+	fuzzCampaigns := flag.Int("fuzz-campaigns", 0, "max concurrent fuzzing campaigns for POST /fuzz (0 = default 4, negative = endpoint off)")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = off; never expose publicly)")
 	flag.Parse()
 
@@ -85,6 +89,7 @@ func main() {
 		RunMaxInstret:  *runBudget,
 		TraceCapacity:  *traceCap,
 		GuestProfile:   *guestProfile,
+		MaxCampaigns:   *fuzzCampaigns,
 	}
 	if *peers != "" {
 		for _, p := range strings.Split(*peers, ",") {

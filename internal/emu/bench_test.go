@@ -17,6 +17,7 @@ import (
 
 	"github.com/eurosys26p57/chimera/internal/bench"
 	"github.com/eurosys26p57/chimera/internal/emu"
+	"github.com/eurosys26p57/chimera/internal/instrument"
 	"github.com/eurosys26p57/chimera/internal/kernel"
 	"github.com/eurosys26p57/chimera/internal/obj"
 	"github.com/eurosys26p57/chimera/internal/riscv"
@@ -163,6 +164,59 @@ func BenchmarkCPURunProfiler(b *testing.B) {
 			cpu.TraceThreshold = 0
 			if mode.prof {
 				cpu.Prof = telemetry.NewGuestProfiler()
+			}
+			warmStable(cpu.TraceThreshold, func() emu.BlockStats { return cpu.Blocks }, func() {
+				cpu.Reset(img)
+				runToCompletion(b, cpu)
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := cpu.Instret
+			for i := 0; i < b.N; i++ {
+				cpu.Reset(img)
+				runToCompletion(b, cpu)
+			}
+			insts := cpu.Instret - start
+			sec := b.Elapsed().Seconds()
+			if insts > 0 && sec > 0 {
+				b.ReportMetric(float64(insts)/sec/1e6, "Minst/s")
+				b.ReportMetric(sec*1e9/float64(insts), "ns/inst")
+			}
+		})
+	}
+}
+
+// BenchmarkCPURunInstrument measures the guest-instrumentation hook costs
+// on the branchy integer hot loop: "off" is a bare CPU (no Hooks attached),
+// "nilhooks" attaches a Hooks struct with no observers installed — the
+// fuzzing service's idle shape, which must compile to the exact same µop
+// stream as "off" (scripts/check.sh gates nilhooks within 2% of off and 0
+// allocs/op) — "coverage" pays an edge-map update per block/trace dispatch,
+// and "cmplog" rebuilds translations with cmp-operand logging burned in.
+// scripts/bench.sh derives the instrument overhead percentages from the
+// ns/inst numbers.
+func BenchmarkCPURunInstrument(b *testing.B) {
+	img, err := workload.Fibonacci(1000, riscv.RV64GC, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		install func(*instrument.Hooks)
+	}{
+		{"off", nil},
+		{"nilhooks", func(h *instrument.Hooks) {}},
+		{"coverage", func(h *instrument.Hooks) { h.Cov = instrument.NewCoverage() }},
+		{"cmplog", func(h *instrument.Hooks) { h.Cmp = instrument.NewCmpLog() }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			mem := emu.NewMemory()
+			mem.MapImage(img)
+			cpu := emu.NewCPU(mem, riscv.RV64GC)
+			if mode.install != nil {
+				h := &instrument.Hooks{}
+				mode.install(h)
+				cpu.SetHooks(h)
 			}
 			warmStable(cpu.TraceThreshold, func() emu.BlockStats { return cpu.Blocks }, func() {
 				cpu.Reset(img)

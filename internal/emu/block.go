@@ -49,6 +49,23 @@ const (
 	picWays = 4
 )
 
+// Observer-mask bits (CPU.obs, block.obs, trace.obs) and per-µop hook
+// flags. Cmp and Mem observer participation is burned into µops at build
+// time so a nil observer set compiles to the exact µop stream an
+// uninstrumented CPU builds; the coverage observer fires per dispatch and
+// needs neither a mask bit nor µop changes.
+const (
+	hookCmp uint8 = 1 << iota // log branch operands to Hooks.Cmp
+	hookMem                   // log integer load/store accesses to Hooks.Mem
+)
+
+// covIDOf hashes a block start pc into its stable coverage ID. Edge indices
+// are covID⊕prev (instrument.Coverage), so the ID itself just needs good
+// avalanche over nearby pcs.
+func covIDOf(pc uint64) uint32 {
+	return uint32((pc * 0x9E3779B97F4A7C15) >> 32)
+}
+
 // BlockStats counts translation events for both tiers, cumulative over the
 // CPU's lifetime. They are the emulator-side observables the service
 // exposes on /stats and chimera-run prints with -stats.
@@ -139,6 +156,7 @@ type uop struct {
 	rd, rs1, rs2 riscv.Reg
 	rs3          riscv.Reg
 	expect       uint8
+	hook         uint8 // observer participation (hookCmp/hookMem), build-time
 	imm          int64
 	pc           uint64 // this instruction's address
 	next         uint64 // pc + length
@@ -155,6 +173,8 @@ type block struct {
 	mem    *Memory
 	isa    riscv.Ext
 	cost   *CostModel
+	obs    uint8  // observer mask the µops were built under
+	covID  uint32 // stable coverage ID (covIDOf(pc)), computed at build
 	uops   []uop
 
 	// Frame validity: the code frames the block's bytes live in, with their
@@ -233,7 +253,7 @@ const (
 // and Pokes through *another* address space sharing a frame do.
 func (c *CPU) blockValid(b *block, pc uint64) bool {
 	return b.pc == pc && b.mem == c.Mem && b.mapGen == c.Mem.mapGen &&
-		b.isa == c.ISA && b.cost == c.Cost &&
+		b.isa == c.ISA && b.cost == c.Cost && b.obs == c.obs &&
 		b.pg0 != nil && b.pg0.gen == b.pgen0 &&
 		(b.pg1 == nil || b.pg1.gen == b.pgen1)
 }
@@ -342,8 +362,10 @@ func (c *CPU) decodeOne(pc uint64) (riscv.Inst, bool) {
 }
 
 // makeUop predecodes one instruction at pc: operands, static jump/branch
-// targets, LUI/AUIPC results, and both cycle charges.
-func makeUop(inst riscv.Inst, pc uint64, cost *CostModel) uop {
+// targets, LUI/AUIPC results, both cycle charges, and the observer hook
+// flags the µop participates in under the obs mask. With obs == 0 the
+// result is bit-identical to an uninstrumented build.
+func makeUop(inst riscv.Inst, pc uint64, cost *CostModel, obs uint8) uop {
 	n, t := cost.Costs(inst)
 	u := uop{
 		op: inst.Op, rd: inst.Rd, rs1: inst.Rs1, rs2: inst.Rs2, rs3: inst.Rs3,
@@ -352,12 +374,19 @@ func makeUop(inst riscv.Inst, pc uint64, cost *CostModel) uop {
 		inst: inst,
 	}
 	switch inst.Op {
-	case riscv.JAL, riscv.BEQ, riscv.BNE, riscv.BLT, riscv.BGE, riscv.BLTU, riscv.BGEU:
+	case riscv.JAL:
 		u.target = pc + uint64(inst.Imm)
+	case riscv.BEQ, riscv.BNE, riscv.BLT, riscv.BGE, riscv.BLTU, riscv.BGEU:
+		u.target = pc + uint64(inst.Imm)
+		u.hook = obs & hookCmp
 	case riscv.LUI:
 		u.target = uint64(inst.Imm << 12)
 	case riscv.AUIPC:
 		u.target = pc + uint64(inst.Imm<<12)
+	case riscv.LB, riscv.LH, riscv.LW, riscv.LD,
+		riscv.LBU, riscv.LHU, riscv.LWU,
+		riscv.SB, riscv.SH, riscv.SW, riscv.SD:
+		u.hook = obs & hookMem
 	}
 	return u
 }
@@ -369,13 +398,14 @@ func makeUop(inst riscv.Inst, pc uint64, cost *CostModel) uop {
 func (c *CPU) buildBlock(start uint64) *block {
 	b := c.newBlock()
 	b.pc, b.mapGen, b.mem, b.isa, b.cost = start, c.Mem.mapGen, c.Mem, c.ISA, c.Cost
+	b.obs, b.covID = c.obs, covIDOf(start)
 	pc := start
 	for len(b.uops) < maxBlockInsts {
 		inst, ok := c.decodeOne(pc)
 		if !ok || !c.ISA.Has(inst.Extension()) {
 			break
 		}
-		b.uops = append(b.uops, makeUop(inst, pc, c.Cost))
+		b.uops = append(b.uops, makeUop(inst, pc, c.Cost, c.obs))
 		pc += uint64(inst.Len)
 		if inst.IsControl() {
 			break
@@ -472,6 +502,25 @@ func (c *CPU) runBlocks(limit uint64) Stop {
 					if c.Prof != nil {
 						c.Prof.Sample(blk.pc, retired, c.Cycles-cyclesBefore)
 					}
+					if h := c.Hooks; h != nil && h.Cov != nil {
+						// Record an edge for every stitched block the trace
+						// actually entered, in stitch order, for exact parity
+						// with block-tier dispatch. Block k was entered iff
+						// its first µop started executing: its start index is
+						// below the retired count — or equal to it when the
+						// run halted, since the halting µop (ecall, fault)
+						// started without retiring.
+						limit := retired
+						if halted {
+							limit++
+						}
+						h.Cov.Edge(t.covIDs[0])
+						for k := 1; k < len(t.covIDs); k++ {
+							if uint64(t.covStarts[k]) < limit {
+								h.Cov.Edge(t.covIDs[k])
+							}
+						}
+					}
 					if halted {
 						return stop
 					}
@@ -497,6 +546,9 @@ func (c *CPU) runBlocks(limit uint64) Stop {
 					c.buildTrace(blk)
 				}
 			}
+		}
+		if h := c.Hooks; h != nil && h.Cov != nil {
+			h.Cov.Edge(blk.covID)
 		}
 		before := c.Instret
 		cyclesBefore := c.Cycles
@@ -690,6 +742,9 @@ func (c *CPU) execUops(uops []uop, max uint64) (Stop, bool, int) {
 
 		case riscv.LD:
 			addr := x[u.rs1] + uint64(u.imm)
+			if u.hook&hookMem != 0 {
+				c.Hooks.Mem.Access(u.pc, addr, 8, false)
+			}
 			if v, ok := mem.loadU64(addr); ok {
 				if u.rd != 0 {
 					x[u.rd] = v
@@ -707,6 +762,9 @@ func (c *CPU) execUops(uops []uop, max uint64) (Stop, bool, int) {
 			}
 		case riscv.LW:
 			addr := x[u.rs1] + uint64(u.imm)
+			if u.hook&hookMem != 0 {
+				c.Hooks.Mem.Access(u.pc, addr, 4, false)
+			}
 			if v, ok := mem.loadU32(addr); ok {
 				if u.rd != 0 {
 					x[u.rd] = uint64(int64(int32(v)))
@@ -724,6 +782,9 @@ func (c *CPU) execUops(uops []uop, max uint64) (Stop, bool, int) {
 			}
 		case riscv.LWU:
 			addr := x[u.rs1] + uint64(u.imm)
+			if u.hook&hookMem != 0 {
+				c.Hooks.Mem.Access(u.pc, addr, 4, false)
+			}
 			if v, ok := mem.loadU32(addr); ok {
 				if u.rd != 0 {
 					x[u.rd] = uint64(v)
@@ -749,7 +810,11 @@ func (c *CPU) execUops(uops []uop, max uint64) (Stop, bool, int) {
 			case riscv.LHU:
 				nbytes, signed = 2, false
 			}
-			v, fa, ok := c.memLoad(x[u.rs1]+uint64(u.imm), nbytes, signed)
+			addr := x[u.rs1] + uint64(u.imm)
+			if u.hook&hookMem != 0 {
+				c.Hooks.Mem.Access(u.pc, addr, uint8(nbytes), false)
+			}
+			v, fa, ok := c.memLoad(addr, nbytes, signed)
 			if !ok {
 				c.flushUops(uops, base, i, cycles, u.pc)
 				stop, h := c.fault(FaultAccess, fa, errLoad)
@@ -760,6 +825,9 @@ func (c *CPU) execUops(uops []uop, max uint64) (Stop, bool, int) {
 			}
 		case riscv.SD:
 			addr := x[u.rs1] + uint64(u.imm)
+			if u.hook&hookMem != 0 {
+				c.Hooks.Mem.Access(u.pc, addr, 8, true)
+			}
 			if !mem.storeU64(addr, x[u.rs2]) {
 				if fa, ok := c.memStore(addr, x[u.rs2], 8); !ok {
 					c.flushUops(uops, base, i, cycles, u.pc)
@@ -769,6 +837,9 @@ func (c *CPU) execUops(uops []uop, max uint64) (Stop, bool, int) {
 			}
 		case riscv.SW:
 			addr := x[u.rs1] + uint64(u.imm)
+			if u.hook&hookMem != 0 {
+				c.Hooks.Mem.Access(u.pc, addr, 4, true)
+			}
 			if !mem.storeU32(addr, uint32(x[u.rs2])) {
 				if fa, ok := c.memStore(addr, x[u.rs2], 4); !ok {
 					c.flushUops(uops, base, i, cycles, u.pc)
@@ -781,7 +852,11 @@ func (c *CPU) execUops(uops []uop, max uint64) (Stop, bool, int) {
 			if u.op == riscv.SH {
 				nbytes = 2
 			}
-			if fa, ok := c.memStore(x[u.rs1]+uint64(u.imm), x[u.rs2], nbytes); !ok {
+			addr := x[u.rs1] + uint64(u.imm)
+			if u.hook&hookMem != 0 {
+				c.Hooks.Mem.Access(u.pc, addr, uint8(nbytes), true)
+			}
+			if fa, ok := c.memStore(addr, x[u.rs2], nbytes); !ok {
 				c.flushUops(uops, base, i, cycles, u.pc)
 				stop, h := c.fault(FaultAccess, fa, errStore)
 				return stop, h, exitPart
@@ -852,6 +927,9 @@ func (c *CPU) execUops(uops []uop, max uint64) (Stop, bool, int) {
 			}
 
 		case riscv.BEQ, riscv.BNE, riscv.BLT, riscv.BGE, riscv.BLTU, riscv.BGEU:
+			if u.hook&hookCmp != 0 {
+				c.Hooks.Cmp.Log(u.pc, x[u.rs1], x[u.rs2])
+			}
 			var taken bool
 			switch u.op {
 			case riscv.BEQ:
@@ -914,12 +992,13 @@ func (c *CPU) execUops(uops []uop, max uint64) (Stop, bool, int) {
 			return Stop{}, false, exitTake
 		case riscv.JALR:
 			target := (x[u.rs1] + uint64(u.imm)) &^ 1
-			hooked := c.IndirectHook != nil
+			h := c.Hooks
+			hooked := h != nil && h.Indirect != nil
 			if hooked {
-				nt, extra := c.IndirectHook(u.pc, target)
+				nt, extra := h.Indirect(u.pc, target)
 				target = nt
 				cycles += extra
-				c.HookCount++
+				h.IndirectCalls++
 			}
 			if u.rd != 0 {
 				x[u.rd] = u.next

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/eurosys26p57/chimera/internal/instrument"
 	"github.com/eurosys26p57/chimera/internal/obj"
 	"github.com/eurosys26p57/chimera/internal/riscv"
 	"github.com/eurosys26p57/chimera/internal/telemetry"
@@ -96,13 +97,18 @@ type CPU struct {
 	Cycles  uint64
 	Instret uint64
 
-	// IndirectHook, when set, intercepts every indirect jump (jalr) before
-	// it retires. It may rewrite the target and charge extra cycles; it is
+	// Hooks is the instrumentation hook set (nil = uninstrumented).
+	// Hooks.Indirect intercepts every indirect jump (jalr) before it
+	// retires — it may rewrite the target and charge extra cycles; it is
 	// how regeneration baselines' inline target checks (Safer's encoded
 	// pointer checks, Multiverse's tables) are modeled on the simulated
-	// hardware. HookCount tallies invocations (the Table 2 metric).
-	IndirectHook func(pc, target uint64) (newTarget, extraCycles uint64)
-	HookCount    uint64
+	// hardware, with Hooks.IndirectCalls tallying invocations (the Table 2
+	// metric). The pure observers (Cov/Cmp/Mem) feed the fuzzing service.
+	// Install with SetHooks — observer participation is burned into µops at
+	// translation time, so the translation caches are keyed on the observer
+	// set (the obs mask below). Mutating an already-installed Hooks value's
+	// observer fields requires RefreshHooks.
+	Hooks *instrument.Hooks
 
 	// LastInst is the most recently retired instruction (diagnostics).
 	LastInst riscv.Inst
@@ -145,6 +151,36 @@ type CPU struct {
 	// steady-state rebuild churn allocates nothing.
 	freeBlocks []*block
 	freeTraces []*trace
+
+	// obs is the observer mask compiled into translations (hookCmp |
+	// hookMem bits, block.go). Blocks and traces record the mask they were
+	// built under and are revalidated against it, so flipping observers
+	// rebuilds translations instead of running stale µop streams. The
+	// coverage observer needs no µop changes (it fires per dispatch) and so
+	// does not participate in the mask.
+	obs uint8
+}
+
+// SetHooks installs an instrumentation hook set (nil uninstalls) and
+// recomputes the translation observer mask. Translations built under a
+// different observer set revalidate lazily — no eager cache flush.
+func (c *CPU) SetHooks(h *instrument.Hooks) {
+	c.Hooks = h
+	c.RefreshHooks()
+}
+
+// RefreshHooks recomputes the observer mask after the installed Hooks
+// value's observer fields were mutated in place.
+func (c *CPU) RefreshHooks() {
+	c.obs = 0
+	if h := c.Hooks; h != nil {
+		if h.Cmp != nil {
+			c.obs |= hookCmp
+		}
+		if h.Mem != nil {
+			c.obs |= hookMem
+		}
+	}
 }
 
 type icacheEntry struct {
@@ -344,17 +380,25 @@ func (c *CPU) aluW(inst riscv.Inst, next uint64, v int64) (Stop, bool) {
 	return c.retire(inst, next, false)
 }
 
-// branch retires a conditional branch.
+// branch retires a conditional branch. The interpreter checks the cmp
+// observer at run time so both engines log identically.
 func (c *CPU) branch(inst riscv.Inst, next uint64, cond bool) (Stop, bool) {
+	if h := c.Hooks; h != nil && h.Cmp != nil {
+		h.Cmp.Log(c.PC, c.X[inst.Rs1], c.X[inst.Rs2])
+	}
 	if cond {
 		return c.retire(inst, c.PC+uint64(inst.Imm), true)
 	}
 	return c.retire(inst, next, false)
 }
 
-// execLoad retires a scalar load.
+// execLoad retires a scalar load. Accesses are logged when attempted so a
+// faulting access appears as the mem trace's final entry.
 func (c *CPU) execLoad(inst riscv.Inst, next uint64, n int, signed bool) (Stop, bool) {
 	addr := c.X[inst.Rs1] + uint64(inst.Imm)
+	if h := c.Hooks; h != nil && h.Mem != nil {
+		h.Mem.Access(c.PC, addr, uint8(n), false)
+	}
 	v, fa, ok := c.memLoad(addr, n, signed)
 	if !ok {
 		return c.fault(FaultAccess, fa, errLoad)
@@ -366,20 +410,23 @@ func (c *CPU) execLoad(inst riscv.Inst, next uint64, n int, signed bool) (Stop, 
 // execStore retires a scalar store.
 func (c *CPU) execStore(inst riscv.Inst, next uint64, n int) (Stop, bool) {
 	addr := c.X[inst.Rs1] + uint64(inst.Imm)
+	if h := c.Hooks; h != nil && h.Mem != nil {
+		h.Mem.Access(c.PC, addr, uint8(n), true)
+	}
 	if fa, ok := c.memStore(addr, c.X[inst.Rs2], n); !ok {
 		return c.fault(FaultAccess, fa, errStore)
 	}
 	return c.retire(inst, next, false)
 }
 
-// execJALR retires an indirect jump, routing through the IndirectHook.
+// execJALR retires an indirect jump, routing through Hooks.Indirect.
 func (c *CPU) execJALR(inst riscv.Inst, next uint64) (Stop, bool) {
 	target := (c.X[inst.Rs1] + uint64(inst.Imm)) &^ 1
-	if c.IndirectHook != nil {
-		newTarget, extra := c.IndirectHook(c.PC, target)
+	if h := c.Hooks; h != nil && h.Indirect != nil {
+		newTarget, extra := h.Indirect(c.PC, target)
 		target = newTarget
 		c.Cycles += extra
-		c.HookCount++
+		h.IndirectCalls++
 	}
 	c.X[inst.Rd] = next
 	return c.retire(inst, target, true)

@@ -9,6 +9,7 @@ import (
 
 	"github.com/eurosys26p57/chimera/internal/bench"
 	"github.com/eurosys26p57/chimera/internal/emu"
+	"github.com/eurosys26p57/chimera/internal/instrument"
 	"github.com/eurosys26p57/chimera/internal/kernel"
 	"github.com/eurosys26p57/chimera/internal/obj"
 	"github.com/eurosys26p57/chimera/internal/riscv"
@@ -210,7 +211,11 @@ func TestRunMatmulZeroAllocs(t *testing.T) {
 // TestRunSPECZeroAllocs is the serving-path alloc gate: a warmed kernel
 // process re-run via Process.Reset must execute a full SPEC-shaped workload
 // — syscalls, trampolines, indirect hooks, trace promotion — without a
-// single heap allocation, under all three tiers.
+// single heap allocation, under all three tiers. Every kernel process
+// carries an attached instrument.Hooks set, so the base submode is already
+// the hooked-but-nil-observer path; the coverage and cmplog submodes prove
+// that installed observers (and the per-exec ResetState inside
+// Process.Reset) stay allocation-free too.
 func TestRunSPECZeroAllocs(t *testing.T) {
 	c := workload.SpecSuite()[0]
 	c.Params.Rounds = 4
@@ -218,28 +223,42 @@ func TestRunSPECZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	observers := []struct {
+		name    string
+		install func(*instrument.Hooks)
+	}{
+		{"nilobs", nil},
+		{"coverage", func(h *instrument.Hooks) { h.Cov = instrument.NewCoverage() }},
+		{"cmplog", func(h *instrument.Hooks) { h.Cmp = instrument.NewCmpLog() }},
+	}
 	for _, mode := range tierModes {
-		t.Run(mode.name, func(t *testing.T) {
-			v, err := kernel.VariantFromImage(img)
-			if err != nil {
-				t.Fatal(err)
-			}
-			p, err := kernel.NewProcess(c.Params.Name, []kernel.Variant{v})
-			if err != nil {
-				t.Fatal(err)
-			}
-			p.CPU.Interp = mode.interp
-			p.CPU.TraceThreshold = mode.threshold
-			full := func() {
-				p.Reset()
-				if _, err := bench.RunOnCore(p, riscv.RV64GCV); err != nil {
+		for _, obs := range observers {
+			t.Run(mode.name+"/"+obs.name, func(t *testing.T) {
+				v, err := kernel.VariantFromImage(img)
+				if err != nil {
 					t.Fatal(err)
 				}
-			}
-			warmStable(mode.threshold, func() emu.BlockStats { return p.CPU.Blocks }, full)
-			if allocs := testing.AllocsPerRun(5, full); allocs != 0 {
-				t.Errorf("steady-state process run allocates %.1f allocs/op, want 0", allocs)
-			}
-		})
+				p, err := kernel.NewProcess(c.Params.Name, []kernel.Variant{v})
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.CPU.Interp = mode.interp
+				p.CPU.TraceThreshold = mode.threshold
+				if obs.install != nil {
+					obs.install(p.Hooks())
+					p.CPU.RefreshHooks()
+				}
+				full := func() {
+					p.Reset()
+					if _, err := bench.RunOnCore(p, riscv.RV64GCV); err != nil {
+						t.Fatal(err)
+					}
+				}
+				warmStable(mode.threshold, func() emu.BlockStats { return p.CPU.Blocks }, full)
+				if allocs := testing.AllocsPerRun(5, full); allocs != 0 {
+					t.Errorf("steady-state process run allocates %.1f allocs/op, want 0", allocs)
+				}
+			})
+		}
 	}
 }

@@ -19,8 +19,10 @@ const DefaultTraceThreshold = 64
 // expectation into last. It returns nil — leaving last at expNone, the
 // plain block-tier exit — when the seam cannot be predicted: unchained or
 // stale successors, an indirect jump with no PIC history (or with an
-// IndirectHook installed, which may redirect or patch at every call), or a
-// terminal ECALL/EBREAK.
+// indirect hook installed, which may redirect or patch at every call), or a
+// terminal ECALL/EBREAK. Pure observers (coverage, cmp, mem) never veto a
+// seam: they cannot change guest behavior, so traces promote under them
+// exactly as when uninstrumented.
 func (c *CPU) stitchSuccessor(b *block, last *uop) *block {
 	switch last.op {
 	case riscv.JAL:
@@ -29,7 +31,7 @@ func (c *CPU) stitchSuccessor(b *block, last *uop) *block {
 			return s
 		}
 	case riscv.JALR:
-		if c.IndirectHook != nil {
+		if h := c.Hooks; h != nil && h.Indirect != nil {
 			return nil
 		}
 		// Predict the MRU polymorphic-inline-cache entry.

@@ -45,6 +45,7 @@ type trace struct {
 	mem    *Memory
 	isa    riscv.Ext
 	cost   *CostModel
+	obs    uint8 // observer mask the stitched µops were built under
 	uops   []uop
 
 	// last is the final stitched block; a planned exit from the trace's
@@ -56,13 +57,19 @@ type trace struct {
 	// patch generations observed at stitch time.
 	pages []*Page
 	pgens []uint64
+
+	// Coverage bookkeeping: the covID of every stitched block in stitch
+	// order, and each block's first-µop index in uops, so runBlocks can
+	// record exactly the edges a block-tier dispatch sequence would have.
+	covIDs    []uint32
+	covStarts []int
 }
 
 // traceValid reports whether t may still run on the CPU's current address
 // space, mapping generation, spanned-frame patch generations, ISA and cost
 // model.
 func (c *CPU) traceValid(t *trace) bool {
-	if t.mem != c.Mem || t.mapGen != c.Mem.mapGen || t.isa != c.ISA || t.cost != c.Cost {
+	if t.mem != c.Mem || t.mapGen != c.Mem.mapGen || t.isa != c.ISA || t.cost != c.Cost || t.obs != c.obs {
 		return false
 	}
 	for i, p := range t.pages {
@@ -92,7 +99,10 @@ func (c *CPU) recycleTrace(b *block) {
 	if t == nil {
 		return
 	}
-	*t = trace{uops: t.uops[:0], pages: t.pages[:0], pgens: t.pgens[:0]}
+	*t = trace{
+		uops: t.uops[:0], pages: t.pages[:0], pgens: t.pgens[:0],
+		covIDs: t.covIDs[:0], covStarts: t.covStarts[:0],
+	}
 	c.freeTraces = append(c.freeTraces, t)
 }
 
@@ -116,6 +126,7 @@ func (t *trace) addFrame(p *Page, gen uint64) {
 func (c *CPU) buildTrace(entry *block) {
 	t := c.newTrace()
 	t.pc, t.mapGen, t.mem, t.isa, t.cost = entry.pc, c.Mem.mapGen, entry.mem, entry.isa, entry.cost
+	t.obs = entry.obs
 	b := entry
 	nblocks := 0
 	for {
@@ -123,6 +134,8 @@ func (c *CPU) buildTrace(entry *block) {
 		if b.pg1 != nil {
 			t.addFrame(b.pg1, b.pgen1)
 		}
+		t.covIDs = append(t.covIDs, b.covID)
+		t.covStarts = append(t.covStarts, len(t.uops))
 		t.uops = append(t.uops, b.uops...)
 		t.last = b
 		nblocks++
@@ -144,7 +157,10 @@ func (c *CPU) buildTrace(entry *block) {
 	}
 	if nblocks < 2 {
 		entry.noTrace = true
-		*t = trace{uops: t.uops[:0], pages: t.pages[:0], pgens: t.pgens[:0]}
+		*t = trace{
+			uops: t.uops[:0], pages: t.pages[:0], pgens: t.pgens[:0],
+			covIDs: t.covIDs[:0], covStarts: t.covStarts[:0],
+		}
 		c.freeTraces = append(c.freeTraces, t)
 		return
 	}

@@ -170,6 +170,60 @@ func (m *minimizer) ddmin(cur Spec, fi int) ([]Step, bool) {
 	return body, shrunk
 }
 
+// MinimizeBytes delta-debugs a raw byte reproducer: it shrinks input while
+// the keep predicate still reproduces the failure, then simplifies the
+// survivors toward zero bytes. keep must return true when the candidate
+// still exhibits the failure; it is never called with the original input.
+// The loop is deterministic and budget-capped, mirroring Minimize, so the
+// fuzzing service's triage stage terminates even under a flaky predicate.
+func MinimizeBytes(input []byte, keep func([]byte) bool) []byte {
+	cur := append([]byte(nil), input...)
+	budget := 2000
+	try := func(cand []byte) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return keep(cand)
+	}
+
+	// ddmin over chunks, halving the chunk size down to single bytes.
+	for chunk := (len(cur) + 1) / 2; chunk >= 1; {
+		removedAny := false
+		for start := 0; start < len(cur); {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := append(append([]byte(nil), cur[:start]...), cur[end:]...)
+			if try(cand) {
+				cur = cand
+				removedAny = true
+				// Do not advance: the next chunk slid into this position.
+			} else {
+				start = end
+			}
+		}
+		if !removedAny {
+			chunk /= 2
+		}
+	}
+
+	// Simplify survivors: zero each non-zero byte that tolerates it, so the
+	// reproducer exposes exactly the bytes the failure depends on.
+	for i := range cur {
+		if cur[i] == 0 {
+			continue
+		}
+		cand := append([]byte(nil), cur...)
+		cand[i] = 0
+		if try(cand) {
+			cur = cand
+		}
+	}
+	return cur
+}
+
 // cloneSpec deep-copies a spec so candidate mutations never alias the
 // current best reproducer.
 func cloneSpec(s Spec) Spec {

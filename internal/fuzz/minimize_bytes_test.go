@@ -1,0 +1,48 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMinimizeBytesShrinksToDependentBytes(t *testing.T) {
+	// The "failure" depends on a 4-byte token anywhere in the input plus a
+	// marker byte after it; everything else is noise ddmin must strip.
+	input := append(append([]byte("noiseNOISEnoise"), []byte("BUG!")...), []byte{0x7f, 1, 2, 3, 4, 5}...)
+	keep := func(b []byte) bool {
+		i := bytes.Index(b, []byte("BUG!"))
+		return i >= 0 && bytes.IndexByte(b[i+4:], 0x7f) >= 0
+	}
+	got := MinimizeBytes(input, keep)
+	if !keep(got) {
+		t.Fatalf("minimized input no longer reproduces: %q", got)
+	}
+	if want := append([]byte("BUG!"), 0x7f); !bytes.Equal(got, want) {
+		t.Errorf("minimized to %q, want %q", got, want)
+	}
+}
+
+func TestMinimizeBytesSimplifiesSurvivors(t *testing.T) {
+	// Only length matters: every byte should simplify to zero.
+	input := []byte{9, 8, 7, 6}
+	got := MinimizeBytes(input, func(b []byte) bool { return len(b) >= 2 })
+	if len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Errorf("got %v, want [0 0]", got)
+	}
+}
+
+func TestMinimizeBytesFlakyPredicateTerminates(t *testing.T) {
+	// A predicate that flips every call must not spin: the budget caps it.
+	flip := false
+	input := make([]byte, 64)
+	for i := range input {
+		input[i] = byte(i + 1)
+	}
+	got := MinimizeBytes(input, func(b []byte) bool {
+		flip = !flip
+		return flip
+	})
+	if len(got) > len(input) {
+		t.Errorf("grew the input: %d > %d", len(got), len(input))
+	}
+}

@@ -62,7 +62,7 @@ func (s *Spec) diffResolveWith(img *obj.Image, budget uint64, ts *resolve.Target
 	// assignment. The hook fires on every jalr including returns; the site
 	// filter keeps only the pcs under an exhaustiveness claim.
 	var misses []resolveMiss
-	p.CPU.IndirectHook = func(pc, target uint64) (uint64, uint64) {
+	p.Hooks().Indirect = func(pc, target uint64) (uint64, uint64) {
 		if set, ok := exhaustive[pc]; ok && !set[target] {
 			if len(misses) < resolveMissCap {
 				misses = append(misses, resolveMiss{Site: pc, Target: target})

@@ -1,0 +1,42 @@
+// Campaign throughput benchmark: whole coverage-guided executions per
+// second against the seeded-bug guest, including mutation, coverage
+// folding, cmp harvesting, and triage. scripts/bench.sh harvests the
+// execs/s number into the BENCH_emu.json instrument block.
+package fuzzsvc_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/fuzzsvc"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/workload"
+)
+
+func BenchmarkCampaignExecs(b *testing.B) {
+	img, err := workload.FuzzTarget(riscv.RV64GC, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var execs uint64
+	for i := 0; i < b.N; i++ {
+		c, err := fuzzsvc.New(fuzzsvc.Config{
+			Image:      img,
+			MaxExecs:   2_000,
+			MaxInput:   64,
+			ExecBudget: 200_000,
+			Seed:       1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		execs += c.Snapshot().Execs
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(execs)/sec, "execs/s")
+	}
+}

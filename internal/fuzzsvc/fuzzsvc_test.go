@@ -1,0 +1,170 @@
+package fuzzsvc
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/asm"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+	"github.com/eurosys26p57/chimera/internal/workload"
+)
+
+func targetImage(t *testing.T) *obj.Image {
+	t.Helper()
+	img, err := workload.FuzzTarget(riscv.RV64GC, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestCampaignFindsPlantedCrash is the end-to-end acceptance path: from a
+// zero seed, coverage guidance climbs the byte gates and the cmp dictionary
+// finds the magic word; the crash is bucketed and minimized to the exact
+// 8-byte reproducer.
+func TestCampaignFindsPlantedCrash(t *testing.T) {
+	c, err := New(Config{
+		Image:       targetImage(t),
+		MaxExecs:    30_000,
+		MaxInput:    64,
+		ExecBudget:  200_000,
+		Seed:        1,
+		StopOnCrash: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if !s.Done {
+		t.Error("campaign not marked done")
+	}
+	if len(s.Crashes) == 0 {
+		t.Fatalf("no crash found in %d execs (corpus %d, edges %d)", s.Execs, s.Corpus, s.Edges)
+	}
+	cr := s.Crashes[0]
+	if cr.Signal != 11 {
+		t.Errorf("crash signal %d, want 11 (SIGSEGV)", cr.Signal)
+	}
+	if want := workload.FuzzTargetCrashInput(); !bytes.Equal(cr.Minimized, want) {
+		t.Errorf("minimized reproducer %q (%d bytes), want %q", cr.Minimized, len(cr.Minimized), want)
+	}
+	if s.Edges == 0 || s.Corpus < 2 {
+		t.Errorf("no coverage progress recorded: edges=%d corpus=%d", s.Edges, s.Corpus)
+	}
+	t.Logf("crash at exec %d of %d, corpus %d, edges %d", cr.FoundAtExec, s.Execs, s.Corpus, s.Edges)
+}
+
+// TestCampaignDeterminism: the same seed and config replay the identical
+// execution sequence, verified by the hash-chain digest over every exec.
+func TestCampaignDeterminism(t *testing.T) {
+	run := func() Snapshot {
+		c, err := New(Config{
+			Image:      targetImage(t),
+			Seeds:      [][]byte{[]byte("CHIMAAAA"), make([]byte, 12)},
+			MaxExecs:   800,
+			MaxInput:   64,
+			ExecBudget: 200_000,
+			Seed:       42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return c.Snapshot()
+	}
+	a, b := run(), run()
+	if a.TraceDigest != b.TraceDigest {
+		t.Errorf("campaign trace diverged: %s vs %s", a.TraceDigest, b.TraceDigest)
+	}
+	if a.Execs != b.Execs || a.Corpus != b.Corpus || a.Edges != b.Edges {
+		t.Errorf("campaign stats diverged: %+v vs %+v", a, b)
+	}
+	// A different seed takes a different path.
+	c, err := New(Config{
+		Image:      targetImage(t),
+		Seeds:      [][]byte{[]byte("CHIMAAAA"), make([]byte, 12)},
+		MaxExecs:   800,
+		MaxInput:   64,
+		ExecBudget: 200_000,
+		Seed:       43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Snapshot(); d.TraceDigest == a.TraceDigest {
+		t.Error("different seeds produced identical campaign traces")
+	}
+}
+
+// TestCampaignHangClassification: a guest that loops past the per-exec
+// instruction budget is a hang, not a simulator error, and the campaign
+// keeps going.
+func TestCampaignHangClassification(t *testing.T) {
+	b := asm.NewBuilder(riscv.RV64GC)
+	b.Func("main")
+	b.Label("spin")
+	b.J("spin")
+	img, err := b.Build("spin", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Image: img, MaxExecs: 10, ExecBudget: 10_000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if s.Hangs == 0 {
+		t.Errorf("no hangs recorded: %+v", s)
+	}
+	if s.SimErrors != 0 {
+		t.Errorf("hangs misclassified as simulator errors: %+v", s)
+	}
+}
+
+// TestCampaignContextCancel: campaigns stop promptly when canceled.
+func TestCampaignContextCancel(t *testing.T) {
+	c, err := New(Config{Image: targetImage(t), MaxExecs: 1 << 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Run(ctx); err == nil {
+		t.Error("canceled campaign returned nil")
+	}
+	if !c.Snapshot().Done {
+		t.Error("canceled campaign not marked done")
+	}
+}
+
+// TestCorpusEntriesCopies: corpus reads are safe and independent copies.
+func TestCorpusEntriesCopies(t *testing.T) {
+	c, err := New(Config{Image: targetImage(t), MaxExecs: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	es := c.CorpusEntries()
+	if len(es) == 0 {
+		t.Fatal("empty corpus")
+	}
+	es[0][0] ^= 0xFF
+	if bytes.Equal(es[0], c.CorpusEntries()[0]) {
+		t.Error("CorpusEntries aliases campaign-internal state")
+	}
+}

@@ -1,0 +1,204 @@
+// Package instrument defines the guest instrumentation ABI: a hook set the
+// emulator compiles into its basic blocks and superblock traces at
+// translation time. Three observers are defined — AFL-style edge-coverage
+// bitmaps, cmp-operand logging (input-to-state correspondence, the REDQUEEN
+// trick), and memory-access tracing — plus the indirect-jump interceptor
+// that regeneration baselines (Safer's pointer checks) have always used.
+//
+// The contract that makes the emulator usable as a fuzzing backend (Icicle's
+// observation) is zero-cost-when-off: a nil hook set, or a hook set with no
+// observers, must compile to the exact same µop stream as an uninstrumented
+// emulator and pay at most a nil check per block dispatch. All observer
+// state is preallocated fixed-size storage so per-execution resets
+// (Hooks.ResetState, called from kernel.Process.Reset) never allocate —
+// the fuzzing loop's steady state is allocation-free like every other hot
+// path in the tree.
+//
+// The package is dependency-free (the emulator imports it, not the other
+// way around), mirroring how internal/telemetry hosts the guest profiler.
+package instrument
+
+const (
+	// CovMapSize is the edge-coverage bitmap size (AFL's classic 64 KiB).
+	// Edge indices are (cur ^ prev) masked to this range, with prev shifted
+	// right one bit so A→B and B→A hash differently.
+	CovMapSize = 1 << 16
+	// CmpLogSize is the cmp-operand ring capacity (entries).
+	CmpLogSize = 1 << 12
+	// MemLogSize is the memory-access ring capacity (entries).
+	MemLogSize = 1 << 12
+)
+
+// Coverage is an AFL-style edge-coverage bitmap. Edge records the
+// transition into a block identified by id (a build-time hash of the block
+// pc): the bitmap cell for (id ^ prev) is bumped and prev becomes id>>1.
+// Counts saturate at 255 rather than wrapping so hit-count bucketing stays
+// monotone.
+type Coverage struct {
+	Map  [CovMapSize]byte
+	prev uint32
+}
+
+// NewCoverage returns an empty coverage map.
+func NewCoverage() *Coverage { return &Coverage{} }
+
+// Edge records the transition into block id.
+func (c *Coverage) Edge(id uint32) {
+	cell := &c.Map[(id^c.prev)&(CovMapSize-1)]
+	if *cell != 255 {
+		*cell++
+	}
+	c.prev = id >> 1
+}
+
+// Reset clears the bitmap and the edge-chain state without allocating.
+func (c *Coverage) Reset() {
+	c.Map = [CovMapSize]byte{}
+	c.prev = 0
+}
+
+// Edges counts the populated bitmap cells (distinct edges observed).
+func (c *Coverage) Edges() int {
+	n := 0
+	for _, b := range c.Map {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CmpEntry is one logged comparison: the branch pc and both operand values
+// at execution time.
+type CmpEntry struct {
+	PC   uint64
+	A, B uint64
+}
+
+// CmpLog is a fixed ring of comparison operands, fed by every conditional
+// branch the translator flagged at build time. N counts all logged entries
+// (it can exceed CmpLogSize; the ring keeps the most recent).
+type CmpLog struct {
+	Buf [CmpLogSize]CmpEntry
+	N   uint64
+}
+
+// NewCmpLog returns an empty comparison log.
+func NewCmpLog() *CmpLog { return &CmpLog{} }
+
+// Log records one comparison.
+func (l *CmpLog) Log(pc, a, b uint64) {
+	l.Buf[l.N&(CmpLogSize-1)] = CmpEntry{PC: pc, A: a, B: b}
+	l.N++
+}
+
+// Reset empties the log without allocating.
+func (l *CmpLog) Reset() { l.N = 0 }
+
+// Len reports how many entries are currently readable (at most CmpLogSize).
+func (l *CmpLog) Len() int {
+	if l.N > CmpLogSize {
+		return CmpLogSize
+	}
+	return int(l.N)
+}
+
+// Entry returns readable entry i (0 ≤ i < Len()), oldest first.
+func (l *CmpLog) Entry(i int) CmpEntry {
+	if l.N > CmpLogSize {
+		return l.Buf[(l.N+uint64(i))&(CmpLogSize-1)]
+	}
+	return l.Buf[i]
+}
+
+// MemEntry is one logged memory access.
+type MemEntry struct {
+	PC    uint64
+	Addr  uint64
+	Size  uint8
+	Write bool
+}
+
+// MemTrace is a fixed ring of guest memory accesses, fed by every scalar
+// load/store µop the translator flagged at build time. Accesses are logged
+// when attempted, so a faulting access appears as the trace's final entry —
+// exactly what crash triage wants to see. (The interpreter's vector
+// long-tail is not traced; DESIGN.md §13 records the limitation.)
+type MemTrace struct {
+	Buf [MemLogSize]MemEntry
+	N   uint64
+}
+
+// NewMemTrace returns an empty access trace.
+func NewMemTrace() *MemTrace { return &MemTrace{} }
+
+// Access records one attempted access.
+func (t *MemTrace) Access(pc, addr uint64, size uint8, write bool) {
+	t.Buf[t.N&(MemLogSize-1)] = MemEntry{PC: pc, Addr: addr, Size: size, Write: write}
+	t.N++
+}
+
+// Reset empties the trace without allocating.
+func (t *MemTrace) Reset() { t.N = 0 }
+
+// Len reports how many entries are currently readable (at most MemLogSize).
+func (t *MemTrace) Len() int {
+	if t.N > MemLogSize {
+		return MemLogSize
+	}
+	return int(t.N)
+}
+
+// Entry returns readable entry i (0 ≤ i < Len()), oldest first.
+func (t *MemTrace) Entry(i int) MemEntry {
+	if t.N > MemLogSize {
+		return t.Buf[(t.N+uint64(i))&(MemLogSize-1)]
+	}
+	return t.Buf[i]
+}
+
+// Hooks is the emulator's single hook registration surface.
+//
+// Indirect is the interceptor formerly known as emu.CPU.IndirectHook: it
+// fires on every jalr before it retires, may rewrite the target and charge
+// extra cycles, and is counted in IndirectCalls (the Table 2 "checks"
+// metric). It is checked at run time, so installing or swapping it never
+// invalidates translations — but it does veto jalr trace stitching, since a
+// hook may redirect or patch code at every call.
+//
+// Cov, Cmp and Mem are pure observers: they cannot change guest behavior,
+// so traces stitch and promote exactly as if they were absent (including
+// across indirect jumps). Cmp and Mem participation is burned into µops at
+// translation time — install them through emu.CPU.SetHooks, which keys the
+// translation caches on the observer set so stale translations rebuild.
+type Hooks struct {
+	Indirect      func(pc, target uint64) (newTarget, extraCycles uint64)
+	IndirectCalls uint64
+
+	Cov *Coverage
+	Cmp *CmpLog
+	Mem *MemTrace
+}
+
+// ResetState clears per-execution observer state (coverage bitmap, cmp log,
+// access trace) without allocating and without touching the registration
+// itself or the cumulative IndirectCalls counter.
+func (h *Hooks) ResetState() {
+	if h == nil {
+		return
+	}
+	if h.Cov != nil {
+		h.Cov.Reset()
+	}
+	if h.Cmp != nil {
+		h.Cmp.Reset()
+	}
+	if h.Mem != nil {
+		h.Mem.Reset()
+	}
+}
+
+// Observing reports whether any pure observer is installed.
+func (h *Hooks) Observing() bool {
+	return h != nil && (h.Cov != nil || h.Cmp != nil || h.Mem != nil)
+}

@@ -1,0 +1,125 @@
+package instrument
+
+import "testing"
+
+func TestCoverageEdgeHashing(t *testing.T) {
+	c := NewCoverage()
+	c.Edge(0x1234)
+	c.Edge(0x5678)
+	forward := c.Edges()
+	if forward != 2 {
+		t.Fatalf("two distinct edges expected, got %d", forward)
+	}
+
+	// A→B and B→A must land in different cells (prev is shifted).
+	c2 := NewCoverage()
+	c2.Edge(0x5678)
+	c2.Edge(0x1234)
+	same := 0
+	for i := range c.Map {
+		if c.Map[i] != 0 && c2.Map[i] != 0 {
+			same++
+		}
+	}
+	if same == 2 {
+		t.Fatal("A→B and B→A hashed to the same cells")
+	}
+}
+
+func TestCoverageSaturates(t *testing.T) {
+	c := NewCoverage()
+	for i := 0; i < 300; i++ {
+		c.Edge(7)
+		c.prev = 0 // same edge every time
+	}
+	if got := c.Map[7]; got != 255 {
+		t.Fatalf("count should saturate at 255, got %d", got)
+	}
+}
+
+func TestCoverageResetNoAlloc(t *testing.T) {
+	c := NewCoverage()
+	c.Edge(1)
+	c.Edge(2)
+	allocs := testing.AllocsPerRun(10, func() { c.Reset() })
+	if allocs != 0 {
+		t.Fatalf("Coverage.Reset allocates: %v allocs/op", allocs)
+	}
+	if c.Edges() != 0 || c.prev != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestCmpLogRing(t *testing.T) {
+	l := NewCmpLog()
+	for i := 0; i < CmpLogSize+10; i++ {
+		l.Log(uint64(i), uint64(i)*2, uint64(i)*3)
+	}
+	if l.Len() != CmpLogSize {
+		t.Fatalf("Len = %d, want %d", l.Len(), CmpLogSize)
+	}
+	// Oldest readable entry is entry 10 (the first 10 were overwritten).
+	if got := l.Entry(0); got.PC != 10 {
+		t.Fatalf("oldest entry PC = %d, want 10", got.PC)
+	}
+	if got := l.Entry(l.Len() - 1); got.PC != CmpLogSize+9 {
+		t.Fatalf("newest entry PC = %d, want %d", got.PC, CmpLogSize+9)
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("Reset did not clear log")
+	}
+}
+
+func TestMemTraceRing(t *testing.T) {
+	m := NewMemTrace()
+	m.Access(0x100, 0x2000, 8, false)
+	m.Access(0x104, 0x2008, 4, true)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	e := m.Entry(1)
+	if e.PC != 0x104 || e.Addr != 0x2008 || e.Size != 4 || !e.Write {
+		t.Fatalf("unexpected entry: %+v", e)
+	}
+	allocs := testing.AllocsPerRun(10, func() { m.Reset() })
+	if allocs != 0 {
+		t.Fatalf("MemTrace.Reset allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestHooksResetState(t *testing.T) {
+	var nilHooks *Hooks
+	nilHooks.ResetState() // must not panic
+
+	h := &Hooks{Cov: NewCoverage(), Cmp: NewCmpLog(), Mem: NewMemTrace()}
+	h.IndirectCalls = 42
+	h.Cov.Edge(1)
+	h.Cmp.Log(1, 2, 3)
+	h.Mem.Access(1, 2, 8, false)
+	allocs := testing.AllocsPerRun(10, func() { h.ResetState() })
+	if allocs != 0 {
+		t.Fatalf("Hooks.ResetState allocates: %v allocs/op", allocs)
+	}
+	if h.Cov.Edges() != 0 || h.Cmp.Len() != 0 || h.Mem.Len() != 0 {
+		t.Fatal("ResetState did not clear observer state")
+	}
+	if h.IndirectCalls != 42 {
+		t.Fatal("ResetState must not touch the cumulative IndirectCalls counter")
+	}
+}
+
+func TestObserving(t *testing.T) {
+	var nilHooks *Hooks
+	if nilHooks.Observing() {
+		t.Fatal("nil hooks observing")
+	}
+	h := &Hooks{Indirect: func(pc, t uint64) (uint64, uint64) { return t, 0 }}
+	if h.Observing() {
+		t.Fatal("indirect-only hooks are not observers")
+	}
+	h.Cov = NewCoverage()
+	if !h.Observing() {
+		t.Fatal("coverage installed but not observing")
+	}
+}

@@ -38,6 +38,7 @@ const (
 
 // Syscall numbers (Linux RISC-V numbers where they exist).
 const (
+	SysRead      = 63
 	SysWrite     = 64
 	SysExit      = 93
 	SysSigaction = 134

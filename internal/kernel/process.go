@@ -7,6 +7,7 @@ import (
 	"github.com/eurosys26p57/chimera/internal/chaos"
 	"github.com/eurosys26p57/chimera/internal/chbp"
 	"github.com/eurosys26p57/chimera/internal/emu"
+	"github.com/eurosys26p57/chimera/internal/instrument"
 	"github.com/eurosys26p57/chimera/internal/obj"
 	"github.com/eurosys26p57/chimera/internal/riscv"
 	"github.com/eurosys26p57/chimera/internal/translate"
@@ -83,12 +84,36 @@ type Process struct {
 	ExitCode uint64
 	Output   []byte
 
+	// Input backs the read(2) syscall: sequential reads consume it from
+	// inputOff, then return EOF. SetInput rearms it; Reset rewinds the
+	// cursor. This is how the fuzzing service feeds test cases to a guest
+	// without rebuilding the process.
+	Input    []byte
+	inputOff int
+
 	Counters Counters
+
+	// hooks is the process-owned instrumentation hook set, installed on the
+	// CPU at construction. Its address never changes, so migrations and
+	// resets mutate fields in place and warm translations stay valid.
+	hooks instrument.Hooks
 
 	handlers map[int]uint64 // signal number -> user handler pc
 	inSignal bool
 	sigFrame sigContext
 	pending  []int
+}
+
+// Hooks exposes the process's instrumentation hook set for observer
+// installation. After mutating observer fields (Cov/Cmp/Mem), call
+// CPU.RefreshHooks so translations are keyed on the new observer set.
+func (p *Process) Hooks() *instrument.Hooks { return &p.hooks }
+
+// SetInput arms the read(2) input buffer and rewinds its cursor. The slice
+// is aliased, not copied.
+func (p *Process) SetInput(b []byte) {
+	p.Input = b
+	p.inputOff = 0
 }
 
 type sigContext struct {
@@ -196,7 +221,8 @@ func NewProcess(name string, variants []Variant) (*Process, error) {
 	p.first = first
 	p.CPU = emu.NewCPU(first.mem, first.isa)
 	p.CPU.Reset(first.img)
-	p.CPU.IndirectHook = first.hook
+	p.hooks.Indirect = first.hook
+	p.CPU.SetHooks(&p.hooks)
 	return p, nil
 }
 
@@ -223,10 +249,12 @@ func (p *Process) Reset() {
 	p.cur = p.first
 	p.CPU.Mem = p.first.mem
 	p.CPU.ISA = p.first.isa
-	p.CPU.IndirectHook = p.first.hook
+	p.hooks.Indirect = p.first.hook
+	p.hooks.ResetState()
 	p.CPU.Reset(p.first.img)
 	p.Exited, p.ExitCode = false, 0
 	p.Output = p.Output[:0]
+	p.inputOff = 0
 	clear(p.handlers)
 	p.pending = p.pending[:0]
 	p.inSignal = false
@@ -351,7 +379,7 @@ func (p *Process) MigrateTo(isa riscv.Ext) error {
 	p.cur = target
 	p.CPU.Mem = target.mem
 	p.CPU.ISA = target.isa
-	p.CPU.IndirectHook = target.hook
+	p.hooks.Indirect = target.hook
 	p.Counters.Migrations++
 	p.Counters.KernelCycles += MigrationCost
 	return nil

@@ -47,7 +47,7 @@ func (p *Process) Run(slice uint64) (uint64, Status, error) {
 	cpu := p.CPU
 	startCycles := cpu.Cycles
 	startKernel := p.Counters.KernelCycles
-	startChecks := cpu.HookCount
+	startChecks := p.hooks.IndirectCalls
 	executed := uint64(0)
 	status := StatusRunning
 
@@ -118,7 +118,7 @@ loop:
 }
 
 func (p *Process) consumed(startCycles, startKernel, startChecks uint64) uint64 {
-	p.Counters.Checks += p.CPU.HookCount - startChecks
+	p.Counters.Checks += p.hooks.IndirectCalls - startChecks
 	return (p.CPU.Cycles - startCycles) + (p.Counters.KernelCycles - startKernel)
 }
 
@@ -322,6 +322,27 @@ func (p *Process) syscall() (Status, error) {
 			return st, fmt.Errorf("kernel: write(2) buffer fault at %#x", fa)
 		}
 		cpu.X[riscv.A0] = a2
+	case SysRead:
+		// Sequential reads from the process's armed Input buffer (fd is
+		// ignored — the simulated process has a single input stream). Zero
+		// bytes past the end signals EOF. The copy lands directly in guest
+		// memory, so repeated SetInput/Reset/Run cycles never allocate.
+		if a2 > 1<<20 {
+			cpu.X[riscv.A0] = ^uint64(0) // EFAULT-ish
+			break
+		}
+		rem := len(p.Input) - p.inputOff
+		n := int(a2)
+		if n > rem {
+			n = rem
+		}
+		if n > 0 {
+			if fa, ok := cpu.Mem.Write(a1, p.Input[p.inputOff:p.inputOff+n]); !ok {
+				return st, fmt.Errorf("kernel: read(2) buffer fault at %#x", fa)
+			}
+			p.inputOff += n
+		}
+		cpu.X[riscv.A0] = uint64(n)
 	case SysGetTID:
 		cpu.X[riscv.A0] = 1
 	case SysYield:

@@ -5,6 +5,7 @@ import (
 
 	"github.com/eurosys26p57/chimera/internal/asm"
 	"github.com/eurosys26p57/chimera/internal/emu"
+	"github.com/eurosys26p57/chimera/internal/instrument"
 	"github.com/eurosys26p57/chimera/internal/obj"
 	"github.com/eurosys26p57/chimera/internal/riscv"
 )
@@ -84,7 +85,7 @@ func run(t *testing.T, rw *Rewritten, isa riscv.Ext, hook bool) (*emu.CPU, int) 
 		if s := rw.Image.Text(); s != nil {
 			ts, te = s.Addr, s.End()
 		}
-		cpu.IndirectHook = SaferHook(rw.AddrMap, ts, te)
+		cpu.SetHooks(&instrument.Hooks{Indirect: SaferHook(rw.AddrMap, ts, te)})
 	}
 	traps := 0
 	for i := 0; i < 100000; i++ {
@@ -167,7 +168,7 @@ func TestSaferDowngrade(t *testing.T) {
 		if got := int64(cpu.X[riscv.A0]); got != want {
 			t.Errorf("compress=%v: result %d, want %d", compress, got, want)
 		}
-		if cpu.HookCount == 0 {
+		if cpu.Hooks.IndirectCalls == 0 {
 			t.Error("Safer executed no pointer checks")
 		}
 	}

@@ -48,6 +48,9 @@ type errorResponse struct {
 //	POST /rewrite        rewrite an image (JSON in/out, image in the obj wire format)
 //	POST /rewrite/batch  rewrite up to 256 images in one request (per-item status)
 //	POST /run            execute an image on a simulated core
+//	POST /fuzz           start a coverage-guided fuzzing campaign against an image
+//	GET  /fuzz/{id}          campaign status (execs, coverage, triaged crashes)
+//	GET  /fuzz/{id}/corpus   the campaign's coverage-novel corpus entries
 //	GET  /healthz        liveness probe
 //	GET  /stats          counters, cache/store/cluster state, latency histograms (JSON)
 //	GET  /metrics        the same counters in Prometheus text exposition
@@ -59,6 +62,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/rewrite", s.handleRewrite)
 	mux.HandleFunc("/rewrite/batch", s.handleRewriteBatch)
 	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/fuzz", s.handleFuzz)
+	mux.HandleFunc("/fuzz/", s.handleFuzzGet)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", s.tel.reg)

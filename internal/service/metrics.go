@@ -106,6 +106,15 @@ type serviceMetrics struct {
 	picHits      *telemetry.Counter
 	picMisses    *telemetry.Counter
 
+	// Fuzzing campaigns (POST /fuzz): totals folded in as each campaign
+	// finishes; the active gauge is registered scrape-time in NewServer.
+	fuzzCampaigns *telemetry.Counter
+	fuzzExecs     *telemetry.Counter
+	fuzzCrashes   *telemetry.Counter
+	fuzzHangs     *telemetry.Counter
+	fuzzCorpus    *telemetry.Counter
+	fuzzEdges     *telemetry.Counter
+
 	// kernelTel folds each run's kernel.Counters into the shared
 	// chimera_kernel_* families (and registers the scheduler families).
 	kernelTel *kernel.SchedTelemetry
@@ -183,6 +192,13 @@ func newServiceMetrics() *serviceMetrics {
 		traceSides:   r.Counter("chimera_emu_trace_side_exits_total", "trace guard failures that fell back to the block tier"),
 		picHits:      r.Counter("chimera_emu_trace_pic_hits_total", "indirect-jump chains served by the polymorphic inline cache"),
 		picMisses:    r.Counter("chimera_emu_trace_pic_misses_total", "indirect-jump chains that probed the block cache"),
+
+		fuzzCampaigns: r.Counter("chimera_fuzz_campaigns_total", "fuzzing campaigns created via POST /fuzz"),
+		fuzzExecs:     r.Counter("chimera_fuzz_execs_total", "guest executions across all finished campaigns"),
+		fuzzCrashes:   r.Counter("chimera_fuzz_crashes_unique_total", "unique (signal, pc) crash buckets found by finished campaigns"),
+		fuzzHangs:     r.Counter("chimera_fuzz_hangs_total", "executions ended by the per-exec instruction budget"),
+		fuzzCorpus:    r.Counter("chimera_fuzz_corpus_entries_total", "coverage-novel corpus entries kept by finished campaigns"),
+		fuzzEdges:     r.Counter("chimera_fuzz_edges_total", "distinct coverage-map edges reached by finished campaigns"),
 	}
 	m.stageCacheLookup = m.stageSeconds.With("cache_lookup")
 	m.stageFlightWait = m.stageSeconds.With("singleflight_wait")

@@ -110,6 +110,10 @@ type Config struct {
 	// /profile. Off by default (the profiler-off path costs one nil check
 	// per block dispatch).
 	GuestProfile bool
+	// MaxCampaigns caps concurrently running fuzzing campaigns (POST
+	// /fuzz). Campaigns run on dedicated goroutines outside the worker
+	// pool (default 4; negative disables the endpoint).
+	MaxCampaigns int
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +158,9 @@ func (c Config) withDefaults() Config {
 		c.RunMaxInstret = 2_000_000_000
 	case c.RunMaxInstret < 0:
 		c.RunMaxInstret = 0
+	}
+	if c.MaxCampaigns == 0 {
+		c.MaxCampaigns = 4
 	}
 	return c
 }
@@ -309,6 +316,9 @@ type Server struct {
 	// profMu guards the per-image guest-profile aggregates (GuestProfile).
 	profMu   sync.Mutex
 	profiles map[string]*imageProfile
+
+	// fuzz owns the POST /fuzz campaigns; nil when MaxCampaigns < 0.
+	fuzz *fuzzManager
 }
 
 // imageProfile aggregates guest-profiler samples across every /run of one
@@ -412,6 +422,9 @@ func NewServer(cfg Config) (*Server, error) {
 		after = int(^uint(0) >> 1)
 	}
 	s.brk = newBreakers(after, cfg.QuarantineFor, tel.breakerTrips)
+	if cfg.MaxCampaigns > 0 {
+		s.fuzz = newFuzzManager(cfg.MaxCampaigns)
+	}
 
 	// Scrape-time gauges: state that already lives on the server.
 	r := tel.reg
@@ -427,6 +440,10 @@ func NewServer(cfg Config) (*Server, error) {
 		func() float64 { return float64(s.running.Load()) })
 	r.GaugeFunc("chimera_quarantined_configs", "rewriter configs with an open circuit breaker",
 		func() float64 { return float64(s.brk.active(time.Now())) })
+	if s.fuzz != nil {
+		r.GaugeFunc("chimera_fuzz_campaigns_active", "fuzzing campaigns currently running",
+			func() float64 { return float64(s.fuzz.activeCount()) })
+	}
 	r.GaugeFunc("chimera_cache_entries", "memory-tier rewrite cache entries",
 		func() float64 { return float64(s.st.Mem().Len()) })
 	r.GaugeFunc("chimera_cache_bytes", "memory-tier rewrite cache resident bytes",
@@ -550,6 +567,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		go func() {
 			s.workers.Wait()
 			s.offers.Wait() // in-flight peer offers finish or time out
+			if s.fuzz != nil {
+				s.fuzz.stopAll() // cancel campaigns and wait for their goroutines
+			}
 			close(s.drained)
 		}()
 	})
@@ -1215,6 +1235,7 @@ type Stats struct {
 	Cluster   *cluster.Stats            `json:"cluster,omitempty"`
 	Emulator  EmuStats                  `json:"emulator"`
 	Resolve   ResolveStats              `json:"resolve"`
+	Fuzz      FuzzStats                 `json:"fuzz"`
 	Faults    FaultStats                `json:"faults"`
 	Endpoints map[string]LatencySummary `json:"endpoints"`
 	PerMethod map[string]LatencySummary `json:"per_method"`
@@ -1325,6 +1346,7 @@ func (s *Server) Stats() Stats {
 			AvoidedRewrites: m.resolveAvoided.Value(),
 			FaultsAvoided:   m.kernelTel.RewriteFaultsAvoided(),
 		},
+		Fuzz:      s.fuzzStats(),
 		Endpoints: summaries(m.requestSeconds),
 		PerMethod: summaries(m.methodSeconds),
 		Stages:    summaries(m.stageSeconds),

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"github.com/eurosys26p57/chimera/internal/asm"
+	"github.com/eurosys26p57/chimera/internal/obj"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+// FuzzTargetMagic is the 32-bit magic word guarding the planted crash in
+// FuzzTarget. It is practically unfindable by blind mutation — reaching the
+// crash requires the cmp-operand dictionary (input-to-state correspondence).
+const FuzzTargetMagic = 0xDEADBEEF
+
+// FuzzTargetPrefix is the byte-gate prefix FuzzTarget checks one byte at a
+// time. Each gate is its own basic block, so edge coverage rewards partial
+// progress — the classic staircase a coverage-guided fuzzer climbs and a
+// blind one cannot.
+const FuzzTargetPrefix = "CHIM"
+
+// FuzzTarget builds the seeded-bug guest for fuzzing campaigns: it reads up
+// to 64 input bytes via read(2), rejects short inputs, walks four
+// single-byte prefix gates ("CHIM", separate blocks → coverage gradient),
+// compares the next word against FuzzTargetMagic (findable only via the cmp
+// log), and then dereferences a null pointer — SIGSEGV, exit 128+11.
+// Any gate failure exits 0.
+//
+// Input layout that crashes: "CHIM" + uint32le(0xDEADBEEF), 8 bytes.
+func FuzzTarget(isa riscv.Ext, compress bool) (*obj.Image, error) {
+	b := asm.NewBuilder(isa)
+	b.Compress = compress
+	b.Zero("buf", 64)
+	b.Func("main")
+	// n = read(0, buf, 64)
+	b.Li(riscv.A7, 63)
+	b.Li(riscv.A0, 0)
+	b.La(riscv.A1, "buf")
+	b.Li(riscv.A2, 64)
+	b.Ecall()
+	// len gate: n >= len(prefix)+4
+	b.Li(riscv.T0, int64(len(FuzzTargetPrefix)+4))
+	b.Blt(riscv.A0, riscv.T0, "reject")
+	b.La(riscv.S1, "buf")
+	// Byte gates, one block each.
+	for i, ch := range []byte(FuzzTargetPrefix) {
+		b.Load(riscv.LBU, riscv.T0, riscv.S1, int64(i))
+		b.Li(riscv.T1, int64(ch))
+		b.Bne(riscv.T0, riscv.T1, "reject")
+	}
+	// Magic-word gate: only the cmp dictionary finds this.
+	b.Load(riscv.LWU, riscv.T0, riscv.S1, int64(len(FuzzTargetPrefix)))
+	b.Li(riscv.T1, FuzzTargetMagic)
+	b.Bne(riscv.T0, riscv.T1, "reject")
+	// The planted bug: null-pointer load → SIGSEGV (exit 128+11).
+	b.Load(riscv.LD, riscv.T2, riscv.Zero, 0)
+	// Not reached.
+	b.Li(riscv.A0, 1)
+	exit(b)
+	b.Label("reject")
+	b.Li(riscv.A0, 0)
+	exit(b)
+	return b.Build("fuzztarget", "main")
+}
+
+// FuzzTargetCrashInput returns the exact 8-byte input that triggers the
+// planted crash (for tests and triage verification).
+func FuzzTargetCrashInput() []byte {
+	magic := uint32(FuzzTargetMagic)
+	in := []byte(FuzzTargetPrefix)
+	return append(in, byte(magic), byte(magic>>8), byte(magic>>16), byte(magic>>24))
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/eurosys26p57/chimera/internal/kernel"
+	"github.com/eurosys26p57/chimera/internal/riscv"
+)
+
+func runTarget(t *testing.T, input []byte) uint64 {
+	t.Helper()
+	img, err := FuzzTarget(riscv.RV64GC, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := kernel.VariantFromImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := kernel.NewProcess("fuzztarget", []kernel.Variant{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetInput(input)
+	for i := 0; i < 100 && !p.Exited; i++ {
+		if _, _, err := p.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Exited {
+		t.Fatal("target did not exit")
+	}
+	return p.ExitCode
+}
+
+func TestFuzzTargetCrashInput(t *testing.T) {
+	if code := runTarget(t, FuzzTargetCrashInput()); code != 128+11 {
+		t.Fatalf("crash input exited %d, want %d (SIGSEGV)", code, 128+11)
+	}
+}
+
+func TestFuzzTargetRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        nil,
+		"short":        []byte("CHIM"),
+		"wrong prefix": append([]byte("XHIM"), FuzzTargetCrashInput()[4:]...),
+		"wrong magic":  []byte("CHIM\x00\x00\x00\x00"),
+		"long garbage": make([]byte, 64),
+	}
+	for name, in := range cases {
+		if code := runTarget(t, in); code != 0 {
+			t.Errorf("%s: exited %d, want 0", name, code)
+		}
+	}
+}
+
+func TestFuzzTargetInputRereadAfterReset(t *testing.T) {
+	img, err := FuzzTarget(riscv.RV64GC, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := kernel.VariantFromImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := kernel.NewProcess("fuzztarget", []kernel.Variant{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() uint64 {
+		for i := 0; i < 100 && !p.Exited; i++ {
+			if _, _, err := p.Run(1_000_000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !p.Exited {
+			t.Fatal("target did not exit")
+		}
+		return p.ExitCode
+	}
+	p.SetInput(FuzzTargetCrashInput())
+	if code := run(); code != 128+11 {
+		t.Fatalf("first run exited %d, want 139", code)
+	}
+	// Reset rewinds the input cursor: the same buffer replays identically.
+	p.Reset()
+	if code := run(); code != 128+11 {
+		t.Fatalf("replay after Reset exited %d, want 139", code)
+	}
+	// A fresh input swaps in without rebuilding the process.
+	p.Reset()
+	p.SetInput([]byte("nope"))
+	if code := run(); code != 0 {
+		t.Fatalf("benign input exited %d, want 0", code)
+	}
+}

@@ -1,6 +1,7 @@
 #!/bin/sh
 # Emulator benchmark harness: runs the BenchmarkCPURun* emulated-MIPS
 # benchmarks, the BenchmarkService*/BenchmarkRewriteBatch service suite, the
+# coverage-guided campaign throughput benchmark (whole fuzzing execs/s), the
 # store hit-path benchmarks (memory-tier verified hits, disk-store hit
 # latency), and the BenchmarkResolve rewriter-config rows (runtime-rewrite
 # fault rate and per-task p50/p99 with the indirect-target resolver off vs
@@ -23,6 +24,12 @@ trap 'rm -f "$RAW"' EXIT
 echo "== go test -bench CPURun (internal/emu, -benchtime $BENCHTIME)"
 go test -run=- -bench='BenchmarkCPURun' -benchmem -benchtime "$BENCHTIME" \
     ./internal/emu/ | tee "$RAW"
+
+# One campaign iteration is 2000 whole guest executions — one iteration is
+# plenty of signal for the execs/s throughput number.
+echo "== go test -bench CampaignExecs (internal/fuzzsvc, campaign throughput)"
+go test -run=- -bench='BenchmarkCampaignExecs' -benchtime 1x \
+    ./internal/fuzzsvc/ | tee -a "$RAW"
 
 echo "== go test -bench Service|RewriteBatch (internal/service)"
 go test -run=- -bench='BenchmarkService|BenchmarkRewriteBatch' -benchmem -benchtime 1x \
@@ -49,7 +56,7 @@ BEGIN { print "{"; print "  \"benchmarks\": ["; n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     nsop = ""; mips = ""; nsinst = ""; allocs = ""; mbs = ""; items = ""
-    faults = ""; avoided = ""; crashed = ""; p50 = ""; p99 = ""
+    faults = ""; avoided = ""; crashed = ""; p50 = ""; p99 = ""; execs = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op")       nsop = $i
         if ($(i+1) == "Minst/s")     mips = $i
@@ -62,10 +69,16 @@ BEGIN { print "{"; print "  \"benchmarks\": ["; n = 0 }
         if ($(i+1) == "crashed/op")  crashed = $i
         if ($(i+1) == "p50-kcycles") p50 = $i
         if ($(i+1) == "p99-kcycles") p99 = $i
+        if ($(i+1) == "execs/s")     execs = $i
     }
     if (nsop == "") next
     if (name == "BenchmarkCPURunProfiler/off" && nsinst != "") prof_off = nsinst
     if (name == "BenchmarkCPURunProfiler/on"  && nsinst != "") prof_on = nsinst
+    if (name == "BenchmarkCPURunInstrument/off"      && nsinst != "") ins_off = nsinst
+    if (name == "BenchmarkCPURunInstrument/nilhooks" && nsinst != "") ins_nil = nsinst
+    if (name == "BenchmarkCPURunInstrument/coverage" && nsinst != "") ins_cov = nsinst
+    if (name == "BenchmarkCPURunInstrument/cmplog"   && nsinst != "") ins_cmp = nsinst
+    if (name == "BenchmarkCampaignExecs" && execs != "") campaign_execs = execs
     if (name == "BenchmarkResolve/chbp-off" && faults != "") { roff_f = faults; roff_p99 = p99 }
     if (name == "BenchmarkResolve/chbp-on"  && faults != "") { ron_f = faults; ron_p99 = p99 }
     if (n++) printf ",\n"
@@ -80,12 +93,22 @@ BEGIN { print "{"; print "  \"benchmarks\": ["; n = 0 }
     if (crashed != "") printf ", \"crashed_per_op\": %s", crashed
     if (p50 != "")     printf ", \"p50_kcycles\": %s", p50
     if (p99 != "")     printf ", \"p99_kcycles\": %s", p99
+    if (execs != "")   printf ", \"execs_per_s\": %s", execs
     printf "}"
 }
 END {
     print "\n  ],"
     if (prof_off + 0 > 0 && prof_on != "")
         printf "  \"profiler_overhead_pct\": %.2f,\n", (prof_on - prof_off) / prof_off * 100
+    if (ins_off + 0 > 0 && ins_cov != "" && ins_cmp != "") {
+        printf "  \"instrument\": {\"ns_per_inst_off\": %s, \"ns_per_inst_nilhooks\": %s", ins_off, ins_nil
+        printf ", \"ns_per_inst_coverage\": %s, \"ns_per_inst_cmplog\": %s", ins_cov, ins_cmp
+        printf ", \"nilhooks_overhead_pct\": %.2f", (ins_nil - ins_off) / ins_off * 100
+        printf ", \"coverage_overhead_pct\": %.2f", (ins_cov - ins_off) / ins_off * 100
+        printf ", \"cmplog_overhead_pct\": %.2f", (ins_cmp - ins_off) / ins_off * 100
+        if (campaign_execs != "") printf ", \"campaign_execs_per_s\": %s", campaign_execs
+        print "},"
+    }
     if (roff_f != "" && ron_f != "") {
         printf "  \"resolver\": {\"chbp_faults_per_op_off\": %s, \"chbp_faults_per_op_on\": %s", roff_f, ron_f
         if (ron_f + 0 > 0) printf ", \"fault_reduction_x\": %.1f", roff_f / ron_f
@@ -95,7 +118,7 @@ END {
             printf ", \"p99_reduction_pct\": %.2f", (roff_p99 - ron_p99) / roff_p99 * 100
         print "},"
     }
-    print "  \"note\": \"profiler_overhead_pct = CPURunProfiler on-vs-off ns/inst delta; resolver = BenchmarkResolve chbp off-vs-on fault-rate and p99 deltas\""
+    print "  \"note\": \"profiler_overhead_pct = CPURunProfiler on-vs-off ns/inst delta; resolver = BenchmarkResolve chbp off-vs-on fault-rate and p99 deltas; instrument = CPURunInstrument hook-mode ns/inst deltas plus CampaignExecs fuzzing throughput\""
     print "}"
 }
 ' "$RAW" > BENCH_emu.json

@@ -1,6 +1,8 @@
 #!/bin/sh
 # Pre-PR gate: formatting, vet, build, the full test suite under the race
-# detector, and short native-fuzz smokes over the differential oracles.
+# detector, the warm-loop alloc and nil-hook instrumentation overhead
+# gates, the coverage-guided campaign smoke, and short native-fuzz smokes
+# over the differential oracles.
 # Run from anywhere; it anchors itself at the repo root.
 set -eu
 cd "$(dirname "$0")/.."
@@ -42,6 +44,25 @@ awk '/^BenchmarkCPURun/ {
         }
 } END { exit bad }' "$ALLOC_RAW"
 rm -f "$ALLOC_RAW"
+# The nil-hook gate takes the min of several short runs (noise floors, not
+# means) and bounds attached-but-idle instrumentation at 2% of the bare hot
+# loop — the fuzzing service's idle cost when no observers are installed.
+echo "== instrument nil-hook overhead gate (nilhooks within 2% of off, min of 5 runs)"
+OVH_RAW="$(mktemp)"
+go test -run=- -bench='BenchmarkCPURunInstrument/(off|nilhooks)' -benchtime=50x -count=5 \
+    ./internal/emu/ | tee "$OVH_RAW"
+awk '
+/^BenchmarkCPURunInstrument\/off/      { for (i = 2; i < NF; i++) if ($(i+1) == "ns/inst" && (off == "" || $i + 0 < off)) off = $i + 0 }
+/^BenchmarkCPURunInstrument\/nilhooks/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/inst" && (nil == "" || $i + 0 < nil)) nil = $i + 0 }
+END {
+    if (off == "" || nil == "") { print "overhead gate: missing ns/inst samples" > "/dev/stderr"; exit 1 }
+    printf "nil-hook overhead: off %.3f ns/inst, nilhooks %.3f ns/inst (%+.2f%%)\n", off, nil, (nil - off) / off * 100
+    if (nil > off * 1.02) { print "overhead gate: nil-hook ns/inst exceeds off by more than 2%" > "/dev/stderr"; exit 1 }
+}' "$OVH_RAW"
+rm -f "$OVH_RAW"
+echo "== fuzz campaign smoke (coverage-guided engine finds and minimizes the seeded bug)"
+go run ./cmd/chimera-fuzz -campaign demo -campaign-execs 30000 -campaign-input 64 \
+    -campaign-budget 200000 -campaign-expect-crash -campaign-o /dev/null
 echo "== fuzz smoke (10s per target)"
 go test -run=- -fuzz=FuzzDifferential -fuzztime=10s ./internal/fuzz >/dev/null
 go test -run=- -fuzz=FuzzRewrite -fuzztime=10s ./internal/fuzz >/dev/null

@@ -132,12 +132,15 @@ type Campaign struct {
 	// bucketing: a cell's bits record which count buckets have been seen.
 	virgin [instrument.CovMapSize]byte
 
+	// started is set in New, before the Run goroutine exists, and is
+	// immutable afterwards.
+	started time.Time
+
 	// Run-goroutine-only state.
 	corpus   [][]byte
 	queue    [][]byte
 	dict     [][]byte
 	dictSeen map[string]bool
-	started  time.Time
 
 	// mu guards everything Snapshot reads while Run executes.
 	mu        sync.Mutex
@@ -182,6 +185,7 @@ func New(cfg Config) (*Campaign, error) {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		dictSeen: make(map[string]bool),
 		crashIdx: make(map[crashKey]int),
+		started:  time.Now(),
 	}
 	c.trace = fnv.New64a().Sum64() // the chain's deterministic basis
 	return c, nil
@@ -190,7 +194,6 @@ func New(cfg Config) (*Campaign, error) {
 // Run executes the campaign to completion: seeds first, then the mutation
 // loop until the exec budget runs out, StopOnCrash fires, or ctx ends.
 func (c *Campaign) Run(ctx context.Context) error {
-	c.started = time.Now()
 	defer func() {
 		c.mu.Lock()
 		c.done = true
@@ -203,6 +206,11 @@ func (c *Campaign) Run(ctx context.Context) error {
 	}
 	for _, s := range seeds {
 		c.step(c.clamp(s), true)
+	}
+	if len(c.corpus) == 0 {
+		// Every seed execution failed (execErr skips corpus admission), so
+		// the mutation loop has nothing to draw from.
+		return errors.New("fuzzsvc: no seed executed successfully; corpus is empty")
 	}
 	for c.snapExecs() < c.cfg.MaxExecs {
 		if err := ctx.Err(); err != nil {

@@ -134,6 +134,46 @@ func TestCampaignHangClassification(t *testing.T) {
 	}
 }
 
+// TestCampaignNoViableSeeds: a guest whose every execution is a simulator
+// error (read(2) into an unmapped buffer) leaves the corpus empty after the
+// seed phase; the campaign must fail cleanly instead of entering the
+// mutation loop (which used to panic in rng.Intn(0)).
+func TestCampaignNoViableSeeds(t *testing.T) {
+	b := asm.NewBuilder(riscv.RV64GC)
+	b.Func("main")
+	// read(0, <unmapped>, 64): the input copy-in faults, so kernel Run
+	// returns an error on every execution.
+	b.Li(riscv.A7, 63)
+	b.Li(riscv.A0, 0)
+	b.Li(riscv.A1, 8)
+	b.Li(riscv.A2, 64)
+	b.Ecall()
+	b.Li(riscv.A0, 0)
+	b.Li(riscv.A7, 93)
+	b.Ecall()
+	img, err := b.Build("badread", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Image: img, MaxExecs: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(context.Background()); err == nil {
+		t.Fatal("campaign with no viable seed returned nil")
+	}
+	s := c.Snapshot()
+	if !s.Done {
+		t.Error("failed campaign not marked done")
+	}
+	if s.SimErrors == 0 {
+		t.Errorf("seed failures not counted as simulator errors: %+v", s)
+	}
+	if s.Corpus != 0 {
+		t.Errorf("corpus %d, want 0", s.Corpus)
+	}
+}
+
 // TestCampaignContextCancel: campaigns stop promptly when canceled.
 func TestCampaignContextCancel(t *testing.T) {
 	c, err := New(Config{Image: targetImage(t), MaxExecs: 1 << 30, Seed: 1})

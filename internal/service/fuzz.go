@@ -204,7 +204,14 @@ func (s *Server) handleFuzz(w http.ResponseWriter, r *http.Request) {
 	}
 	deadline := fuzzDefaultRuntime
 	if body.DeadlineSeconds > 0 {
-		deadline = min(time.Duration(body.DeadlineSeconds*float64(time.Second)), fuzzDeadlineCap)
+		// Clamp before the float64→Duration conversion: a huge or +Inf value
+		// overflows to an implementation-defined (typically negative)
+		// Duration, which would expire the campaign context immediately.
+		if body.DeadlineSeconds >= fuzzDeadlineCap.Seconds() {
+			deadline = fuzzDeadlineCap
+		} else {
+			deadline = time.Duration(body.DeadlineSeconds * float64(time.Second))
+		}
 	}
 	id, ok := s.fuzz.admit()
 	if !ok {

@@ -215,6 +215,31 @@ func TestFuzzBadRequests(t *testing.T) {
 	resp.Body.Close()
 }
 
+// TestFuzzHugeDeadlineClamped: an absurd deadline_seconds must clamp to
+// fuzzDeadlineCap, not overflow the float64→Duration conversion into a
+// negative timeout that expires the campaign context immediately.
+func TestFuzzHugeDeadlineClamped(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	id, _ := postFuzz(t, ts, fuzzHTTPRequest{
+		Image: fuzzImageWire(t), MaxExecs: 200, ExecBudget: 200_000, Seed: 5,
+		DeadlineSeconds: 1e300,
+	})
+	if id == "" {
+		t.Fatal("create failed")
+	}
+	st := waitDone(t, ts, id)
+	if st.Error != "" {
+		t.Fatalf("campaign with huge deadline errored: %s", st.Error)
+	}
+	if st.Execs < 200 {
+		t.Errorf("campaign ran %d execs, want the full 200 budget", st.Execs)
+	}
+}
+
 // TestFuzzUnderChaos: with the chaos injector firing spurious faults into
 // the guest run loop, a campaign still completes and still finds the
 // planted crash — injections are absorbed, not surfaced as crashes.
